@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark file regenerates one of the paper's outputs (Fig. 3, Fig. 4,
+Tables I–IV) at :data:`repro.experiments.paperconfig.BENCH_SCALE`
+(n = 2,000 tags × 3 trials × the tables' five ranges — every qualitative
+shape of the paper holds at this scale; the full n = 10,000 run is
+``repro-ccm tables --scale default``).
+
+The master sweep is computed once per pytest session and shared; the
+``benchmark`` fixture in each file times a *representative unit of work*
+for that output (one session, one SICP run, ...), so the timings are
+meaningful while the tables don't get recomputed five times.
+
+Rendered tables are written to ``benchmarks/output/`` and echoed to stdout
+(visible with ``pytest -s`` or in the captured output block).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import master
+from repro.experiments import paperconfig as cfg
+from repro.net.topology import PaperDeployment, paper_network
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> cfg.ReproScale:
+    return cfg.BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_master(bench_scale) -> master.MasterResult:
+    """The bench-scale evaluation sweep behind Fig. 4 and Tables I–IV."""
+    return master.run(bench_scale)
+
+
+@pytest.fixture(scope="session")
+def bench_network():
+    """One representative deployment (r = 6 m) for unit-of-work timings."""
+    return paper_network(
+        6.0,
+        n_tags=cfg.BENCH_SCALE.n_tags,
+        seed=99,
+        deployment=PaperDeployment(n_tags=cfg.BENCH_SCALE.n_tags),
+    )
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered table to benchmarks/output/ and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _emit

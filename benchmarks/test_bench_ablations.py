@@ -1,0 +1,95 @@
+"""Ablation benches — the design choices DESIGN.md §8 calls out.
+
+Each bench times the ablated unit of work and asserts the direction the
+design argument predicts, writing the rendered comparison to
+``benchmarks/output/``.
+"""
+
+from repro.core.session import CCMConfig, run_session
+from repro.experiments import ablations, robustness, statefree
+from repro.protocols.transport import frame_picks
+
+
+def test_ablation_indicator_vector(benchmark, bench_network, emit):
+    """Sec. III-D: the indicator vector suppresses snowball flooding.
+
+    Timed unit: one session *without* the indicator vector (the expensive
+    variant)."""
+    picks = frame_picks(bench_network.tag_ids, 512, 1.0, seed=71)
+
+    def no_indicator_session():
+        return run_session(
+            bench_network,
+            picks,
+            CCMConfig(frame_size=512, use_indicator_vector=False,
+                      max_rounds=12),
+        )
+
+    flooded = benchmark(no_indicator_session)
+    normal = run_session(bench_network, picks, CCMConfig(frame_size=512))
+    assert flooded.bitmap == normal.bitmap  # correctness unchanged
+    assert (
+        flooded.ledger.bits_sent.sum() > normal.ledger.bits_sent.sum()
+    )
+
+    result = ablations.run_indicator_ablation(
+        n_tags=1000, tag_ranges=(3.0, 6.0), n_trials=2, frame_size=512
+    )
+    emit("ablation_indicator", ablations.report_indicator(result))
+    for with_iv, without_iv in zip(
+        result.with_indicator, result.without_indicator
+    ):
+        assert without_iv["avg_sent"] > with_iv["avg_sent"]
+
+
+def test_ablation_checking_frame(benchmark, emit):
+    """Sec. III-E: too-short checking frames terminate sessions early."""
+    rows = benchmark.pedantic(
+        ablations.run_checking_ablation,
+        kwargs=dict(n_tags=800, tag_range=3.0, n_trials=2, frame_size=256),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_checking", ablations.report_checking(rows))
+    by_lc = {row.checking_length: row for row in rows}
+    assert by_lc[max(by_lc)].complete_fraction == 1.0
+    assert by_lc[min(by_lc)].avg_missing_bits >= 0.0
+    # Completeness is monotone non-decreasing in L_c.
+    ordered = [by_lc[k].complete_fraction for k in sorted(by_lc)]
+    assert all(a <= b + 1e-9 for a, b in zip(ordered, ordered[1:]))
+
+
+def test_ablation_statefree_mobility(benchmark, emit):
+    """Sec. II's motivation: routing state goes stale; CCM has none."""
+    rows = benchmark.pedantic(
+        statefree.run,
+        kwargs=dict(
+            n_tags=1000, max_steps=[0.0, 2.0, 6.0], n_trials=2,
+            frame_size=256,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_statefree", statefree.report(rows))
+    deliveries = [row.sicp_stale_delivered_fraction for row in rows]
+    assert deliveries[0] > 0.99
+    assert deliveries[-1] < deliveries[0]
+    assert all(row.ccm_bitmap_exact for row in rows)
+
+
+def test_ablation_lossy_channel(benchmark, emit):
+    """Extension: graceful degradation under sensing loss."""
+    rows = benchmark.pedantic(
+        robustness.run,
+        kwargs=dict(n_tags=300, losses=(0.0, 0.4), n_trials=2,
+                    frame_size=128),
+        rounds=1,
+        iterations=1,
+    )
+    emit("ablation_robustness", robustness.report(rows))
+    by_loss = {row.loss: row for row in rows}
+    assert (
+        by_loss[0.4].single_session_miss_rate
+        >= by_loss[0.0].single_session_miss_rate
+    )
+    assert all(row.phantom_bits == 0 for row in rows)

@@ -1,0 +1,39 @@
+"""Fig. 3 regeneration — number of tiers vs inter-tag range.
+
+Timed unit: building one full deployment (positions → links → BFS tiers)
+at bench scale.  The table itself sweeps r across the paper's grid and
+checks the figure's shape: tier count non-increasing in r, matching the
+geometric prediction 1 + ⌈(R − r')/r⌉ in the dense regime.
+"""
+
+from repro.analysis.geometry import geometric_num_tiers
+from repro.experiments import fig3_tiers
+from repro.experiments import paperconfig as cfg
+from repro.net.topology import PaperDeployment, paper_network
+
+
+def test_fig3_tiers(benchmark, bench_scale, emit):
+    def build_unit():
+        return paper_network(
+            6.0,
+            n_tags=bench_scale.n_tags,
+            seed=42,
+            deployment=PaperDeployment(n_tags=bench_scale.n_tags),
+        )
+
+    network = benchmark(build_unit)
+    assert network.num_tiers >= 2
+
+    result = fig3_tiers.run(bench_scale)
+    emit("fig3_tiers", fig3_tiers.report(result))
+
+    # Shape: non-increasing in r.
+    tiers = result.measured_tiers
+    assert all(a >= b for a, b in zip(tiers, tiers[1:]))
+    # Dense-regime agreement with the geometric estimate (within 1 tier at
+    # bench density; exact at paper density).
+    for r, measured in zip(result.tag_ranges, tiers):
+        geo = geometric_num_tiers(
+            cfg.READER_TO_TAG_RANGE_M, cfg.TAG_TO_READER_RANGE_M, r
+        )
+        assert measured >= geo - 0.5

@@ -1,0 +1,52 @@
+"""Fig. 4 regeneration — execution time (slots) vs inter-tag range.
+
+Timed unit: one GMLE-CCM session at r = 6 m (the per-point unit of the
+figure).  The table prints all three protocols across the r grid and checks
+the figure's claims: CCM-based protocols need a small fraction of SICP's
+slots at every range, and CCM execution time falls as r grows.
+"""
+
+from repro.core.session import CCMConfig, run_session
+from repro.experiments import paperconfig as cfg
+from repro.experiments.common import PROTOCOLS, format_table
+from repro.protocols.transport import frame_picks
+
+
+def test_fig4_execution_time(benchmark, bench_network, bench_master, emit):
+    picks = frame_picks(
+        bench_network.tag_ids,
+        cfg.GMLE_FRAME_SIZE,
+        cfg.gmle_participation(bench_network.n_tags),
+        seed=6,
+    )
+
+    def session_unit():
+        return run_session(
+            bench_network, picks, CCMConfig(frame_size=cfg.GMLE_FRAME_SIZE)
+        )
+
+    result = benchmark(session_unit)
+    assert result.terminated_cleanly
+
+    rows = bench_master.fig4_execution_time()
+    emit(
+        "fig4_execution_time",
+        format_table(
+            "Fig. 4 — execution time (total slots), bench scale "
+            f"({bench_master.sweep.values} m)",
+            bench_master.tag_ranges,
+            rows,
+        ),
+    )
+
+    for i in range(len(bench_master.tag_ranges)):
+        # CCM beats ID collection at every range...
+        assert rows["gmle_ccm"][i] < rows["sicp"][i]
+        assert rows["trp_ccm"][i] < rows["sicp"][i]
+    # ... and CCM time decreases with r (fewer tiers, fewer rounds).
+    gmle = rows["gmle_ccm"]
+    assert gmle[0] > gmle[-1]
+    trp = rows["trp_ccm"]
+    assert trp[0] > trp[-1]
+    # SICP's execution time also falls with r (shallower trees).
+    assert rows["sicp"][0] > rows["sicp"][-1]

@@ -1,0 +1,36 @@
+"""Table I regeneration — maximum number of bits sent per tag.
+
+Timed unit: one full SICP run (tree building + serialized collection), the
+protocol whose root-relays dominate this table.  Shape checks: SICP's
+worst tag sends orders of magnitude more than any CCM tag; SICP's maximum
+falls with r (more candidate parents flatten subtrees) while CCM's rises
+gently (bigger neighbourhoods mean more relaying).
+"""
+
+from repro.experiments.common import format_table
+from repro.protocols.sicp import run_sicp
+
+
+def test_table1_max_sent(benchmark, bench_network, bench_master, emit):
+    result = benchmark(run_sicp, bench_network, seed=61)
+    assert len(result.collected_ids) == int(
+        bench_network.reachable_mask.sum()
+    )
+
+    rows = bench_master.table1_max_sent()
+    emit(
+        "table1_max_sent",
+        format_table(
+            "Table I — maximum bits sent per tag (bench scale)",
+            bench_master.tag_ranges,
+            rows,
+        ),
+    )
+
+    for i in range(len(bench_master.tag_ranges)):
+        assert rows["sicp"][i] > 10 * rows["gmle_ccm"][i]
+        assert rows["sicp"][i] > 10 * rows["trp_ccm"][i]
+    # SICP max-sent decreases with r; CCM variants increase.
+    assert rows["sicp"][0] > rows["sicp"][-1]
+    assert rows["gmle_ccm"][0] < rows["gmle_ccm"][-1]
+    assert rows["trp_ccm"][0] < rows["trp_ccm"][-1]

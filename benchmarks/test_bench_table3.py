@@ -1,0 +1,50 @@
+"""Table III regeneration — average number of bits sent per tag.
+
+Timed unit: one GMLE-CCM session at the sparsest range (r = 2 m, the most
+rounds).  Shape checks: CCM's average sent bits sit far below SICP's
+(which must push 96-bit IDs), CCM's grow with r, SICP's shrink with r.
+"""
+
+from repro.core.session import CCMConfig, run_session
+from repro.experiments import paperconfig as cfg
+from repro.experiments.common import format_table
+from repro.net.topology import PaperDeployment, paper_network
+from repro.protocols.transport import frame_picks
+
+
+def test_table3_avg_sent(benchmark, bench_scale, bench_master, emit):
+    sparse = paper_network(
+        2.0,
+        n_tags=bench_scale.n_tags,
+        seed=63,
+        deployment=PaperDeployment(n_tags=bench_scale.n_tags),
+    )
+    picks = frame_picks(
+        sparse.tag_ids,
+        cfg.GMLE_FRAME_SIZE,
+        cfg.gmle_participation(sparse.n_tags),
+        seed=63,
+    )
+
+    def sparse_session_unit():
+        return run_session(
+            sparse, picks, CCMConfig(frame_size=cfg.GMLE_FRAME_SIZE)
+        )
+
+    benchmark(sparse_session_unit)
+
+    rows = bench_master.table3_avg_sent()
+    emit(
+        "table3_avg_sent",
+        format_table(
+            "Table III — average bits sent per tag (bench scale)",
+            bench_master.tag_ranges,
+            rows,
+        ),
+    )
+
+    for i in range(len(bench_master.tag_ranges)):
+        assert rows["gmle_ccm"][i] * 3 < rows["sicp"][i]
+        assert rows["trp_ccm"][i] * 2 < rows["sicp"][i]
+    assert rows["gmle_ccm"][0] < rows["gmle_ccm"][-1]  # grows with r
+    assert rows["sicp"][0] > rows["sicp"][-1]  # shrinks with r

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Battery-lifetime budgeting: CCM vs ID collection on real energy numbers.
+
+The paper's core argument is energy: battery-powered networked tags must
+last years, and every received bit costs as much as a transmitted one on a
+CC1120-class transceiver.  This example turns the per-tag bit counts into
+a battery lifetime estimate for a daily inventory-check duty cycle, for
+both GMLE-over-CCM and the SICP baseline.
+
+Run:  python examples/energy_budget.py
+"""
+
+from repro import TransceiverProfile, paper_network
+from repro.core.session import CCMConfig, run_session
+from repro.net.topology import PaperDeployment
+from repro.protocols import frame_picks, run_sicp
+
+N_TAGS = 2_000
+TAG_RANGE_M = 6.0
+GMLE_FRAME = 1671
+SESSIONS_PER_DAY = 24  # hourly cardinality checks
+BATTERY_JOULES = 2_400.0  # ~a CR123A-class cell dedicated to the radio
+
+
+def lifetime_years(joules_per_session: float, sessions_per_day: int) -> float:
+    per_day = joules_per_session * sessions_per_day
+    return BATTERY_JOULES / per_day / 365.0 if per_day > 0 else float("inf")
+
+
+def main() -> None:
+    network = paper_network(
+        TAG_RANGE_M, n_tags=N_TAGS, seed=3,
+        deployment=PaperDeployment(n_tags=N_TAGS),
+    )
+    profile = TransceiverProfile()  # CC1120-flavoured defaults
+    print(f"{network.n_tags} tags, r = {TAG_RANGE_M} m, "
+          f"{network.num_tiers} tiers; radio: "
+          f"TX {profile.tx_joules_per_bit * 1e6:.0f} µJ/b, "
+          f"RX {profile.rx_joules_per_bit * 1e6:.0f} µJ/b")
+
+    # One GMLE-CCM session (one estimation round trip).
+    p = min(1.0, 1.59 * GMLE_FRAME / N_TAGS)
+    picks = frame_picks(network.tag_ids, GMLE_FRAME, p, seed=4)
+    ccm = run_session(network, picks, CCMConfig(frame_size=GMLE_FRAME))
+    ccm_energy = ccm.ledger.per_tag_energy(profile)
+
+    # One SICP collection (the ID-collection alternative).
+    sicp = run_sicp(network, seed=4)
+    sicp_energy = sicp.ledger.per_tag_energy(profile)
+
+    print("\nper-session, per-tag energy:")
+    print(f"  GMLE-CCM  mean {ccm_energy.mean() * 1e3:7.2f} mJ   "
+          f"worst tag {ccm_energy.max() * 1e3:7.2f} mJ")
+    print(f"  SICP      mean {sicp_energy.mean() * 1e3:7.2f} mJ   "
+          f"worst tag {sicp_energy.max() * 1e3:7.2f} mJ")
+
+    print(f"\nbattery lifetime at {SESSIONS_PER_DAY} sessions/day "
+          f"({BATTERY_JOULES:.0f} J budget), worst tag — the one that dies "
+          "first and partitions the network:")
+    for name, energy in (("GMLE-CCM", ccm_energy), ("SICP", sicp_energy)):
+        worst = lifetime_years(float(energy.max()), SESSIONS_PER_DAY)
+        mean = lifetime_years(float(energy.mean()), SESSIONS_PER_DAY)
+        print(f"  {name:9} worst-tag {worst:8.2f} years   "
+              f"average-tag {mean:8.2f} years")
+
+    ratio = float(sicp_energy.mean() / ccm_energy.mean())
+    print(f"\nCCM extends mean tag lifetime {ratio:.0f}x over ID collection "
+          "for this duty cycle")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Multi-reader inventory estimation over a field no single reader covers.
+
+Sec. III-G: with M readers scheduled round-robin, each collects a bitmap
+via Algorithm 1 over the tags in its own window, and the reader-side
+combine is a bitwise OR (Eq. 1).  Because every tag's slot pick is a hash
+of (ID, seed), a tag covered by two readers asserts the same slots twice —
+the OR absorbs the duplication, and GMLE sees a single coherent bitmap.
+
+Run:  python examples/multi_reader_inventory.py
+"""
+
+import numpy as np
+
+from repro.net.geometry import Point, uniform_disk
+from repro.net.topology import Network, Reader
+from repro.protocols import GMLEProtocol, MultiReaderCCMTransport
+
+N_TAGS = 3_000
+FIELD_RADIUS_M = 50.0
+TAG_RANGE_M = 6.0
+
+
+def main() -> None:
+    positions = uniform_disk(N_TAGS, FIELD_RADIUS_M, seed=77)
+    tag_ids = np.arange(1, N_TAGS + 1, dtype=np.int64)
+
+    # Four readers near the corners of the hall; each covers a 30 m disk.
+    offset = FIELD_RADIUS_M * 0.55
+    readers = [
+        Reader(Point(-offset, -offset), 30.0, 20.0),
+        Reader(Point(offset, -offset), 30.0, 20.0),
+        Reader(Point(-offset, offset), 30.0, 20.0),
+        Reader(Point(offset, offset), 30.0, 20.0),
+    ]
+
+    # How much would one reader alone miss?
+    solo = Network.build(positions, [readers[0]], TAG_RANGE_M)
+    solo_covered = int(solo.covered_by(0).sum())
+    print(f"{N_TAGS} tags over a {FIELD_RADIUS_M:.0f} m hall; "
+          f"a single reader's request reaches only {solo_covered} "
+          f"({solo_covered / N_TAGS:.0%})")
+
+    # Tags observable by at least one reader (inside some window AND with
+    # a relay path to that window's reader): the population GMLE can see.
+    observable = np.zeros(N_TAGS, dtype=bool)
+    for reader in readers:
+        net = Network.build(positions, [reader], TAG_RANGE_M, tag_ids=tag_ids)
+        covered = net.covered_by(0)
+        sub = Network.build(
+            positions[covered], [reader], TAG_RANGE_M, tag_ids=tag_ids[covered]
+        )
+        observable[np.flatnonzero(covered)[sub.reachable_mask]] = True
+    n_observable = int(observable.sum())
+    print(f"{len(readers)} readers, round-robin windows; "
+          f"{n_observable} tags observable "
+          f"({N_TAGS - n_observable} in coverage holes between readers)")
+
+    transport = MultiReaderCCMTransport(
+        positions, readers, TAG_RANGE_M, tag_ids=tag_ids
+    )
+    protocol = GMLEProtocol(alpha=0.95, beta=0.05)
+    result = protocol.estimate(transport, seed=9)
+
+    print(f"GMLE estimate: {result.estimate:,.0f} tags "
+          f"(observable {n_observable:,}, deployed {N_TAGS:,}) "
+          f"after {result.rough_frames}+{result.frames} frames")
+    print(f"execution time: {transport.slots.total_slots:,} slots "
+          f"(sum over reader windows)")
+    led = transport.ledger
+    print(f"per-tag energy: sent {led.avg_sent():.1f} b, "
+          f"received {led.avg_received():.0f} b "
+          f"(max {led.max_received():.0f} b)")
+
+    err = abs(result.estimate - n_observable) / n_observable
+    print(f"relative error vs observable population: {err:.2%}")
+
+
+if __name__ == "__main__":
+    main()

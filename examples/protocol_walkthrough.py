@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""A guided tour of one CCM session: map, trace, round-by-round digest.
+
+Renders the deployment's tier structure (the live version of the paper's
+Fig. 1/2a), then runs one traced session and narrates how the busy-slot
+wave converges to the reader: which round delivered which bits, when the
+indicator vector silenced what, and how long each checking frame ran.
+
+Run:  python examples/protocol_walkthrough.py
+"""
+
+from repro import CCMConfig, paper_network, run_session
+from repro.experiments.topomap import render_topology
+from repro.net.gen2 import Gen2Params
+from repro.net.topology import PaperDeployment
+from repro.protocols import frame_picks
+from repro.sim import SessionTracer
+
+N_TAGS = 1_200
+TAG_RANGE_M = 4.0
+FRAME_SIZE = 256
+
+
+def main() -> None:
+    network = paper_network(
+        TAG_RANGE_M, n_tags=N_TAGS, seed=13,
+        deployment=PaperDeployment(n_tags=N_TAGS),
+    )
+    print(f"deployment: {network.n_tags} tags, r = {TAG_RANGE_M} m, "
+          f"{network.num_tiers} tiers\n")
+    print(render_topology(network, width=64, height=24))
+
+    # One traced session: every tag hashes to a slot; watch the wave.
+    picks = frame_picks(network.tag_ids, FRAME_SIZE, 1.0, seed=99)
+    tracer = SessionTracer()
+    result = run_session(
+        network, picks, CCMConfig(frame_size=FRAME_SIZE), tracer=tracer
+    )
+
+    print("\nround-by-round session digest:")
+    print(tracer.summary())
+
+    print("\nreading the digest:")
+    print(" * 'new bits' is the information wave arriving one tier per "
+          "round (round k delivers tier-k picks)")
+    print(" * 'silenced' is the indicator vector accumulating — those "
+          "slots sleep for the rest of the session")
+    print(" * the final checking frame runs its full length in silence, "
+          "which is how the reader knows it is done")
+
+    timing = Gen2Params().slot_timing()
+    print(f"\ntotals: {result.total_slots:,} slots "
+          f"≈ {result.slots.seconds(timing):.2f} s at a Gen2 dense-reader "
+          f"profile; per-tag energy: sent {result.ledger.avg_sent():.1f} b, "
+          f"received {result.ledger.avg_received():,.0f} b")
+
+    # Export the trace for external tooling.
+    path = "/tmp/ccm_session_trace.ndjson"
+    tracer.to_ndjson(path)
+    print(f"full event trace written to {path} "
+          f"({len(tracer.events)} events)")
+
+
+if __name__ == "__main__":
+    main()

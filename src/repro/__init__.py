@@ -1,0 +1,101 @@
+"""repro - Collision-resistant Communication Model for state-free networked tags.
+
+A full reproduction of Liu et al., "Collision-resistant Communication Model
+for State-free Networked Tags" (IEEE ICDCS 2019): the CCM session engine
+(Algorithm 1), the GMLE and TRP applications layered on it, the SICP/CICP
+ID-collection baselines, the paper's closed-form cost model, and the
+simulation substrate (geometric deployments, asymmetric-range topology,
+slot-level channel, energy/time accounting) everything runs on.
+
+Quick start::
+
+    from repro import CCMConfig, paper_network, run_session, TagHasher
+
+    net = paper_network(tag_range=6.0, seed=7)
+    hasher = TagHasher(seed=42)
+    picks = [hasher.slot_of(int(t), 1671) for t in net.tag_ids]
+    result = run_session(net, picks, CCMConfig(frame_size=1671))
+    print(f"{result.bitmap.popcount()} busy slots in {result.rounds} rounds")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.analysis import CCMCostModel, TierGeometry, geometric_num_tiers
+from repro.core import (
+    Bitmap,
+    CCMConfig,
+    MultiReaderResult,
+    SessionResult,
+    default_checking_frame_length,
+    run_multireader_session,
+    run_session,
+    union,
+)
+from repro.net import (
+    EnergyLedger,
+    LossyChannel,
+    Network,
+    PerfectChannel,
+    Point,
+    Reader,
+    SlotCount,
+    SlotTiming,
+    TransceiverProfile,
+    paper_network,
+    uniform_disk,
+)
+from repro.protocols import (
+    CCMTransport,
+    GMLEProtocol,
+    MultiReaderCCMTransport,
+    SICPParams,
+    TraditionalTransport,
+    TRPProtocol,
+    gmle_frame_size,
+    run_cicp,
+    run_sicp,
+    trp_frame_size,
+)
+from repro.sim import TagHasher, run_trials, sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CCMCostModel",
+    "TierGeometry",
+    "geometric_num_tiers",
+    "Bitmap",
+    "CCMConfig",
+    "MultiReaderResult",
+    "SessionResult",
+    "default_checking_frame_length",
+    "run_multireader_session",
+    "run_session",
+    "union",
+    "EnergyLedger",
+    "LossyChannel",
+    "Network",
+    "PerfectChannel",
+    "Point",
+    "Reader",
+    "SlotCount",
+    "SlotTiming",
+    "TransceiverProfile",
+    "paper_network",
+    "uniform_disk",
+    "CCMTransport",
+    "GMLEProtocol",
+    "MultiReaderCCMTransport",
+    "SICPParams",
+    "TraditionalTransport",
+    "TRPProtocol",
+    "gmle_frame_size",
+    "run_cicp",
+    "run_sicp",
+    "trp_frame_size",
+    "TagHasher",
+    "run_trials",
+    "sweep",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Closed-form analysis: tier geometry, the CCM cost model, estimation theory.
+
+Implements Eqs. (3)–(13) of the paper plus the statistical sizing results
+(GMLE variance, TRP detection probability) the applications rely on.
+"""
+
+from repro.analysis.cost_model import CCMCostModel, chi
+from repro.analysis.estimation_theory import (
+    detection_curve,
+    detection_probability,
+    executions_required,
+    expected_idle_fraction,
+    frames_required,
+    gmle_frame_size,
+    normal_quantile,
+    per_frame_relative_stderr,
+    per_frame_relative_variance,
+    repeated_detection_probability,
+    solve_optimal_load,
+    trp_frame_size,
+)
+from repro.analysis.geometry import (
+    TierGeometry,
+    geometric_num_tiers,
+    lens_area,
+    tier_of_distance,
+    tier_ring_area,
+)
+
+__all__ = [
+    "CCMCostModel",
+    "chi",
+    "detection_curve",
+    "detection_probability",
+    "executions_required",
+    "expected_idle_fraction",
+    "frames_required",
+    "gmle_frame_size",
+    "normal_quantile",
+    "per_frame_relative_stderr",
+    "per_frame_relative_variance",
+    "repeated_detection_probability",
+    "solve_optimal_load",
+    "trp_frame_size",
+    "TierGeometry",
+    "geometric_num_tiers",
+    "lens_area",
+    "tier_of_distance",
+    "tier_ring_area",
+]

@@ -1,0 +1,125 @@
+"""Statistical sizing of the two applications (Secs. IV-A, V-A background).
+
+Collects the estimation-theoretic results the paper leans on:
+
+* the GMLE per-frame information/variance as a function of the load
+  λ = np/f, and the optimal load λ* ≈ 1.594 behind p = 1.59 f/n̂;
+* frame-size/frame-count requirements for an (α, β) accuracy target;
+* TRP's detection probability and frame sizing for a (δ, m) requirement.
+
+These are pure functions of the protocol parameters — no simulation — and
+are validated against the simulators in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.protocols.gmle import gmle_frame_size, normal_quantile
+from repro.protocols.trp import detection_probability, trp_frame_size
+
+__all__ = [
+    "gmle_frame_size",
+    "normal_quantile",
+    "detection_probability",
+    "trp_frame_size",
+    "per_frame_relative_variance",
+    "per_frame_relative_stderr",
+    "frames_required",
+    "solve_optimal_load",
+    "expected_idle_fraction",
+    "repeated_detection_probability",
+    "executions_required",
+]
+
+
+def expected_idle_fraction(load: float) -> float:
+    """Fraction of slots left idle at load λ: e^(−λ) in the Poisson limit."""
+    if load < 0:
+        raise ValueError("load must be non-negative")
+    return math.exp(-load)
+
+
+def per_frame_relative_variance(load: float, frame_size: int) -> float:
+    """Var(n̂)/n² for the MLE from one frame at load λ:
+    (e^λ − 1)/(λ² f) — the reciprocal per-frame Fisher information."""
+    if load <= 0:
+        raise ValueError("load must be positive")
+    if frame_size <= 0:
+        raise ValueError("frame_size must be positive")
+    return (math.exp(load) - 1.0) / (load * load * frame_size)
+
+
+def per_frame_relative_stderr(load: float, frame_size: int) -> float:
+    """σ(n̂)/n for one frame."""
+    return math.sqrt(per_frame_relative_variance(load, frame_size))
+
+
+def frames_required(
+    alpha: float, beta: float, frame_size: int, load: float
+) -> int:
+    """Independent frames at load λ needed so z_α·σ/n ≤ β."""
+    z = normal_quantile(alpha)
+    per_frame = per_frame_relative_variance(load, frame_size)
+    # The 1e-3 slack absorbs the sub-slot rounding of gmle_frame_size
+    # (1671.09 -> 1671, a 6e-5 relative shortfall), which is far inside
+    # the Poisson-limit approximation error of the variance formula.
+    return max(1, math.ceil(z * z * per_frame / (beta * beta) - 1e-3))
+
+
+def solve_optimal_load(tolerance: float = 1e-12) -> float:
+    """λ* minimising (e^λ − 1)/λ², i.e. solving λe^λ = 2(e^λ − 1).
+
+    Bisection on g(λ) = λe^λ − 2(e^λ − 1), which is negative below the
+    root and positive above it.
+    """
+    def g(lam: float) -> float:
+        e = math.exp(lam)
+        return lam * e - 2.0 * (e - 1.0)
+
+    lo, hi = 1.0, 2.0
+    if not (g(lo) < 0.0 < g(hi)):
+        raise ArithmeticError("optimal-load bracket assumption violated")
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if g(mid) < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def repeated_detection_probability(
+    n_tags: int, frame_size: int, n_missing: int, executions: int
+) -> float:
+    """Detection probability after several independent TRP executions:
+    1 − (1 − P₁)^executions."""
+    if executions <= 0:
+        raise ValueError("executions must be positive")
+    single = detection_probability(n_tags, frame_size, n_missing)
+    return 1.0 - (1.0 - single) ** executions
+
+
+def executions_required(
+    n_tags: int, frame_size: int, n_missing: int, delta: float
+) -> int:
+    """TRP executions needed to reach detection probability δ."""
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    single = detection_probability(n_tags, frame_size, n_missing)
+    if single <= 0.0:
+        raise ArithmeticError("single-execution detection probability is 0")
+    if single >= delta:
+        return 1
+    return math.ceil(math.log(1.0 - delta) / math.log(1.0 - single))
+
+
+def detection_curve(
+    n_tags: int, frame_size: int, missing_counts: List[int]
+) -> List[float]:
+    """Analytic detection probability for each missing count — the data
+    behind the extension experiment's detection-probability plot."""
+    return [
+        detection_probability(n_tags, frame_size, m) for m in missing_counts
+    ]

@@ -1,0 +1,208 @@
+"""Tier geometry — Eqs. (5)–(10) and Fig. 2 of the paper.
+
+The energy analysis of Sec. IV-C assumes tags uniformly distributed with
+density ρ and computes, for a tag t sitting in tier k of a K-tier network,
+the sizes of two growing disks of influence:
+
+* Γ'_i — tags within i tag-hops of the *reader*: the disk C' centred on the
+  reader with radius r' + (i−1)r (Eq. 5);
+* Γ_i — tags within i tag-hops of the *tag*: the disk C centred on t with
+  radius i·r, clipped to the reader's coverage (Eq. 6, with the "shadow
+  zone" S_i of Fig. 2(b) removed when C pokes outside);
+* their union (Eq. 10), which needs the overlap S'_i of Fig. 2(c) once the
+  two disks intersect.
+
+The analysis places t at the outer edge of its tier (distance
+r0 = r' + (k−1)r from the reader), which makes these worst-case sizes.
+
+Implementation note: the paper's Eqs. (7) and (9) are special-case
+expansions of the circular *lens* (circle–circle intersection) area; Eq. (9)
+as printed has inconsistent arguments (both arccos terms share a
+numerator), so we implement the standard exact lens formula instead, from
+which both equations follow — the shadow zone of Eq. (7) is
+area(C) − lens(C, reader disk).  This matches the figures' geometry and is
+verified against Monte-Carlo integration in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def lens_area(radius_a: float, radius_b: float, center_distance: float) -> float:
+    """Exact area of the intersection of two disks.
+
+    Handles the disjoint (0) and contained (area of the smaller disk)
+    cases; between them, the standard two-circular-segment formula.
+    """
+    a, b, d = radius_a, radius_b, center_distance
+    if a < 0 or b < 0 or d < 0:
+        raise ValueError("radii and distance must be non-negative")
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    if d >= a + b:
+        return 0.0
+    if d <= abs(a - b):
+        r = min(a, b)
+        return math.pi * r * r
+    denom_a = 2.0 * d * a
+    denom_b = 2.0 * d * b
+    if denom_a == 0.0 or denom_b == 0.0:
+        # d is subnormal-tiny relative to the radii: numerically the
+        # contained configuration.
+        r = min(a, b)
+        return math.pi * r * r
+    # Clamp the arccos arguments: boundary configurations can stray a ulp
+    # outside [-1, 1].
+    cos_a = max(-1.0, min(1.0, (d * d + a * a - b * b) / denom_a))
+    cos_b = max(-1.0, min(1.0, (d * d + b * b - a * a) / denom_b))
+    term = (
+        (-d + a + b) * (d + a - b) * (d - a + b) * (d + a + b)
+    )
+    term = max(term, 0.0)
+    return (
+        a * a * math.acos(cos_a)
+        + b * b * math.acos(cos_b)
+        - 0.5 * math.sqrt(term)
+    )
+
+
+def tier_of_distance(distance: float, tag_to_reader: float, tag_range: float) -> int:
+    """Tier of a tag at ``distance`` from the reader (Sec. IV-C's layout):
+    tier 1 within r', tier k for r' + (k−2)r < d ≤ r' + (k−1)r."""
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    if tag_to_reader <= 0 or tag_range <= 0:
+        raise ValueError("ranges must be positive")
+    if distance <= tag_to_reader:
+        return 1
+    return 1 + math.ceil((distance - tag_to_reader) / tag_range)
+
+
+def geometric_num_tiers(
+    reader_to_tag: float, tag_to_reader: float, tag_range: float
+) -> int:
+    """K under the annulus layout: 1 + ⌈(R − r')/r⌉ — the tier-count
+    estimate behind Fig. 3 and the checking-frame length."""
+    if tag_range <= 0:
+        raise ValueError("tag_range must be positive")
+    spread = max(reader_to_tag - tag_to_reader, 0.0)
+    return 1 + math.ceil(spread / tag_range)
+
+
+def tier_ring_area(
+    k: int, reader_to_tag: float, tag_to_reader: float, tag_range: float
+) -> float:
+    """Area of the tier-k annulus clipped to the deployment disk of radius
+    R — used to weight per-tier predictions into network averages."""
+    if k < 1:
+        raise ValueError("tier index must be >= 1")
+    inner = 0.0 if k == 1 else tag_to_reader + (k - 2) * tag_range
+    outer = tag_to_reader if k == 1 else tag_to_reader + (k - 1) * tag_range
+    inner = min(inner, reader_to_tag)
+    outer = min(outer, reader_to_tag)
+    return math.pi * (outer * outer - inner * inner)
+
+
+@dataclass(frozen=True)
+class TierGeometry:
+    """The analytical setting of Sec. IV-C for one (tag tier, network).
+
+    Parameters mirror the paper: density ρ, ranges (R, r', r), the tag's
+    tier k, and the network's tier count K.  The tag is placed at the
+    tier's outer edge, distance r0 = r' + (k−1)r from the reader.
+    """
+
+    density: float
+    reader_to_tag: float  # R
+    tag_to_reader: float  # r'
+    tag_range: float  # r
+    tier: int  # k
+    n_tiers: int  # K
+
+    def __post_init__(self) -> None:
+        if self.density <= 0:
+            raise ValueError("density must be positive")
+        if min(self.reader_to_tag, self.tag_to_reader, self.tag_range) <= 0:
+            raise ValueError("ranges must be positive")
+        if not 1 <= self.tier <= self.n_tiers:
+            raise ValueError("need 1 <= tier <= n_tiers")
+
+    @property
+    def tag_distance(self) -> float:
+        """r0 — the analysed tag's distance from the reader."""
+        return self.tag_to_reader + (self.tier - 1) * self.tag_range
+
+    # -- Eq. (5): the reader's disk of influence -----------------------------
+
+    def reader_disk_radius(self, i: int) -> float:
+        if i <= 0:
+            return 0.0
+        return self.tag_to_reader + (i - 1) * self.tag_range
+
+    def gamma_prime_size(self, i: int) -> float:
+        """|Γ'_i| = ρ π (r' + (i−1)r)², Eq. (5); Γ'_0 = ∅."""
+        if i <= 0:
+            return 0.0
+        radius = self.reader_disk_radius(i)
+        return self.density * math.pi * radius * radius
+
+    # -- Eq. (6)/(7): the tag's disk, clipped to reader coverage -------------
+
+    def shadow_area(self, i: int) -> float:
+        """S_i of Fig. 2(b): the part of the tag's i-hop disk outside the
+        reader's coverage (= area(C) − lens(C, coverage disk))."""
+        if i <= 0:
+            return 0.0
+        c_radius = i * self.tag_range
+        full = math.pi * c_radius * c_radius
+        return full - lens_area(c_radius, self.reader_to_tag, self.tag_distance)
+
+    def gamma_size(self, i: int) -> float:
+        """|Γ_i| = ρ S_c, Eqs. (6)+(8); Γ_0 = {t} (size 1).
+
+        Eq. (6) gates the shadow subtraction on k + i − 1 > K; we instead
+        subtract the *exact* shadow always — it is zero whenever the disk
+        stays inside coverage, and the gate misfires for the outermost
+        tier, whose worst-case tag position r' + (K−1)r can lie beyond R.
+        """
+        if i < 0:
+            raise ValueError("i must be non-negative")
+        if i == 0:
+            return 1.0
+        c_radius = i * self.tag_range
+        area = math.pi * c_radius * c_radius - self.shadow_area(i)
+        return self.density * area
+
+    # -- Eq. (9)/(10): the union ---------------------------------------------
+
+    def overlap_area(self, i: int) -> float:
+        """S'_i of Fig. 2(c): intersection of the tag's i-hop disk with the
+        reader's (i−1)-hop disk C'."""
+        if i <= 0:
+            return 0.0
+        return lens_area(
+            i * self.tag_range,
+            self.reader_disk_radius(i),
+            self.tag_distance,
+        )
+
+    def gamma_union_size(self, i: int) -> float:
+        """|Γ_i ∪ Γ'_i|, Eq. (10).
+
+        The two disks are disjoint while i ≤ k/2 (the tag's disk cannot
+        reach the reader's); afterwards the lens is subtracted to avoid
+        double counting.  We always subtract the exact lens — it is zero in
+        the disjoint regime, so this strictly generalises Eq. (10).
+        """
+        if i < 0:
+            raise ValueError("i must be non-negative")
+        if i == 0:
+            return 1.0
+        gamma = self.gamma_size(i)
+        gamma_p = self.gamma_prime_size(i)
+        union = gamma + gamma_p - self.density * self.overlap_area(i)
+        # The lens is computed on the unclipped tag disk, so clamp against
+        # the trivial set bounds |A ∪ B| >= max(|A|, |B|).
+        return max(union, gamma, gamma_p, 1.0)

@@ -1,0 +1,43 @@
+"""CCM core: bitmaps, the Algorithm-1 session engine, multi-reader combine.
+
+This subpackage is the paper's primary contribution.  Typical use::
+
+    from repro.core import CCMConfig, run_session
+    from repro.net import paper_network
+    from repro.sim import TagHasher
+
+    net = paper_network(tag_range=6.0, seed=1)
+    hasher = TagHasher(seed=42)
+    picks = [hasher.slot_of(int(tid), 1671) for tid in net.tag_ids]
+    result = run_session(net, picks, CCMConfig(frame_size=1671))
+    print(result.bitmap.popcount(), "busy slots in", result.rounds, "rounds")
+"""
+
+from repro.core.bitmap import Bitmap, union
+from repro.core.multireader import MultiReaderResult, run_multireader_session
+from repro.core.reliability import RobustCollectResult, robust_collect
+from repro.core.session import (
+    CCMConfig,
+    RoundStats,
+    SessionResult,
+    default_checking_frame_length,
+    picks_to_masks,
+    run_session,
+    run_session_masks,
+)
+
+__all__ = [
+    "Bitmap",
+    "union",
+    "CCMConfig",
+    "RoundStats",
+    "SessionResult",
+    "default_checking_frame_length",
+    "picks_to_masks",
+    "run_session",
+    "run_session_masks",
+    "RobustCollectResult",
+    "robust_collect",
+    "MultiReaderResult",
+    "run_multireader_session",
+]

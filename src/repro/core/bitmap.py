@@ -1,0 +1,215 @@
+"""Fixed-width bitmaps: the unit of information in CCM.
+
+Everything a CCM session moves around — the frame status a tag learns from
+its neighbours, the indicator vector the reader broadcasts, the final bitmap
+``B`` — is an f-bit vector whose only merge operation is bitwise OR (a busy
+slot stays busy no matter how many tags transmit in it; that is the whole
+point of the collision-resistant design).
+
+:class:`Bitmap` wraps a Python ``int`` because CPython big-integer bitwise
+ops are word-parallel: OR-merging thousands of multi-thousand-bit vectors
+per round is far cheaper this way than with per-bit containers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+class Bitmap:
+    """An immutable-width, mutable-content bitmap of ``size`` bits.
+
+    Bit ``i`` corresponds to slot ``i`` of a time frame: 1 = busy, 0 = idle.
+    """
+
+    __slots__ = ("size", "_bits")
+
+    def __init__(self, size: int, bits: int = 0):
+        if size <= 0:
+            raise ValueError(f"bitmap size must be positive, got {size}")
+        if bits < 0:
+            raise ValueError("bitmap value must be non-negative")
+        if bits >> size:
+            raise ValueError(f"value has bits beyond size {size}")
+        self.size = size
+        self._bits = bits
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, size: int, indices: Iterable[int]) -> "Bitmap":
+        """Build a bitmap with the given slot indices set to 1."""
+        bits = 0
+        for i in indices:
+            if not 0 <= i < size:
+                raise IndexError(f"slot {i} out of range for frame of {size}")
+            bits |= 1 << i
+        return cls(size, bits)
+
+    @classmethod
+    def from_bools(cls, flags: Iterable[bool]) -> "Bitmap":
+        """Build a bitmap from an iterable of slot statuses."""
+        bits = 0
+        size = 0
+        for size, flag in enumerate(flags, start=1):
+            if flag:
+                bits |= 1 << (size - 1)
+        if size == 0:
+            raise ValueError("cannot build a bitmap from an empty iterable")
+        return cls(size, bits)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """The raw integer value (bit i == slot i)."""
+        return self._bits
+
+    def get(self, index: int) -> bool:
+        """Status of slot ``index``."""
+        self._check_index(index)
+        return bool(self._bits >> index & 1)
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def popcount(self) -> int:
+        """Number of busy slots."""
+        return self._bits.bit_count()
+
+    def zero_count(self) -> int:
+        """Number of idle slots (used by zero-based cardinality estimators)."""
+        return self.size - self.popcount()
+
+    def is_empty(self) -> bool:
+        return self._bits == 0
+
+    def indices(self) -> Iterator[int]:
+        """Yield the busy slot indices in increasing order."""
+        bits = self._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def to_bools(self) -> List[bool]:
+        """Expand to a per-slot boolean list (slot 0 first)."""
+        return [bool(self._bits >> i & 1) for i in range(self.size)]
+
+    def to_bitstring(self) -> str:
+        """Render as a left-to-right slot string, slot 0 first."""
+        return format(self._bits, f"0{self.size}b")[::-1]
+
+    # -- mutation ----------------------------------------------------------
+
+    def set(self, index: int) -> None:
+        """Mark slot ``index`` busy."""
+        self._check_index(index)
+        self._bits |= 1 << index
+
+    def clear(self, index: int) -> None:
+        """Mark slot ``index`` idle."""
+        self._check_index(index)
+        self._bits &= ~(1 << index)
+
+    def merge(self, other: "Bitmap") -> None:
+        """OR ``other`` into this bitmap in place (benign collision merge)."""
+        self._check_compatible(other)
+        self._bits |= other._bits
+
+    # -- operators ---------------------------------------------------------
+
+    def __or__(self, other: "Bitmap") -> "Bitmap":
+        self._check_compatible(other)
+        return Bitmap(self.size, self._bits | other._bits)
+
+    def __and__(self, other: "Bitmap") -> "Bitmap":
+        self._check_compatible(other)
+        return Bitmap(self.size, self._bits & other._bits)
+
+    def __xor__(self, other: "Bitmap") -> "Bitmap":
+        self._check_compatible(other)
+        return Bitmap(self.size, self._bits ^ other._bits)
+
+    def __invert__(self) -> "Bitmap":
+        mask = (1 << self.size) - 1
+        return Bitmap(self.size, self._bits ^ mask)
+
+    def difference(self, other: "Bitmap") -> "Bitmap":
+        """Bits set here but not in ``other``."""
+        self._check_compatible(other)
+        return Bitmap(self.size, self._bits & ~other._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self.size == other.size and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self.size, self._bits))
+
+    def __repr__(self) -> str:
+        busy = self.popcount()
+        return f"Bitmap(size={self.size}, busy={busy})"
+
+    def copy(self) -> "Bitmap":
+        return Bitmap(self.size, self._bits)
+
+    # -- segmentation (indicator-vector broadcast) --------------------------
+
+    def segments(self, bits_per_segment: int) -> List[int]:
+        """Split into ``bits_per_segment``-bit chunks, low slots first.
+
+        Section III-D: if the indicator vector is too long for one reader
+        slot, "the reader can split it into small segments and transmit each
+        of them in a time slot".  The Gen2-style reader slot carries 96 bits,
+        so ``segments(96)`` yields the per-slot payloads.
+        """
+        if bits_per_segment <= 0:
+            raise ValueError("bits_per_segment must be positive")
+        mask = (1 << bits_per_segment) - 1
+        out = []
+        bits = self._bits
+        for _ in range((self.size + bits_per_segment - 1) // bits_per_segment):
+            out.append(bits & mask)
+            bits >>= bits_per_segment
+        return out
+
+    @classmethod
+    def from_segments(
+        cls, size: int, segments: Iterable[int], bits_per_segment: int
+    ) -> "Bitmap":
+        """Reassemble a bitmap previously split by :meth:`segments`."""
+        bits = 0
+        for k, seg in enumerate(segments):
+            bits |= seg << (k * bits_per_segment)
+        return cls(size, bits & ((1 << size) - 1))
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"slot {index} out of range for frame of {self.size}")
+
+    def _check_compatible(self, other: "Bitmap") -> None:
+        if not isinstance(other, Bitmap):
+            raise TypeError(f"expected Bitmap, got {type(other).__name__}")
+        if self.size != other.size:
+            raise ValueError(
+                f"bitmap sizes differ: {self.size} != {other.size}; "
+                "CCM only merges bitmaps built from the same frame"
+            )
+
+
+def union(bitmaps: Iterable[Bitmap], size: int) -> Bitmap:
+    """OR together ``bitmaps`` (possibly none) into a fresh ``size``-bit map.
+
+    Implements Eq. (1): the multi-reader combine ``B = B_1 | ... | B_M``.
+    """
+    out = Bitmap(size)
+    for bm in bitmaps:
+        out.merge(bm)
+    return out

@@ -1,0 +1,414 @@
+"""The CCM session engine — Algorithm 1 of the paper.
+
+One *session* collects an f-bit bitmap from every tag in a multi-hop,
+state-free tag network.  It proceeds in *rounds*; each round is:
+
+1. the reader broadcasts a request (round 1 carries the frame size f and
+   any application parameters);
+2. an f-slot *data frame* runs: every tag transmits a one-bit pulse in each
+   slot it has pending, and carrier-senses the others (half duplex — it
+   cannot hear a slot it is transmitting in).  Simultaneous transmissions
+   in a slot merge benignly into "busy";
+3. the reader broadcasts the *indicator vector* V — the slots it has
+   confirmed busy so far — and every tag goes to sleep in those slots for
+   the rest of the session (Sec. III-D, stops the snowball flooding);
+4. a *checking frame* of L_c one-bit slots runs: a tag with data still to
+   relay responds in slot 1; any tag hearing slot j-1 responds in slot j;
+   if the reader hears any response the session continues with another
+   round, otherwise it terminates (Sec. III-E).
+
+The information wave moves exactly one tier toward the reader per round, so
+a K-tier network finishes in K rounds (plus the final, silent checking
+frame).  The union of the reader's per-round busy maps is the session
+bitmap B, which Theorem 1 proves identical to the bitmap a traditional
+single-hop RFID system would produce — a property our integration tests
+check directly.
+
+Implementation notes
+--------------------
+Frames are carried as f-bit Python integers (one per tag): an OR per edge
+propagates a whole round, which is what makes n = 10,000-tag simulation
+practical in pure Python.  Tags are *state-free*: the per-tag state used
+here (pending/known/done masks) exists only *within* one session, exactly
+as in the protocol, and nothing survives between sessions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bitmap import Bitmap
+from repro.net.channel import Channel, PerfectChannel
+from repro.net.energy import EnergyLedger
+from repro.net.timing import SlotCount, indicator_vector_slots
+from repro.net.topology import Network
+from repro.sim.trace import SessionTracer
+
+
+def default_checking_frame_length(network: Network) -> int:
+    """L_c = 2 × (1 + ⌈(R − r') / r⌉), the paper's empirical setting.
+
+    (1 + ⌈(R − r')/r⌉) estimates the number of tiers from the communication
+    ranges alone — the reader cannot know the true K because the tags are
+    state-free.  The factor 2 is safety margin: the checking-frame response
+    wave may need up to K−1 hops to reach tier 1.
+    """
+    reader = network.readers[0]
+    spread = reader.reader_to_tag_range - reader.tag_to_reader_range
+    return 2 * (1 + math.ceil(max(spread, 0.0) / network.tag_range))
+
+
+@dataclass(frozen=True)
+class CCMConfig:
+    """Parameters of one CCM session.
+
+    Parameters
+    ----------
+    frame_size:
+        f — number of one-bit slots per data frame; chosen by the
+        application (GMLE and TRP size it for their accuracy targets).
+    checking_frame_length:
+        L_c; defaults to the paper's range-based estimate.
+    max_rounds:
+        Upper bound on rounds.  Algorithm 1 uses L_c; leave ``None`` for
+        that behaviour.
+    use_indicator_vector:
+        Ablation switch (Sec. III-D).  With ``False`` the reader never
+        silences slots, so information floods outward as well as inward.
+    """
+
+    frame_size: int
+    checking_frame_length: Optional[int] = None
+    max_rounds: Optional[int] = None
+    use_indicator_vector: bool = True
+
+    def __post_init__(self) -> None:
+        if self.frame_size <= 0:
+            raise ValueError("frame_size must be positive")
+        if self.checking_frame_length is not None and self.checking_frame_length <= 0:
+            raise ValueError("checking_frame_length must be positive")
+        if self.max_rounds is not None and self.max_rounds <= 0:
+            raise ValueError("max_rounds must be positive")
+
+
+@dataclass
+class RoundStats:
+    """Observables of one round (used by experiments and tests)."""
+
+    round_index: int
+    transmitting_tags: int
+    bits_new_at_reader: int
+    checking_slots_executed: int
+    reader_heard_checking: bool
+
+
+@dataclass
+class SessionResult:
+    """Everything a CCM session produces.
+
+    ``bitmap`` is B of Algorithm 1.  ``slots`` counts execution time the
+    way Eq. (3) does (data-frame slots + indicator-vector reader slots +
+    executed checking-frame slots; reader request broadcasts are not
+    counted, matching Eq. 3).  ``ledger`` holds per-tag bits sent/received
+    under the counting rules of DESIGN.md §6.
+    """
+
+    bitmap: Bitmap
+    rounds: int
+    slots: SlotCount
+    ledger: EnergyLedger
+    round_stats: List[RoundStats] = field(default_factory=list)
+    #: True if the session ended because the checking frame stayed silent;
+    #: False if it hit the round bound with data still pending (a protocol
+    #: failure mode the ablations explore).
+    terminated_cleanly: bool = True
+
+    @property
+    def total_slots(self) -> int:
+        return self.slots.total_slots
+
+
+def picks_to_masks(picks: Sequence[int], frame_size: int) -> List[int]:
+    """Convert per-tag slot picks (-1 = not participating) to bit masks."""
+    masks = []
+    for slot in picks:
+        if slot < 0:
+            masks.append(0)
+        elif slot < frame_size:
+            masks.append(1 << int(slot))
+        else:
+            raise ValueError(f"pick {slot} out of range for frame {frame_size}")
+    return masks
+
+
+def run_session(
+    network: Network,
+    picks: Sequence[int],
+    config: CCMConfig,
+    channel: Optional[Channel] = None,
+    rng: Optional[np.random.Generator] = None,
+    ledger: Optional[EnergyLedger] = None,
+    tracer: Optional[SessionTracer] = None,
+) -> SessionResult:
+    """Execute one CCM session (Algorithm 1) and account time and energy.
+
+    Parameters
+    ----------
+    network:
+        The deployed tag network (positions, links, tiers, readers).
+    picks:
+        Per-tag initial slot choice: ``picks[i]`` is the frame slot tag i
+        transmits in, or -1 if it does not participate (e.g. not sampled by
+        GMLE).  Applications derive these deterministically from
+        (tag ID, seed) via :class:`repro.sim.rng.TagHasher`.  For tags
+        that set *multiple* bits (the tag-search information model of
+        Sec. III-B), use :func:`run_session_masks` instead.
+    config:
+        Session parameters.
+    channel:
+        Slot-level channel model; defaults to the paper's perfect
+        busy/idle sensing.
+    rng:
+        Randomness source, required only by lossy channels.
+    ledger:
+        Optional pre-existing ledger to accumulate into (multi-session
+        protocols pass the same ledger to every session).
+    """
+    if len(picks) != network.n_tags:
+        raise ValueError(
+            f"picks has {len(picks)} entries for {network.n_tags} tags"
+        )
+    masks = picks_to_masks(picks, config.frame_size)
+    return run_session_masks(
+        network, masks, config, channel=channel, rng=rng, ledger=ledger,
+        tracer=tracer,
+    )
+
+
+def run_session_masks(
+    network: Network,
+    initial_masks: Sequence[int],
+    config: CCMConfig,
+    channel: Optional[Channel] = None,
+    rng: Optional[np.random.Generator] = None,
+    ledger: Optional[EnergyLedger] = None,
+    tracer: Optional[SessionTracer] = None,
+) -> SessionResult:
+    """Algorithm 1 with arbitrary per-tag slot *sets*.
+
+    ``initial_masks[i]`` is the f-bit integer of slots tag i sets to busy
+    (Sec. III-B: "Each tag chooses one or multiple bits and sets those
+    bits to 1") — one bit for estimation/detection, several for tag
+    search.  All other semantics match :func:`run_session`.
+    """
+    n = network.n_tags
+    if len(initial_masks) != n:
+        raise ValueError(
+            f"initial_masks has {len(initial_masks)} entries for {n} tags"
+        )
+    f = config.frame_size
+    channel = channel or PerfectChannel()
+    ledger = ledger if ledger is not None else EnergyLedger(n)
+    l_c = config.checking_frame_length or default_checking_frame_length(network)
+    max_rounds = config.max_rounds if config.max_rounds is not None else l_c
+
+    tier1 = network.tier1_mask
+    indptr, indices = network.indptr, network.indices
+    frame_mask = (1 << f) - 1
+    # Tags with no path to the reader can hold pending bits forever (they
+    # relay among themselves); only pending data on *reachable* tags means
+    # the session lost information.
+    reachable_idx = np.flatnonzero(network.reachable_mask).tolist()
+
+    def _lost_data(pending_masks: List[int]) -> bool:
+        return any(pending_masks[t] for t in reachable_idx)
+
+    # Per-tag session state (exists only for the session; tags stay
+    # state-free across sessions).
+    out_of_range = [m for m in initial_masks if m < 0 or m >> f]
+    if out_of_range:
+        raise ValueError(
+            f"initial mask {out_of_range[0]:#x} has bits outside the "
+            f"{f}-slot frame"
+        )
+    pending = list(initial_masks)  # to transmit next data frame
+    known = list(pending)  # ever picked/heard/transmitted
+    done = [0] * n  # transmitted already -> sleep in those slots
+    silenced = 0  # indicator vector accumulated at the reader
+    reader_bitmap = 0  # B
+    iv_slots = indicator_vector_slots(f)
+
+    slots = SlotCount()
+    round_stats: List[RoundStats] = []
+    terminated_cleanly = False
+    rounds_run = 0
+
+    for round_index in range(1, max_rounds + 1):
+        rounds_run = round_index
+        if tracer is not None:
+            tracer.emit("round_start", round_index)
+        # --- data frame ---------------------------------------------------
+        transmit = [0] * n
+        transmitting = 0
+        for t in range(n):
+            mask = pending[t] & ~silenced & frame_mask
+            transmit[t] = mask
+            if mask:
+                transmitting += 1
+        heard = channel.propagate(transmit, indptr, indices, rng)
+        reader_busy = channel.reader_senses(transmit, tier1, rng)
+
+        # Energy for the frame: 1 bit per transmitted slot; 1 bit per
+        # carrier-sensed slot (tags monitor every slot not silenced, not
+        # already relayed by them, and not currently being transmitted).
+        sent = np.zeros(n)
+        listened = np.zeros(n)
+        for t in range(n):
+            tx = transmit[t]
+            sent[t] = tx.bit_count()
+            listened[t] = f - (silenced | done[t] | tx).bit_count()
+        ledger.add_sent_bulk(sent)
+        ledger.add_received_bulk(listened)
+        slots += SlotCount(short_slots=f)
+
+        # Knowledge update: a tag learns a slot it heard, unless it was
+        # transmitting in it (half duplex), already knew it, or the reader
+        # had silenced it.
+        new_pending = [0] * n
+        for t in range(n):
+            learned = heard[t] & ~known[t] & ~transmit[t] & ~silenced
+            known[t] |= learned | transmit[t]
+            done[t] |= transmit[t]
+            new_pending[t] = learned
+
+        # --- indicator vector ----------------------------------------------
+        bits_new = (reader_busy & ~reader_bitmap).bit_count()
+        reader_bitmap |= reader_busy
+        if tracer is not None:
+            tracer.emit(
+                "frame",
+                round_index,
+                transmitters=transmitting,
+                bits_new_at_reader=bits_new,
+                reader_busy_total=reader_bitmap.bit_count(),
+            )
+        if config.use_indicator_vector:
+            silenced = reader_bitmap
+            # The reader ships V in ceil(f/96) 96-bit slots; every tag
+            # receives the full f bits.
+            slots += SlotCount(id_slots=iv_slots)
+            ledger.add_received_to_all(float(f))
+            for t in range(n):
+                new_pending[t] &= ~silenced
+            if tracer is not None:
+                tracer.emit(
+                    "indicator",
+                    round_index,
+                    silenced_total=silenced.bit_count(),
+                )
+        pending = new_pending
+
+        # --- checking frame -------------------------------------------------
+        has_pending = np.array([bool(pending[t]) for t in range(n)])
+        executed, reader_heard = _run_checking_frame(
+            network, has_pending, l_c, ledger
+        )
+        slots += SlotCount(short_slots=executed)
+        if tracer is not None:
+            tracer.emit(
+                "checking",
+                round_index,
+                slots_executed=executed,
+                reader_heard=reader_heard,
+                pending_tags=int(has_pending.sum()),
+            )
+        round_stats.append(
+            RoundStats(
+                round_index=round_index,
+                transmitting_tags=transmitting,
+                bits_new_at_reader=bits_new,
+                checking_slots_executed=executed,
+                reader_heard_checking=reader_heard,
+            )
+        )
+        if not reader_heard:
+            terminated_cleanly = not _lost_data(pending)
+            break
+    else:
+        # Round bound exhausted with the checking frame still reporting
+        # pending data (can only happen with a non-default max_rounds or a
+        # pathological L_c — surfaced to the caller, not swallowed).
+        terminated_cleanly = not _lost_data(pending)
+
+    if tracer is not None:
+        tracer.emit(
+            "session_end",
+            rounds_run,
+            rounds=rounds_run,
+            clean=terminated_cleanly,
+            busy_slots=reader_bitmap.bit_count(),
+        )
+    return SessionResult(
+        bitmap=Bitmap(f, reader_bitmap),
+        rounds=rounds_run,
+        slots=slots,
+        ledger=ledger,
+        round_stats=round_stats,
+        terminated_cleanly=terminated_cleanly,
+    )
+
+
+def _run_checking_frame(
+    network: Network,
+    has_pending: np.ndarray,
+    l_c: int,
+    ledger: EnergyLedger,
+) -> "tuple[int, bool]":
+    """Run the checking frame (Alg. 1 lines 14–24).
+
+    Tags with pending data respond in slot 1; a tag that detects a response
+    in slot j-1 responds (once) in slot j; the reader stops the frame at the
+    first slot in which it hears a tier-1 response.  Returns the number of
+    slots actually executed and whether the reader heard anything.
+
+    Energy: each response is one sent bit; every tag that has not yet
+    responded listens in each executed slot (one received bit per slot).
+    """
+    n = network.n_tags
+    tier1 = network.tier1_mask
+    indptr, indices = network.indptr, network.indices
+
+    responded = np.zeros(n, dtype=bool)
+    frontier = has_pending.copy()
+    executed = 0
+    for _slot in range(1, l_c + 1):
+        executed += 1
+        responders = frontier & ~responded
+        # Listening cost: everyone not transmitting this slot listens.
+        listen = np.ones(n)
+        listen[responders] = 0.0
+        ledger.add_received_bulk(listen)
+        if responders.any():
+            ledger.add_sent_bulk(responders.astype(np.float64))
+        responded |= responders
+        if bool(np.any(responders & tier1)):
+            return executed, True
+        if not responders.any():
+            # Nothing transmitted; the wave is dead, but per Alg. 1 the
+            # reader keeps listening through the rest of the frame (it
+            # cannot know the wave died).  Account the remaining idle
+            # listening and stop simulating.
+            remaining = l_c - executed
+            if remaining > 0:
+                ledger.add_received_bulk(np.full(n, float(remaining)))
+            return l_c, False
+        # Propagate: neighbours of this slot's responders hear the pulse.
+        heard = np.zeros(n, dtype=bool)
+        for u in np.flatnonzero(responders).tolist():
+            heard[indices[indptr[u] : indptr[u + 1]]] = True
+        frontier = heard
+    return executed, False

@@ -1,0 +1,19 @@
+"""Reproduction experiments: one module per paper figure/table + extensions.
+
+* :mod:`repro.experiments.paperconfig` — Sec. VI-A constants and the
+  paper's reported numbers.
+* :mod:`repro.experiments.fig3_tiers` — Fig. 3.
+* :mod:`repro.experiments.master` — the sweep behind Fig. 4 and
+  Tables I–IV.
+* :mod:`repro.experiments.theorem1_equivalence` — the Theorem 1 check.
+* :mod:`repro.experiments.accuracy` — GMLE accuracy / TRP detection.
+* :mod:`repro.experiments.analysis_vs_sim` — Eqs. (3), (11)–(13) vs
+  simulation.
+* :mod:`repro.experiments.ablations` / :mod:`repro.experiments.extensions`
+  — design-choice ablations, load balance, multi-reader, CICP.
+* :mod:`repro.experiments.cli` — the ``repro-ccm`` command.
+"""
+
+from repro.experiments import paperconfig
+
+__all__ = ["paperconfig"]

@@ -1,0 +1,153 @@
+"""Extension — end-to-end estimation and detection quality over CCM.
+
+The paper evaluates CCM's *cost* and inherits the applications' accuracy
+from their original papers (via Theorem 1 the bitmaps are identical, so
+accuracy carries over).  This experiment verifies that empirically:
+
+* **GMLE accuracy**: run the full two-phase estimator over CCM transports
+  on many deployments and check the relative-error distribution against
+  the (α, β) target.
+* **TRP detection**: remove tags and measure the empirical detection rate
+  against the analytic 1 − (1 − q_e)^m curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.net.topology import PaperDeployment, paper_network
+from repro.protocols.gmle import GMLEProtocol
+from repro.protocols.transport import CCMTransport
+from repro.protocols.trp import TRPProtocol, detection_probability
+from repro.sim.rng import derive_seed
+
+
+@dataclass
+class EstimationAccuracyResult:
+    n_true: int
+    estimates: List[float]
+    frames_used: List[int]
+    alpha: float
+    beta: float
+
+    @property
+    def relative_errors(self) -> List[float]:
+        return [abs(e - self.n_true) / self.n_true for e in self.estimates]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of runs inside the ±β band (target ≥ α)."""
+        return float(
+            np.mean([err <= self.beta for err in self.relative_errors])
+        )
+
+
+def run_estimation(
+    n_tags: int = 2_000,
+    tag_range: float = 6.0,
+    n_runs: int = 30,
+    alpha: float = 0.95,
+    beta: float = 0.05,
+    base_seed: int = 90_210,
+) -> EstimationAccuracyResult:
+    estimates: List[float] = []
+    frames: List[int] = []
+    for k in range(n_runs):
+        seed = derive_seed(base_seed, k) % (2**32)
+        network = paper_network(
+            tag_range, n_tags=n_tags, seed=seed,
+            deployment=PaperDeployment(n_tags=n_tags),
+        )
+        transport = CCMTransport(network)
+        protocol = GMLEProtocol(alpha=alpha, beta=beta)
+        result = protocol.estimate(transport, seed=seed)
+        estimates.append(result.estimate)
+        frames.append(result.frames)
+    return EstimationAccuracyResult(
+        n_true=n_tags,
+        estimates=estimates,
+        frames_used=frames,
+        alpha=alpha,
+        beta=beta,
+    )
+
+
+@dataclass
+class DetectionAccuracyResult:
+    n_tags: int
+    frame_size: int
+    missing_counts: List[int]
+    empirical: List[float] = field(default_factory=list)
+    analytic: List[float] = field(default_factory=list)
+
+
+def run_detection(
+    n_tags: int = 2_000,
+    tag_range: float = 6.0,
+    frame_size: int = 640,
+    missing_counts: List[int] = (1, 2, 5, 10, 20, 50),
+    n_runs: int = 25,
+    base_seed: int = 31_337,
+) -> DetectionAccuracyResult:
+    """Empirical vs analytic TRP detection probability.
+
+    ``frame_size`` is deliberately small relative to n so that detection is
+    not saturated at 1 and the curve's shape is visible.
+    """
+    result = DetectionAccuracyResult(
+        n_tags=n_tags,
+        frame_size=frame_size,
+        missing_counts=list(missing_counts),
+    )
+    protocol = TRPProtocol(frame_size=frame_size)
+    for m in result.missing_counts:
+        hits = 0
+        for k in range(n_runs):
+            seed = derive_seed(base_seed, m, k) % (2**32)
+            network = paper_network(
+                tag_range, n_tags=n_tags, seed=seed,
+                deployment=PaperDeployment(n_tags=n_tags),
+            )
+            known_ids = [int(t) for t in network.tag_ids]
+            rng = np.random.default_rng(seed ^ 0xA5A5)
+            gone = rng.choice(n_tags, size=m, replace=False)
+            keep = np.ones(n_tags, dtype=bool)
+            keep[gone] = False
+            present = network.subset(keep)
+            transport = CCMTransport(present)
+            outcome = protocol.detect(transport, known_ids, seed=seed)
+            hits += int(outcome.detected)
+        result.empirical.append(hits / n_runs)
+        result.analytic.append(detection_probability(n_tags, frame_size, m))
+    return result
+
+
+def report_estimation(result: EstimationAccuracyResult) -> str:
+    errs = result.relative_errors
+    lines = [
+        "GMLE-over-CCM estimation accuracy "
+        f"(true n = {result.n_true}, target ±{result.beta:.0%} "
+        f"with prob ≥ {result.alpha:.0%})",
+        f"runs: {len(errs)}",
+        f"mean |error|: {float(np.mean(errs)):.3%}",
+        f"max  |error|: {float(np.max(errs)):.3%}",
+        f"empirical coverage of ±β band: {result.coverage:.0%}",
+        f"frames per run: mean {float(np.mean(result.frames_used)):.1f}",
+    ]
+    return "\n".join(lines)
+
+
+def report_detection(result: DetectionAccuracyResult) -> str:
+    lines = [
+        f"TRP-over-CCM detection probability "
+        f"(n = {result.n_tags}, f = {result.frame_size})",
+        f"{'missing':>8} {'empirical':>10} {'analytic':>10}",
+    ]
+    for m, emp, ana in zip(
+        result.missing_counts, result.empirical, result.analytic
+    ):
+        lines.append(f"{m:>8d} {emp:>10.2f} {ana:>10.2f}")
+    return "\n".join(lines)

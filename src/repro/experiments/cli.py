@@ -1,0 +1,259 @@
+"""Command-line entry point: regenerate any figure or table of the paper.
+
+Examples::
+
+    repro-ccm fig3                      # tiers vs r (Fig. 3)
+    repro-ccm tables --scale bench      # Fig. 4 + Tables I-IV, small scale
+    repro-ccm tables --scale full       # the paper's n=10,000 × 100 trials
+    repro-ccm theorem1                  # CCM == traditional equivalence
+    repro-ccm ablations                 # indicator/checking/load/density
+    repro-ccm all --scale default       # everything, default scale
+
+``--scale`` presets: bench (n=2,000 × 3 trials), default (n=10,000 × 10
+trials), full (the paper's n=10,000 × 100 trials — slow).  ``--n-tags``,
+``--trials`` and ``--ranges`` override any preset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.experiments import (
+    ablations,
+    accuracy,
+    analysis_vs_sim,
+    estimators,
+    extensions,
+    fig3_tiers,
+    master,
+    paperconfig as cfg,
+    robustness,
+    statefree,
+    theorem1_equivalence,
+)
+
+SCALES = {
+    "bench": cfg.BENCH_SCALE,
+    "default": cfg.DEFAULT_SCALE,
+    "full": cfg.FULL_SCALE,
+}
+
+
+def _resolve_scale(args: argparse.Namespace) -> cfg.ReproScale:
+    scale = SCALES[args.scale]
+    overrides = {}
+    if args.n_tags is not None:
+        overrides["n_tags"] = args.n_tags
+    if args.trials is not None:
+        overrides["n_trials"] = args.trials
+    if args.ranges is not None:
+        overrides["tag_ranges"] = tuple(args.ranges)
+    if args.seed is not None:
+        overrides["base_seed"] = args.seed
+    return replace(scale, **overrides) if overrides else scale
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    print(text)
+    if out:
+        with open(out, "a", encoding="utf-8") as fh:
+            fh.write(text + "\n\n")
+
+
+def cmd_fig3(args: argparse.Namespace) -> None:
+    result = fig3_tiers.run(_resolve_scale(args))
+    _emit(fig3_tiers.report(result), args.out)
+
+
+def cmd_tables(args: argparse.Namespace) -> None:
+    scale = _resolve_scale(args)
+    ranges = scale.tag_ranges
+    result = master.run(scale, tag_ranges=ranges)
+    _emit(master.report(result), args.out)
+    if args.json:
+        from repro.sim.results import save_sweep
+
+        save_sweep(result.sweep, args.json)
+        print(f"[sweep saved to {args.json}]")
+    if args.csv:
+        from repro.sim.results import sweep_to_csv
+
+        sweep_to_csv(result.sweep, path=args.csv)
+        print(f"[sweep flattened to {args.csv}]")
+
+
+def cmd_theorem1(args: argparse.Namespace) -> None:
+    result = theorem1_equivalence.run()
+    _emit(theorem1_equivalence.report(result), args.out)
+
+
+def cmd_accuracy(args: argparse.Namespace) -> None:
+    est = accuracy.run_estimation()
+    _emit(accuracy.report_estimation(est), args.out)
+    det = accuracy.run_detection()
+    _emit(accuracy.report_detection(det), args.out)
+
+
+def cmd_ablations(args: argparse.Namespace) -> None:
+    _emit(
+        ablations.report_indicator(ablations.run_indicator_ablation()), args.out
+    )
+    _emit(ablations.report_checking(ablations.run_checking_ablation()), args.out)
+    _emit(ablations.report_load(ablations.run_load_sweep()), args.out)
+    _emit(ablations.report_density(ablations.run_density_ablation()), args.out)
+
+
+def cmd_analysis(args: argparse.Namespace) -> None:
+    scale = _resolve_scale(args)
+    rows = analysis_vs_sim.run(n_tags=scale.n_tags)
+    _emit(analysis_vs_sim.report(rows), args.out)
+    tier_rows = analysis_vs_sim.run_per_tier(n_tags=scale.n_tags)
+    _emit(analysis_vs_sim.report_per_tier(tier_rows), args.out)
+
+
+def cmd_extensions(args: argparse.Namespace) -> None:
+    _emit(
+        extensions.report_load_balance(extensions.run_load_balance()), args.out
+    )
+    _emit(
+        extensions.report_multireader(extensions.run_multireader_demo()),
+        args.out,
+    )
+    _emit(extensions.report_cicp(extensions.run_cicp_comparison()), args.out)
+
+
+def cmd_statefree(args: argparse.Namespace) -> None:
+    _emit(statefree.report(statefree.run()), args.out)
+
+
+def cmd_robustness(args: argparse.Namespace) -> None:
+    _emit(robustness.report(robustness.run()), args.out)
+
+
+def cmd_estimators(args: argparse.Namespace) -> None:
+    _emit(estimators.report(estimators.run()), args.out)
+
+
+def cmd_render(args: argparse.Namespace) -> None:
+    """Render a saved sweep (tables --json) as Markdown tables."""
+    if not args.json:
+        raise SystemExit("render requires --json <saved sweep>")
+    from repro.experiments.common import PROTOCOLS
+    from repro.sim.results import load_sweep, markdown_table
+
+    sweep_result = load_sweep(args.json)
+    cols = sweep_result.values
+    sections = []
+    for metric, title in (
+        ("slots", "Execution time (total slots)"),
+        ("max_sent", "Maximum bits sent per tag"),
+        ("max_received", "Maximum bits received per tag"),
+        ("avg_sent", "Average bits sent per tag"),
+        ("avg_received", "Average bits received per tag"),
+    ):
+        rows = {
+            cfg.PROTOCOL_LABELS[p_]: sweep_result.series(f"{p_}_{metric}")
+            for p_ in PROTOCOLS
+            if f"{p_}_{metric}" in sweep_result.metric_names()
+        }
+        if rows:
+            sections.append(markdown_table(title, cols, rows))
+    _emit("\n\n".join(sections), args.out)
+
+
+def cmd_map(args: argparse.Namespace) -> None:
+    from repro.experiments.topomap import render_topology
+    from repro.net.topology import PaperDeployment, paper_network
+
+    scale = _resolve_scale(args)
+    n = min(scale.n_tags, 4000)  # a map needs no more
+    for r in scale.tag_ranges[:1] if len(scale.tag_ranges) == 9 else scale.tag_ranges:
+        network = paper_network(
+            r, n_tags=n, seed=scale.base_seed,
+            deployment=PaperDeployment(n_tags=n),
+        )
+        _emit(f"deployment map, r = {r} m, n = {n}", args.out)
+        _emit(render_topology(network), args.out)
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    for fn in (
+        cmd_fig3,
+        cmd_tables,
+        cmd_theorem1,
+        cmd_accuracy,
+        cmd_analysis,
+        cmd_ablations,
+        cmd_extensions,
+        cmd_statefree,
+        cmd_robustness,
+        cmd_estimators,
+    ):
+        started = time.time()
+        fn(args)
+        print(f"[{fn.__name__} done in {time.time() - started:.1f}s]\n")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ccm",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale", choices=sorted(SCALES), default="bench",
+        help="experiment scale preset (default: bench)",
+    )
+    common.add_argument("--n-tags", type=int, default=None)
+    common.add_argument("--trials", type=int, default=None)
+    common.add_argument(
+        "--ranges", type=float, nargs="+", default=None,
+        help="inter-tag ranges (m) to sweep",
+    )
+    common.add_argument("--seed", type=int, default=None)
+    common.add_argument(
+        "--out", type=str, default=None, help="append reports to this file"
+    )
+    common.add_argument(
+        "--json", type=str, default=None,
+        help="save the raw sweep (tables command) as JSON",
+    )
+    common.add_argument(
+        "--csv", type=str, default=None,
+        help="flatten the raw sweep (tables command) to CSV",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn, doc in (
+        ("fig3", cmd_fig3, "Fig. 3: tiers vs inter-tag range"),
+        ("fig4", cmd_tables, "Fig. 4 (with Tables I-IV): execution time"),
+        ("tables", cmd_tables, "Fig. 4 + Tables I-IV"),
+        ("theorem1", cmd_theorem1, "Theorem 1 equivalence check"),
+        ("accuracy", cmd_accuracy, "GMLE accuracy & TRP detection curves"),
+        ("analysis", cmd_analysis, "Eqs. 3/11-13 vs simulation"),
+        ("ablations", cmd_ablations, "design-choice ablations"),
+        ("extensions", cmd_extensions, "load balance, multi-reader, CICP"),
+        ("statefree", cmd_statefree, "stale routing state vs state-free CCM"),
+        ("robustness", cmd_robustness, "CCM under lossy busy/idle sensing"),
+        ("estimators", cmd_estimators, "GMLE vs LoF over CCM"),
+        ("map", cmd_map, "ASCII tier map of a deployment"),
+        ("render", cmd_render, "Markdown tables from a saved sweep JSON"),
+        ("all", cmd_all, "run everything"),
+    ):
+        p = sub.add_parser(name, help=doc, parents=[common])
+        p.set_defaults(func=fn)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

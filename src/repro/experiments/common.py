@@ -1,0 +1,146 @@
+"""Shared trial logic for the reproduction experiments.
+
+One *trial* deploys a fresh random network at a given inter-tag range and
+runs the three evaluated protocols over it — SICP (ID collection), one
+GMLE-CCM session, one TRP-CCM session — reporting the paper's metrics:
+execution slots, and max/avg bits sent/received per tag.  The figure and
+table experiments are thin sweeps over this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.core.session import CCMConfig, run_session
+from repro.net.topology import Network, PaperDeployment, paper_network
+from repro.protocols.sicp import SICPParams, run_sicp
+from repro.protocols.transport import frame_picks
+from repro.sim.runner import SweepResult, TrialFn, sweep
+
+from repro.experiments import paperconfig as cfg
+
+PROTOCOLS = ("sicp", "gmle_ccm", "trp_ccm")
+
+#: metric name -> EnergyLedger summary key
+ENERGY_METRICS = ("max_sent", "max_received", "avg_sent", "avg_received")
+
+
+def run_ccm_application(
+    network: Network,
+    frame_size: int,
+    participation: float,
+    seed: int,
+) -> Dict[str, float]:
+    """One CCM session (the per-table unit of cost for GMLE/TRP) -> metrics."""
+    picks = frame_picks(network.tag_ids, frame_size, participation, seed)
+    result = run_session(network, picks, CCMConfig(frame_size=frame_size))
+    metrics = {"slots": float(result.total_slots), "rounds": float(result.rounds)}
+    metrics.update(result.ledger.summary())
+    return metrics
+
+
+def run_sicp_application(network: Network, seed: int) -> Dict[str, float]:
+    """One SICP collection -> the same metric set."""
+    result = run_sicp(network, params=SICPParams(), seed=seed)
+    metrics = {
+        "slots": float(result.total_slots),
+        "rounds": float(result.tree.max_depth()),
+    }
+    metrics.update(result.ledger.summary())
+    metrics["collected"] = float(len(result.collected_ids))
+    return metrics
+
+
+def paper_trial_metrics(
+    tag_range: float,
+    n_tags: int,
+    seed: int,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> Dict[str, float]:
+    """Deploy one network and run the selected protocols on it.
+
+    Metric keys are ``<protocol>_<metric>`` plus topology facts
+    (``tiers``, ``reachable``).
+    """
+    network = paper_network(
+        tag_range, n_tags=n_tags, seed=seed,
+        deployment=PaperDeployment(n_tags=n_tags),
+    )
+    metrics: Dict[str, float] = {
+        "tiers": float(network.num_tiers),
+        "reachable": float(network.reachable_mask.sum()),
+    }
+    for name in protocols:
+        if name == "sicp":
+            sub = run_sicp_application(network, seed=seed + 11)
+        elif name == "gmle_ccm":
+            sub = run_ccm_application(
+                network,
+                cfg.GMLE_FRAME_SIZE,
+                cfg.gmle_participation(n_tags),
+                seed=seed + 22,
+            )
+        elif name == "trp_ccm":
+            sub = run_ccm_application(
+                network, cfg.trp_frame_for(n_tags), 1.0, seed=seed + 33
+            )
+        else:
+            raise ValueError(f"unknown protocol {name!r}")
+        for key, value in sub.items():
+            metrics[f"{name}_{key}"] = value
+    return metrics
+
+
+def make_trial(
+    tag_range: float, n_tags: int, protocols: Sequence[str] = PROTOCOLS
+) -> TrialFn:
+    """Build a :mod:`repro.sim.runner` trial function for one range."""
+
+    def trial(trial_index: int, seed: int) -> Dict[str, float]:
+        return paper_trial_metrics(tag_range, n_tags, seed, protocols)
+
+    return trial
+
+
+def sweep_tag_range(
+    scale: cfg.ReproScale,
+    protocols: Sequence[str] = PROTOCOLS,
+    tag_ranges: Optional[Iterable[float]] = None,
+) -> SweepResult:
+    """The paper's master sweep: every metric at every inter-tag range."""
+    ranges = tuple(tag_ranges if tag_ranges is not None else scale.tag_ranges)
+    return sweep(
+        parameter="tag_range_m",
+        values=ranges,
+        trial_factory=lambda r: make_trial(r, scale.n_tags, protocols),
+        n_trials=scale.n_trials,
+        base_seed=scale.base_seed,
+    )
+
+
+def format_table(
+    title: str,
+    columns: Sequence[float],
+    rows: Dict[str, Sequence[float]],
+    paper_rows: Optional[Dict[str, Sequence[float]]] = None,
+    col_label: str = "r",
+) -> str:
+    """Render a paper-style comparison table as fixed-width text."""
+    width = 12
+    header = f"{'':<22}" + "".join(
+        f"{col_label}={c:g}".rjust(width) for c in columns
+    )
+    lines = [title, header]
+    for name, values in rows.items():
+        label = cfg.PROTOCOL_LABELS.get(name, name)
+        line = f"{label + ' (measured)':<22}" + "".join(
+            f"{v:,.1f}".rjust(width) for v in values
+        )
+        lines.append(line)
+        if paper_rows and name in paper_rows:
+            ref = paper_rows[name]
+            line = f"{label + ' (paper)':<22}" + "".join(
+                f"{v:,.1f}".rjust(width) for v in ref
+            )
+            lines.append(line)
+    return "\n".join(lines)

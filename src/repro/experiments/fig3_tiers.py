@@ -1,0 +1,80 @@
+"""Fig. 3 — number of tiers vs inter-tag communication range r.
+
+The paper's first evaluation output: under the Sec. VI-A deployment the
+tier count falls as r grows (fewer hops span the 10 m annulus between r'
+and R).  We report the simulated BFS tier count alongside the geometric
+prediction 1 + ⌈(R − r')/r⌉ of the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.geometry import geometric_num_tiers
+from repro.sim.runner import SweepResult
+
+from repro.experiments import paperconfig as cfg
+from repro.experiments.common import sweep_tag_range
+
+
+@dataclass
+class Fig3Result:
+    tag_ranges: List[float]
+    measured_tiers: List[float]
+    geometric_tiers: List[int]
+
+    def rows(self) -> Dict[str, List[float]]:
+        return {
+            "tiers (simulated mean)": self.measured_tiers,
+            "tiers (geometric 1+⌈(R−r')/r⌉)": [
+                float(v) for v in self.geometric_tiers
+            ],
+        }
+
+
+def run(scale: cfg.ReproScale = cfg.DEFAULT_SCALE) -> Fig3Result:
+    """Measure tier counts across the r sweep (topology only — cheap)."""
+    result: SweepResult = sweep_tag_range(scale, protocols=())
+    measured = result.series("tiers")
+    geometric = [
+        geometric_num_tiers(
+            cfg.READER_TO_TAG_RANGE_M, cfg.TAG_TO_READER_RANGE_M, r
+        )
+        for r in result.values
+    ]
+    return Fig3Result(
+        tag_ranges=result.values,
+        measured_tiers=measured,
+        geometric_tiers=geometric,
+    )
+
+
+def report(result: Fig3Result, chart: bool = True) -> str:
+    lines = ["Fig. 3 — number of tiers vs inter-tag range r"]
+    header = f"{'r (m)':>8} {'simulated':>12} {'geometric':>12}"
+    lines.append(header)
+    for r, sim, geo in zip(
+        result.tag_ranges, result.measured_tiers, result.geometric_tiers
+    ):
+        lines.append(f"{r:>8g} {sim:>12.2f} {geo:>12d}")
+    lines.append(
+        "expected shape: monotonically non-increasing in r "
+        "(paper Fig. 3 shows the same decay)"
+    )
+    if chart and len(result.tag_ranges) >= 2:
+        from repro.experiments.asciiplot import line_chart
+
+        lines.append("")
+        lines.append(
+            line_chart(
+                "tiers vs r",
+                result.tag_ranges,
+                {
+                    "simulated": result.measured_tiers,
+                    "geometric": [float(v) for v in result.geometric_tiers],
+                },
+                height=12,
+            )
+        )
+    return "\n".join(lines)

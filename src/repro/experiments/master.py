@@ -1,0 +1,119 @@
+"""The master evaluation sweep behind Fig. 4 and Tables I–IV.
+
+Runs SICP, GMLE-CCM and TRP-CCM over the same deployments at every
+inter-tag range and extracts all five of the paper's outputs from one pass
+(the paper's own evaluation does the same — each figure/table is a
+different projection of the same simulation campaign).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.runner import SweepResult
+
+from repro.experiments import paperconfig as cfg
+from repro.experiments.common import PROTOCOLS, format_table, sweep_tag_range
+
+
+@dataclass
+class MasterResult:
+    """All protocol metrics along the r axis."""
+
+    sweep: SweepResult
+
+    @property
+    def tag_ranges(self) -> List[float]:
+        return self.sweep.values
+
+    def metric_rows(self, metric: str) -> Dict[str, List[float]]:
+        """One row per protocol for the given per-tag metric."""
+        return {
+            name: self.sweep.series(f"{name}_{metric}") for name in PROTOCOLS
+        }
+
+    # -- the five outputs ------------------------------------------------------
+
+    def fig4_execution_time(self) -> Dict[str, List[float]]:
+        return self.metric_rows("slots")
+
+    def table1_max_sent(self) -> Dict[str, List[float]]:
+        return self.metric_rows("max_sent")
+
+    def table2_max_received(self) -> Dict[str, List[float]]:
+        return self.metric_rows("max_received")
+
+    def table3_avg_sent(self) -> Dict[str, List[float]]:
+        return self.metric_rows("avg_sent")
+
+    def table4_avg_received(self) -> Dict[str, List[float]]:
+        return self.metric_rows("avg_received")
+
+
+def run(
+    scale: cfg.ReproScale = cfg.DEFAULT_SCALE,
+    tag_ranges: Optional[Sequence[float]] = None,
+) -> MasterResult:
+    return MasterResult(sweep=sweep_tag_range(scale, tag_ranges=tag_ranges))
+
+
+def _paper_rows_if_comparable(
+    result: MasterResult, table_key: str
+) -> Optional[Dict[str, List[float]]]:
+    """The paper's table values, only when the swept ranges match the
+    paper's table columns (r = 2, 4, 6, 8, 10)."""
+    if tuple(result.tag_ranges) != cfg.TABLE_TAG_RANGES_M:
+        return None
+    return cfg.PAPER_TABLES[table_key]
+
+
+def report(result: MasterResult, include_paper: bool = True) -> str:
+    """Render Fig. 4 and Tables I–IV as text."""
+    cols = result.tag_ranges
+    sections = []
+    fig4_paper = None
+    if include_paper and 6.0 in cols:
+        # The paper cites exact execution times only at r = 6.
+        idx = cols.index(6.0)
+        ref = []
+        for name in PROTOCOLS:
+            row = [float("nan")] * len(cols)
+            row[idx] = cfg.PAPER_EXECUTION_SLOTS_R6[name]
+            ref.append((name, row))
+        fig4_paper = dict(ref)
+    sections.append(
+        format_table(
+            "Fig. 4 — execution time (total slots)",
+            cols,
+            result.fig4_execution_time(),
+            fig4_paper if include_paper else None,
+        )
+    )
+    for key, title, rows in (
+        ("table1_max_sent", "Table I — maximum bits sent per tag",
+         result.table1_max_sent()),
+        ("table2_max_received", "Table II — maximum bits received per tag",
+         result.table2_max_received()),
+        ("table3_avg_sent", "Table III — average bits sent per tag",
+         result.table3_avg_sent()),
+        ("table4_avg_received", "Table IV — average bits received per tag",
+         result.table4_avg_received()),
+    ):
+        paper = _paper_rows_if_comparable(result, key) if include_paper else None
+        sections.append(format_table(title, cols, rows, paper))
+    if len(cols) >= 2:
+        from repro.experiments.asciiplot import line_chart
+
+        sections.append(
+            line_chart(
+                "Fig. 4 — execution time (slots, log scale) vs r",
+                cols,
+                {
+                    cfg.PROTOCOL_LABELS[name]: series
+                    for name, series in result.fig4_execution_time().items()
+                },
+                log_y=True,
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,142 @@
+"""The paper's evaluation configuration (Sec. VI-A) and reported numbers.
+
+Single source of truth for every reproduction experiment: the deployment
+constants, the application parameters the paper states, and the values its
+figures/tables report (used to render paper-vs-measured comparisons in
+EXPERIMENTS.md and to sanity-check result *shapes* in the benchmarks).
+
+Two deliberate pins, documented here and in DESIGN.md:
+
+* ``GMLE_FRAME_SIZE = 1671`` — matches :func:`repro.protocols.gmle_frame_size`
+  at (α = 95 %, β = 5 %) exactly.
+* ``TRP_FRAME_SIZE = 3228`` — taken from the paper's text; the standard
+  sizing formula gives 3517 at (δ = 95 %, m = 50), so we pin the paper's
+  constant for cost comparability and note the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.net.geometry import density_for
+
+# -- deployment (Sec. VI-A) ---------------------------------------------------
+
+N_TAGS = 10_000
+FIELD_RADIUS_M = 30.0
+READER_TO_TAG_RANGE_M = 30.0  # R
+TAG_TO_READER_RANGE_M = 20.0  # r'
+TAG_RANGES_M: Tuple[float, ...] = (2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
+TABLE_TAG_RANGES_M: Tuple[float, ...] = (2.0, 4.0, 6.0, 8.0, 10.0)
+PAPER_TRIALS = 100
+DENSITY = density_for(N_TAGS, FIELD_RADIUS_M)  # ≈ 3.54 tags/m²
+
+# -- applications -------------------------------------------------------------
+
+GMLE_ALPHA = 0.95
+GMLE_BETA = 0.05
+GMLE_FRAME_SIZE = 1671
+GMLE_PARTICIPATION = 1.59 * GMLE_FRAME_SIZE / N_TAGS  # p = 1.59 f / n
+
+TRP_DELTA = 0.95
+TRP_TOLERANCE = 50  # m = 0.005 n
+TRP_FRAME_SIZE = 3228
+
+# -- numbers the paper reports (for comparison output) ------------------------
+
+#: Fig. 4 / Sec. VI-B.1 cites only the r = 6 execution times explicitly.
+PAPER_EXECUTION_SLOTS_R6: Dict[str, float] = {
+    "sicp": 170_926.0,
+    "gmle_ccm": 5_076.0,
+    "trp_ccm": 9_747.0,
+}
+
+#: Tables I–IV, columns r = 2, 4, 6, 8, 10.
+PAPER_MAX_SENT: Dict[str, List[float]] = {
+    "sicp": [41_767, 17_907, 9_002, 5_956, 5_593],
+    "gmle_ccm": [28.0, 34.8, 42.0, 49.3, 53.6],
+    "trp_ccm": [73.3, 93.9, 120.9, 145.0, 164.7],
+}
+PAPER_MAX_RECEIVED: Dict[str, List[float]] = {
+    "sicp": [516_174, 385_927, 376_235, 420_863, 477_507],
+    "gmle_ccm": [15_903, 9_663, 7_597, 7_563, 7_327],
+    "trp_ccm": [30_968, 18_940, 14_981, 14_873, 14_714],
+}
+PAPER_AVG_SENT: Dict[str, List[float]] = {
+    "sicp": [720.1, 514.6, 456.8, 434.3, 417.4],
+    "gmle_ccm": [9.3, 12.9, 17.3, 23.5, 27.9],
+    "trp_ccm": [28.4, 39.8, 56.3, 76.9, 96.6],
+}
+PAPER_AVG_RECEIVED: Dict[str, List[float]] = {
+    "sicp": [218_171, 179_196, 198_332, 245_074, 303_964],
+    "gmle_ccm": [15_887, 9_648, 7_578, 7_539, 7_300],
+    "trp_ccm": [30_916, 18_890, 14_919, 14_793, 14_618],
+}
+
+PAPER_TABLES: Dict[str, Dict[str, List[float]]] = {
+    "table1_max_sent": PAPER_MAX_SENT,
+    "table2_max_received": PAPER_MAX_RECEIVED,
+    "table3_avg_sent": PAPER_AVG_SENT,
+    "table4_avg_received": PAPER_AVG_RECEIVED,
+}
+
+PROTOCOL_LABELS: Dict[str, str] = {
+    "sicp": "SICP",
+    "gmle_ccm": "GMLE-CCM",
+    "trp_ccm": "TRP-CCM",
+}
+
+
+@dataclass(frozen=True)
+class ReproScale:
+    """How large to run a reproduction experiment.
+
+    The paper's full scale (10,000 tags × 100 trials × 9 ranges) takes tens
+    of CPU-minutes in this simulator; the benchmarks default to a reduced
+    scale that preserves every qualitative shape, and the CLI exposes
+    ``--full`` for the real thing.
+    """
+
+    n_tags: int = N_TAGS
+    n_trials: int = 10
+    tag_ranges: Tuple[float, ...] = TAG_RANGES_M
+    base_seed: int = 2019
+
+    def scaled_density_note(self) -> str:
+        return (
+            f"n={self.n_tags} tags, {self.n_trials} trials, "
+            f"r ∈ {list(self.tag_ranges)} m"
+        )
+
+
+FULL_SCALE = ReproScale(n_tags=N_TAGS, n_trials=PAPER_TRIALS)
+DEFAULT_SCALE = ReproScale(n_tags=N_TAGS, n_trials=10)
+#: Benchmark scale: small enough for pytest-benchmark, same shapes.  The
+#: sampling probability and frame sizes are kept at paper values, so per-tag
+#: CCM costs stay comparable; SICP costs scale with n as expected.
+BENCH_SCALE = ReproScale(
+    n_tags=2_000, n_trials=3, tag_ranges=TABLE_TAG_RANGES_M
+)
+
+
+def gmle_participation(n_tags: int) -> float:
+    """p = 1.59 f / n for the paper's GMLE frame size at population n."""
+    return min(1.0, 1.59 * GMLE_FRAME_SIZE / n_tags)
+
+
+def trp_frame_for(n_tags: int) -> int:
+    """TRP frame size for population n.
+
+    At the paper's population this returns the paper's stated constant
+    (f = 3228) for table comparability; at reduced scales it re-sizes the
+    frame the way the protocol prescribes — tolerance m = 0.005 n at the
+    paper's δ — so scaled-down runs stay correctly configured (GMLE's
+    frame is population-independent and never changes).
+    """
+    if n_tags == N_TAGS:
+        return TRP_FRAME_SIZE
+    from repro.protocols.trp import trp_frame_size
+
+    tolerance = max(1, round(0.005 * n_tags))
+    return trp_frame_size(n_tags, tolerance, TRP_DELTA)

@@ -1,0 +1,117 @@
+"""Extension — CCM under unreliable busy/idle sensing.
+
+The paper assumes a perfect channel; real carrier sensing fails sometimes.
+Two properties of CCM make it degrade gracefully:
+
+1. **No phantom bits.**  A sensing failure can only drop a busy slot,
+   never invent one, so the collected bitmap is always a *subset* of the
+   truth — TRP may miss a missing-tag event but never false-alarms, and
+   GMLE's estimate is biased low, not random.
+2. **Redundancy through collisions.**  A slot picked by several tags, or
+   relayed along several paths, gets several independent sensing chances
+   per hop — the same benign-collision property that motivates CCM.
+
+This experiment measures the single-session bit-miss rate versus the
+per-link loss probability, and shows :func:`repro.core.robust_collect`
+driving the residual miss rate down by OR-merging repeated sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.reliability import robust_collect
+from repro.core.session import CCMConfig, run_session
+from repro.net.channel import LossyChannel
+from repro.net.topology import PaperDeployment, paper_network
+from repro.protocols.transport import frame_picks, ideal_bitmap
+from repro.sim.rng import derive_seed
+
+
+@dataclass
+class RobustnessRow:
+    loss: float
+    single_session_miss_rate: float
+    robust_miss_rate: float
+    robust_sessions: float
+    phantom_bits: int
+
+
+def run(
+    n_tags: int = 400,
+    tag_range: float = 3.0,
+    frame_size: int = 512,
+    losses: List[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+    n_trials: int = 3,
+    base_seed: int = 555_777,
+) -> List[RobustnessRow]:
+    """Sparse settings on purpose: in dense deployments every slot enjoys
+    hundreds of independent sensing chances per hop (many listeners, many
+    relayers, many tier-1 transmitters), so even 20 % per-link loss is
+    invisible — itself a finding, reported by the dense-regime test in the
+    suite.  A sparse graph (mean degree ~4) exposes the failure mode."""
+    rows: List[RobustnessRow] = []
+    deployment = PaperDeployment(n_tags=n_tags)
+    for loss in losses:
+        single_miss: List[float] = []
+        robust_miss: List[float] = []
+        sessions_used: List[int] = []
+        phantom = 0
+        for k in range(n_trials):
+            seed = derive_seed(base_seed, int(loss * 1000), k) % (2**32)
+            network = paper_network(
+                tag_range, n_tags=n_tags, seed=seed, deployment=deployment
+            )
+            picks = frame_picks(network.tag_ids, frame_size, 1.0, seed)
+            reachable_ids = network.tag_ids[network.reachable_mask]
+            truth = ideal_bitmap(reachable_ids, frame_size, 1.0, seed)
+            rng = np.random.default_rng(seed ^ 0xC0FFEE)
+            channel = LossyChannel(loss=loss)
+
+            single = run_session(
+                network, picks, CCMConfig(frame_size=frame_size),
+                channel=channel, rng=rng,
+            )
+            missed = truth.difference(single.bitmap).popcount()
+            single_miss.append(missed / max(truth.popcount(), 1))
+            phantom += single.bitmap.difference(truth).popcount()
+
+            robust = robust_collect(
+                network, picks, CCMConfig(frame_size=frame_size),
+                channel=channel, rng=rng, max_sessions=6,
+            )
+            missed_r = truth.difference(robust.bitmap).popcount()
+            robust_miss.append(missed_r / max(truth.popcount(), 1))
+            sessions_used.append(robust.sessions)
+        rows.append(
+            RobustnessRow(
+                loss=loss,
+                single_session_miss_rate=float(np.mean(single_miss)),
+                robust_miss_rate=float(np.mean(robust_miss)),
+                robust_sessions=float(np.mean(sessions_used)),
+                phantom_bits=phantom,
+            )
+        )
+    return rows
+
+
+def report(rows: List[RobustnessRow]) -> str:
+    lines = [
+        "CCM under lossy busy/idle sensing (per-link, per-slot loss)",
+        f"{'loss':>6} {'1-session miss':>15} {'robust miss':>12} "
+        f"{'sessions':>9} {'phantoms':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.loss:>6.2f} {row.single_session_miss_rate:>15.2%} "
+            f"{row.robust_miss_rate:>12.2%} {row.robust_sessions:>9.1f} "
+            f"{row.phantom_bits:>9d}"
+        )
+    lines.append(
+        "expected: misses grow with loss but phantoms are structurally "
+        "zero; OR-merged repeats drive the residual miss rate toward zero"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Theorem 1 — CCM's bitmap equals the traditional single-hop bitmap.
+
+Not a figure in the paper, but its central correctness claim (Sec. IV-B):
+for the same tag population, sampling probability and seed, the bitmap the
+reader assembles through multi-hop CCM is bit-for-bit identical to the one
+a traditional RFID reader covering every tag directly would record.  We
+check it across deployments, ranges, frame sizes and sampling
+probabilities, and report any divergence (there should be none as long as
+the checking frame is long enough for the topology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.session import CCMConfig, run_session
+from repro.net.topology import PaperDeployment, paper_network
+from repro.protocols.transport import frame_picks, ideal_bitmap
+from repro.sim.rng import derive_seed
+
+from repro.experiments import paperconfig as cfg
+
+
+@dataclass
+class EquivalenceCase:
+    tag_range: float
+    frame_size: int
+    probability: float
+    seed: int
+    equal: bool
+    busy_slots: int
+    rounds: int
+    terminated_cleanly: bool
+
+
+@dataclass
+class Theorem1Result:
+    cases: List[EquivalenceCase] = field(default_factory=list)
+
+    @property
+    def all_equal(self) -> bool:
+        return all(c.equal for c in self.cases)
+
+
+def run(
+    n_tags: int = 2_000,
+    n_deployments: int = 5,
+    base_seed: int = 7_1912,
+) -> Theorem1Result:
+    result = Theorem1Result()
+    configs = [
+        (2.0, 512, 1.0),
+        (4.0, 1671, cfg.gmle_participation(n_tags)),
+        (6.0, 1671, 0.5),
+        (8.0, 3228, 1.0),
+        (10.0, 257, 0.1),
+    ]
+    for d in range(n_deployments):
+        for tag_range, frame_size, probability in configs:
+            seed = derive_seed(base_seed, d, int(tag_range * 10)) % (2**32)
+            network = paper_network(
+                tag_range, n_tags=n_tags, seed=seed,
+                deployment=PaperDeployment(n_tags=n_tags),
+            )
+            picks = frame_picks(network.tag_ids, frame_size, probability, seed)
+            session = run_session(
+                network, picks, CCMConfig(frame_size=frame_size)
+            )
+            # The reference: what a one-hop reader over the *reachable*
+            # tags would see (tags with no path are not in the system).
+            reachable_ids = network.tag_ids[network.reachable_mask]
+            reference = ideal_bitmap(reachable_ids, frame_size, probability, seed)
+            result.cases.append(
+                EquivalenceCase(
+                    tag_range=tag_range,
+                    frame_size=frame_size,
+                    probability=probability,
+                    seed=seed,
+                    equal=(session.bitmap.bits == reference.bits),
+                    busy_slots=session.bitmap.popcount(),
+                    rounds=session.rounds,
+                    terminated_cleanly=session.terminated_cleanly,
+                )
+            )
+    return result
+
+
+def report(result: Theorem1Result) -> str:
+    lines = ["Theorem 1 equivalence check (CCM bitmap == traditional bitmap)"]
+    lines.append(
+        f"{'r':>5} {'f':>6} {'p':>6} {'busy':>6} {'rounds':>7} "
+        f"{'clean':>6} {'equal':>6}"
+    )
+    for c in result.cases:
+        lines.append(
+            f"{c.tag_range:>5g} {c.frame_size:>6d} {c.probability:>6.2f} "
+            f"{c.busy_slots:>6d} {c.rounds:>7d} "
+            f"{str(c.terminated_cleanly):>6} {str(c.equal):>6}"
+        )
+    verdict = "PASS" if result.all_equal else "FAIL"
+    lines.append(f"verdict: {verdict} ({len(result.cases)} cases)")
+    return "\n".join(lines)

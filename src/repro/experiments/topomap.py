@@ -1,0 +1,97 @@
+"""ASCII topology maps: see the tier structure of a deployment.
+
+Renders a deployed :class:`~repro.net.topology.Network` as a character
+grid — readers as ``@``, each occupied cell as the *lowest* tier present
+in it (the tag that would relay first), unreachable tags as ``!`` — plus
+a tier histogram.  Fig. 1 and Fig. 2(a) of the paper are exactly such
+tier pictures; this is the runnable version.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.net.topology import Network, UNREACHABLE
+
+
+def render_topology(
+    network: Network, width: int = 68, height: int = 30
+) -> str:
+    """Draw the deployment with per-cell tier digits.
+
+    Cell glyphs: ``@`` reader, digits 1–9 the lowest tier in the cell,
+    ``+`` tiers ≥ 10, ``!`` only-unreachable tags, space empty.
+    """
+    if width < 8 or height < 8:
+        raise ValueError("map must be at least 8x8 characters")
+    positions = network.positions
+    xs = [p.x for p in (r.position for r in network.readers)]
+    ys = [p.y for p in (r.position for r in network.readers)]
+    if positions.size:
+        x_lo = min(float(positions[:, 0].min()), min(xs))
+        x_hi = max(float(positions[:, 0].max()), max(xs))
+        y_lo = min(float(positions[:, 1].min()), min(ys))
+        y_hi = max(float(positions[:, 1].max()), max(ys))
+    else:
+        x_lo, x_hi = min(xs) - 1, max(xs) + 1
+        y_lo, y_hi = min(ys) - 1, max(ys) + 1
+    x_span = max(x_hi - x_lo, 1e-9)
+    y_span = max(y_hi - y_lo, 1e-9)
+
+    def to_cell(x: float, y: float) -> "tuple[int, int]":
+        col = min(width - 1, int((x - x_lo) / x_span * width))
+        row = min(height - 1, int((y_hi - y) / y_span * height))
+        return row, col
+
+    best = np.full((height, width), 10**9, dtype=np.int64)
+    for i in range(network.n_tags):
+        row, col = to_cell(
+            float(positions[i, 0]), float(positions[i, 1])
+        )
+        tier = int(network.tiers[i])
+        code = 10**6 if tier == UNREACHABLE else tier
+        best[row, col] = min(best[row, col], code)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for row in range(height):
+        for col in range(width):
+            code = best[row, col]
+            if code == 10**9:
+                continue
+            if code >= 10**6:
+                grid[row][col] = "!"
+            elif code >= 10:
+                grid[row][col] = "+"
+            else:
+                grid[row][col] = str(code)
+    for reader in network.readers:
+        row, col = to_cell(reader.position.x, reader.position.y)
+        grid[row][col] = "@"
+
+    lines = ["┌" + "─" * width + "┐"]
+    for row in grid:
+        lines.append("│" + "".join(row) + "│")
+    lines.append("└" + "─" * width + "┘")
+    lines.append(
+        "@ reader   digits: tier (lowest in cell)   + tier>=10   "
+        "! unreachable"
+    )
+    lines.append(tier_histogram(network))
+    return "\n".join(lines)
+
+
+def tier_histogram(network: Network, bar_width: int = 40) -> str:
+    """One bar per tier, proportional to its population."""
+    sizes = network.tier_sizes()
+    unreachable = int((network.tiers == UNREACHABLE).sum())
+    total = max(int(sizes.sum()) + unreachable, 1)
+    lines = []
+    for tier, count in enumerate(sizes, start=1):
+        bar = "#" * max(1, round(int(count) / total * bar_width))
+        lines.append(f"tier {tier:>2}: {bar} {int(count)}")
+    if unreachable:
+        bar = "#" * max(1, round(unreachable / total * bar_width))
+        lines.append(f"unreach: {bar} {unreachable}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Network substrate: geometry, topology, channel, energy, timing.
+
+Everything the protocols run on: tag deployments in the plane, the
+asymmetric-range link model (R, r', r) with BFS tiers, slot-level busy/idle
+channel semantics, per-tag energy ledgers and slot-count timing.
+"""
+
+from repro.net.channel import Channel, LossyChannel, PerfectChannel
+from repro.net.energy import ID_BITS, EnergyLedger, TransceiverProfile
+from repro.net.gen2 import Gen2Params
+from repro.net.geometry import (
+    GridIndex,
+    ORIGIN,
+    Point,
+    clustered_disk,
+    density_for,
+    disk_area,
+    grid_deployment,
+    pairwise_distance,
+    uniform_annulus,
+    uniform_disk,
+)
+from repro.net.mobility import displace, relocate_fraction
+from repro.net.timing import (
+    READER_SLOT_BITS,
+    SlotCount,
+    SlotTiming,
+    ccm_round_slots,
+    eq3_execution_time,
+    indicator_vector_slots,
+)
+from repro.net.topology import (
+    Network,
+    PaperDeployment,
+    Reader,
+    UNREACHABLE,
+    paper_network,
+)
+
+__all__ = [
+    "Channel",
+    "LossyChannel",
+    "PerfectChannel",
+    "ID_BITS",
+    "Gen2Params",
+    "displace",
+    "relocate_fraction",
+    "EnergyLedger",
+    "TransceiverProfile",
+    "GridIndex",
+    "ORIGIN",
+    "Point",
+    "clustered_disk",
+    "density_for",
+    "disk_area",
+    "grid_deployment",
+    "pairwise_distance",
+    "uniform_annulus",
+    "uniform_disk",
+    "READER_SLOT_BITS",
+    "SlotCount",
+    "SlotTiming",
+    "ccm_round_slots",
+    "eq3_execution_time",
+    "indicator_vector_slots",
+    "Network",
+    "PaperDeployment",
+    "Reader",
+    "UNREACHABLE",
+    "paper_network",
+]

@@ -1,0 +1,156 @@
+"""Slot-level channel models.
+
+CCM's physical-layer requirement is deliberately minimal (Sec. I): a tag
+need only tell *busy* from *idle* in a slot.  When several neighbours
+transmit in the same slot, the listener senses "busy" — the collision is
+benign because busy is exactly the information being conveyed.  The channel
+therefore reduces, per slot, to an OR over each listener's neighbourhood.
+
+Two implementations are provided:
+
+* :class:`PerfectChannel` — every transmission within range is sensed.
+  This is the paper's model, and the fast path: frames are carried as
+  f-bit integers, so a whole round's propagation is one OR per edge.
+* :class:`LossyChannel` — each (transmitter, listener, slot) sensing fails
+  independently with probability ``loss``.  Used by robustness experiments
+  to study CCM under unreliable channels (a paper-adjacent extension; the
+  paper assumes reliable sensing).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class Channel(abc.ABC):
+    """Propagation semantics for one frame (all f slots of one round)."""
+
+    @abc.abstractmethod
+    def propagate(
+        self,
+        transmit: Sequence[int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[int]:
+        """Compute what every tag hears during one frame.
+
+        Parameters
+        ----------
+        transmit:
+            ``transmit[u]`` is the f-bit integer of slots in which tag ``u``
+            transmits this round.
+        indptr, indices:
+            CSR adjacency of the tag-to-tag graph (symmetric).
+        rng:
+            Randomness source for lossy channels.
+
+        Returns
+        -------
+        ``heard`` where ``heard[t]`` is the f-bit integer of slots in which
+        tag ``t`` senses a busy channel (before half-duplex masking — the
+        session engine removes the slots ``t`` itself transmitted in).
+        """
+
+    @abc.abstractmethod
+    def reader_senses(
+        self,
+        transmit: Sequence[int],
+        tier1: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> int:
+        """Slots the reader senses busy, given tier-1 transmissions."""
+
+
+class PerfectChannel(Channel):
+    """Reliable busy/idle sensing — the model evaluated in the paper."""
+
+    def propagate(
+        self,
+        transmit: Sequence[int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[int]:
+        heard = [0] * len(transmit)
+        # Iterate over transmitters only: each pushes its slot mask to its
+        # neighbours.  Big-int OR makes this one word-parallel op per edge.
+        for u, mask in enumerate(transmit):
+            if not mask:
+                continue
+            for t in indices[indptr[u] : indptr[u + 1]].tolist():
+                heard[t] |= mask
+        return heard
+
+    def reader_senses(
+        self,
+        transmit: Sequence[int],
+        tier1: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> int:
+        busy = 0
+        for u in np.flatnonzero(tier1).tolist():
+            busy |= transmit[u]
+        return busy
+
+
+class LossyChannel(Channel):
+    """Independent per-link, per-slot sensing failures.
+
+    ``loss`` is the probability that a given listener fails to sense a given
+    transmitter in a given slot.  Multiple simultaneous transmitters in one
+    slot each get an independent chance to be sensed, so collisions *help*
+    reliability under this model — another benign-collision effect.
+    """
+
+    def __init__(self, loss: float, frame_size_hint: Optional[int] = None):
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {loss}")
+        self.loss = loss
+        self._frame_size_hint = frame_size_hint
+
+    def _thin(self, mask: int, rng: np.random.Generator) -> int:
+        """Randomly clear each set bit of ``mask`` with probability loss."""
+        if self.loss == 0.0 or not mask:
+            return mask
+        out = 0
+        bits = mask
+        while bits:
+            low = bits & -bits
+            if rng.random() >= self.loss:
+                out |= low
+            bits ^= low
+        return out
+
+    def propagate(
+        self,
+        transmit: Sequence[int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[int]:
+        if rng is None:
+            raise ValueError("LossyChannel.propagate requires an rng")
+        heard = [0] * len(transmit)
+        for u, mask in enumerate(transmit):
+            if not mask:
+                continue
+            for t in indices[indptr[u] : indptr[u + 1]].tolist():
+                heard[t] |= self._thin(mask, rng)
+        return heard
+
+    def reader_senses(
+        self,
+        transmit: Sequence[int],
+        tier1: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> int:
+        if rng is None:
+            raise ValueError("LossyChannel.reader_senses requires an rng")
+        busy = 0
+        for u in np.flatnonzero(tier1).tolist():
+            busy |= self._thin(transmit[u], rng)
+        return busy

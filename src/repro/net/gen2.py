@@ -1,0 +1,137 @@
+"""EPC Gen2 link timing — deriving slot durations from radio parameters.
+
+The paper reports execution time in slots because "the RFID Gen2 standard
+just specifies a time interval of each slot but not gives an exact value"
+(Sec. VI-B.1).  This module supplies the missing mapping for users who
+want seconds: given a Gen2-style link configuration it derives
+
+* the duration of a *short slot* carrying one tag bit (t_s in Eq. 3), and
+* the duration of an *ID slot* carrying a 96-bit EPC plus CRC (t_id),
+
+from the standard's quantities: Tari (reader data-0 reference interval),
+the backscatter link frequency BLF = DR/TRcal, the Miller modulation
+factor M, and the T1/T2 link turnaround gaps.  The derivation follows the
+Gen2 air-interface timing model; it is an engineering approximation (we
+fold preambles into a configurable overhead bit count), good to the ~10 %
+level — amply sufficient for converting slot counts to wall-clock.
+
+``Gen2Params().slot_timing()`` is the source of the library-wide
+:class:`~repro.net.timing.SlotTiming` defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.timing import SlotTiming
+
+
+@dataclass(frozen=True)
+class Gen2Params:
+    """A Gen2 link configuration.
+
+    Defaults model a common dense-reader profile: Tari 12.5 µs, divide
+    ratio 64/3, TRcal 66.7 µs (BLF = 320 kHz), Miller-4 backscatter.
+    """
+
+    #: Reader data-0 reference interval, µs (6.25, 12.5 or 25).
+    tari_us: float = 12.5
+    #: Divide ratio DR (8 or 64/3).
+    divide_ratio: float = 64.0 / 3.0
+    #: TRcal, µs — with DR fixes the backscatter link frequency.
+    trcal_us: float = 66.7
+    #: Miller factor M (1 = FM0, else 2/4/8 subcarrier cycles per bit).
+    miller: int = 4
+    #: Reader data-1 length as a multiple of Tari (1.5–2.0).
+    data1_tari: float = 1.8
+    #: Tag preamble + framing overhead per reply, in tag-bit times.
+    tag_preamble_bits: int = 12
+    #: Reader frame-sync overhead per transmission, µs.
+    reader_framesync_us: float = 60.0
+    #: EPC payload for an ID reply: 96-bit EPC + 16-bit CRC + header.
+    id_reply_bits: int = 96 + 16 + 6
+
+    def __post_init__(self) -> None:
+        if self.tari_us <= 0 or self.trcal_us <= 0:
+            raise ValueError("Tari and TRcal must be positive")
+        if self.divide_ratio <= 0:
+            raise ValueError("divide ratio must be positive")
+        if self.miller not in (1, 2, 4, 8):
+            raise ValueError("Miller factor must be 1, 2, 4 or 8")
+        if not 1.5 <= self.data1_tari <= 2.0:
+            raise ValueError("data-1 length must be 1.5-2.0 Tari")
+
+    # -- derived rates ----------------------------------------------------------
+
+    @property
+    def blf_khz(self) -> float:
+        """Backscatter link frequency in kHz: DR / TRcal."""
+        return self.divide_ratio / self.trcal_us * 1000.0
+
+    @property
+    def tag_bit_time_us(self) -> float:
+        """One tag (uplink) bit: M subcarrier cycles at BLF."""
+        return self.miller * 1000.0 / self.blf_khz
+
+    @property
+    def reader_bit_time_us(self) -> float:
+        """Average reader (downlink) bit, assuming balanced 0/1 data."""
+        return self.tari_us * (1.0 + self.data1_tari) / 2.0
+
+    @property
+    def rtcal_us(self) -> float:
+        """Reader-to-tag calibration symbol: data-0 + data-1."""
+        return self.tari_us * (1.0 + self.data1_tari)
+
+    @property
+    def t1_us(self) -> float:
+        """Reader-to-tag turnaround: max(RTcal, 10 Tpri), per the
+        standard's T1 nominal (Tpri = 1/BLF)."""
+        return max(self.rtcal_us, 10.0 * 1000.0 / self.blf_khz)
+
+    @property
+    def t2_us(self) -> float:
+        """Tag-to-reader turnaround: 10 Tpri (within the 3–20 window)."""
+        return 10.0 * 1000.0 / self.blf_khz
+
+    # -- slot durations ------------------------------------------------------------
+
+    def short_slot_us(self) -> float:
+        """A one-bit tag slot: turnaround, tag preamble, one bit, guard."""
+        return (
+            self.t1_us
+            + (self.tag_preamble_bits + 1) * self.tag_bit_time_us
+            + self.t2_us
+        )
+
+    def id_slot_us(self) -> float:
+        """A 96-bit ID reply slot (EPC + CRC + framing)."""
+        return (
+            self.t1_us
+            + (self.tag_preamble_bits + self.id_reply_bits)
+            * self.tag_bit_time_us
+            + self.t2_us
+        )
+
+    def reader_broadcast_us(self, payload_bits: int) -> float:
+        """A reader broadcast carrying ``payload_bits`` (e.g. a 96-bit
+        indicator-vector segment)."""
+        if payload_bits <= 0:
+            raise ValueError("payload_bits must be positive")
+        return (
+            self.reader_framesync_us
+            + payload_bits * self.reader_bit_time_us
+        )
+
+    def slot_timing(self) -> SlotTiming:
+        """The (t_s, t_id) pair for Eq. (3), in seconds.
+
+        t_id covers both tag ID replies and the reader's 96-bit broadcast
+        slots; we take the longer of the two so Eq. (3) stays an upper
+        bound.
+        """
+        t_id_us = max(self.id_slot_us(), self.reader_broadcast_us(96))
+        return SlotTiming(
+            short_slot_s=self.short_slot_us() * 1e-6,
+            id_slot_s=t_id_us * 1e-6,
+        )

@@ -1,0 +1,88 @@
+"""Tag mobility between operations.
+
+Sec. II: "tags are stationary during operation, but they can be moved
+around between operations."  This is the paper's core argument for the
+state-free model — any neighbor tables or routing trees built during one
+operation may be stale by the next.  This module provides the movement
+generators the state-freedom experiments use:
+
+* :func:`displace` — every tag drifts by a bounded random step (pallets
+  nudged around a warehouse);
+* :func:`relocate_fraction` — a fraction of tags is picked up and placed
+  somewhere else entirely (stock moved between zones).
+
+Both clamp results to the deployment disk so the reader's coverage
+assumption is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.net.geometry import Point, uniform_disk
+
+
+def _clamp_to_disk(
+    positions: np.ndarray, radius: float, center: Point
+) -> np.ndarray:
+    offset = positions - np.array([center.x, center.y])
+    dist = np.hypot(offset[:, 0], offset[:, 1])
+    outside = dist > radius
+    if np.any(outside):
+        scale = radius / dist[outside]
+        positions = positions.copy()
+        positions[outside] = (
+            np.array([center.x, center.y]) + offset[outside] * scale[:, None]
+        )
+    return positions
+
+
+def displace(
+    positions: np.ndarray,
+    max_step: float,
+    field_radius: float,
+    center: Point = Point(0.0, 0.0),
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Move every tag by an independent uniform step in a random direction,
+    up to ``max_step`` metres, staying inside the deployment disk."""
+    if max_step < 0:
+        raise ValueError("max_step must be non-negative")
+    if field_radius <= 0:
+        raise ValueError("field_radius must be positive")
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    n = positions.shape[0]
+    step = max_step * np.sqrt(gen.random(n))
+    theta = gen.random(n) * 2.0 * np.pi
+    moved = positions + np.column_stack(
+        [step * np.cos(theta), step * np.sin(theta)]
+    )
+    return _clamp_to_disk(moved, field_radius, center)
+
+
+def relocate_fraction(
+    positions: np.ndarray,
+    fraction: float,
+    field_radius: float,
+    center: Point = Point(0.0, 0.0),
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Re-place a random ``fraction`` of the tags uniformly in the disk
+    (stock relocated between operations); the rest stay put."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if field_radius <= 0:
+        raise ValueError("field_radius must be positive")
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    n = positions.shape[0]
+    k = int(round(fraction * n))
+    if k == 0:
+        return positions.copy()
+    moved = positions.copy()
+    chosen = gen.choice(n, size=k, replace=False)
+    moved[chosen] = uniform_disk(k, field_radius, center=center, rng=gen)
+    return moved

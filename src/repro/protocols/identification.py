@@ -1,0 +1,166 @@
+"""Iterative missing-tag identification and unknown-tag detection.
+
+TRP answers "is anything missing?"; the natural follow-up — *which* tags
+are missing — is the problem of the paper's related work (Sheng et al.
+[9], Sato et al. [10]).  This module implements an iterative identifier
+over the same bitmap primitive, so it runs over CCM unchanged:
+
+Each round the reader issues a fresh request (f, seed) in which every
+present tag transmits in its hashed slot, and classifies inventory IDs:
+
+* an **idle** slot proves every inventory ID hashing there *missing*
+  (they would have transmitted — zero false accusations);
+* a **busy** slot to which exactly **one** inventory ID hashes proves
+  that ID *present*, provided the system is closed (no unknown tags) —
+  nobody else could have made the slot busy;
+* a **busy** slot to which **no** inventory ID hashes proves an
+  **unknown tag** is in the field (useful on its own: misplaced stock).
+
+Unresolved IDs (sharing a busy slot with other inventory IDs) carry to
+the next round under a new seed; the reader's next request excludes the
+already-confirmed-present tags from participating (real protocols ship
+such a filter in the request — we do not charge its broadcast cost, noted
+in DESIGN.md §6), so each round resolves a fresh ~e^(−load) fraction of
+the remainder and the frame shrinks with it.  In open systems
+(``assume_closed_system=False``) present-confirmation is disabled — a
+busy singleton might be an unknown tag — and the protocol still confirms
+every missing tag, just without terminating early on present ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.net.timing import SlotCount
+from repro.protocols.transport import FrameTransport
+from repro.sim.rng import TagHasher
+
+
+@dataclass
+class IdentificationResult:
+    """Outcome of an iterative identification run."""
+
+    confirmed_missing: List[int]
+    confirmed_present: List[int]
+    unresolved: List[int]
+    unknown_tag_detected: bool
+    rounds: int
+    slots: SlotCount
+    #: IDs resolved per round — the convergence trace.
+    resolved_per_round: List[int] = field(default_factory=list)
+
+    @property
+    def fully_resolved(self) -> bool:
+        return not self.unresolved
+
+
+@dataclass
+class IterativeIdentification:
+    """Identify every missing inventory tag (and flag unknown tags).
+
+    Parameters
+    ----------
+    load:
+        Target inventory-IDs-per-slot ratio; the per-round frame is
+        ⌈unresolved/load⌉ slots.  Lower load resolves faster per round
+        but costs more slots per round; 0.5 is near the slot-efficiency
+        optimum (resolution probability e^(−load) per ID per round).
+    max_rounds:
+        Safety bound.
+    assume_closed_system:
+        If True (default), busy singleton-predicted slots confirm
+        presence.  Set False when unknown tags may be present.
+    min_frame_size:
+        Floor for late rounds with few unresolved IDs.
+    """
+
+    load: float = 0.5
+    max_rounds: int = 32
+    assume_closed_system: bool = True
+    min_frame_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.load <= 0:
+            raise ValueError("load must be positive")
+        if self.max_rounds <= 0:
+            raise ValueError("max_rounds must be positive")
+
+    def identify(
+        self,
+        transport: FrameTransport,
+        known_ids: Sequence[int],
+        seed: int = 0,
+    ) -> IdentificationResult:
+        known = [int(t) for t in known_ids]
+        if not known:
+            raise ValueError("known inventory is empty")
+        unresolved: Set[int] = set(known)
+        missing: List[int] = []
+        present: List[int] = []
+        unknown = False
+        total_slots = SlotCount()
+        trace: List[int] = []
+
+        rounds = 0
+        for j in range(self.max_rounds):
+            if not unresolved:
+                break
+            rounds += 1
+            frame_size = max(
+                self.min_frame_size, math.ceil(len(unresolved) / self.load)
+            )
+            round_seed = seed + 15_485_863 * j
+            hasher = TagHasher(round_seed)
+            # The request excludes confirmed-present tags: they stay
+            # silent this round, so they cannot mask unresolved IDs.
+            present_set = set(present)
+            picks = [
+                -1
+                if int(tid) in present_set
+                else hasher.slot_of(int(tid), frame_size)
+                for tid in transport.tag_ids
+            ]
+            outcome = transport.run_pick_frame(frame_size, picks)
+            total_slots += outcome.slots
+
+            # Reader-side prediction: which unresolved IDs map where.
+            slot_owners: Dict[int, List[int]] = {}
+            for tid in unresolved:
+                slot_owners.setdefault(
+                    hasher.slot_of(tid, frame_size), []
+                ).append(tid)
+
+            resolved_now = 0
+            for slot, owners in slot_owners.items():
+                if not outcome.bitmap.get(slot):
+                    # Idle: nobody transmitted — every owner is absent.
+                    for tid in owners:
+                        missing.append(tid)
+                        unresolved.discard(tid)
+                        resolved_now += 1
+                elif len(owners) == 1 and self.assume_closed_system:
+                    # Busy, and the sole possible transmitter is this
+                    # unresolved ID: confirmed-present tags sat this round
+                    # out, and missing tags cannot transmit.
+                    tid = owners[0]
+                    present.append(tid)
+                    unresolved.discard(tid)
+                    resolved_now += 1
+            # A busy slot no unresolved inventory ID maps to can only be
+            # an unknown tag (present-confirmed tags were silent).
+            for slot in outcome.bitmap.indices():
+                if slot not in slot_owners:
+                    unknown = True
+            trace.append(resolved_now)
+
+        return IdentificationResult(
+            confirmed_missing=sorted(missing),
+            confirmed_present=sorted(present),
+            unresolved=sorted(unresolved),
+            unknown_tag_detected=unknown,
+            rounds=rounds,
+            slots=total_slots,
+            resolved_per_round=trace,
+        )

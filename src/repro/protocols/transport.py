@@ -1,0 +1,372 @@
+"""Frame transports: how a status bitmap physically gets to the reader.
+
+The system-level protocols (GMLE estimation, TRP missing-tag detection) are
+defined over an abstract primitive: *the reader issues a request (f, p, seed)
+and receives back an f-bit status bitmap*.  Theorem 1 of the paper says CCM
+realises this primitive in a multi-hop networked-tag system with a bitmap
+identical to the traditional single-hop one.  We encode that structure
+directly: each protocol takes a :class:`FrameTransport`, and we provide
+
+* :class:`TraditionalTransport` — the classic one-hop RFID reader (all tags
+  in direct range); the reference for Theorem-1 equivalence tests;
+* :class:`CCMTransport` — a CCM session (Algorithm 1) over a multi-hop
+  :class:`~repro.net.topology.Network`;
+* :class:`MultiReaderCCMTransport` — Sec. III-G's round-robin multi-reader
+  variant.
+
+Transports accumulate per-tag energy and slot counts across every frame
+they carry, which is what the evaluation tables measure.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bitmap import Bitmap, union
+from repro.core.multireader import run_multireader_session
+from repro.core.session import (
+    CCMConfig,
+    SessionResult,
+    run_session,
+    run_session_masks,
+)
+from repro.net.channel import Channel
+from repro.net.energy import EnergyLedger
+from repro.net.timing import SlotCount
+from repro.net.topology import Network, Reader
+from repro.sim.rng import TagHasher
+
+
+@dataclass
+class FrameOutcome:
+    """What one request/frame exchange produced."""
+
+    bitmap: Bitmap
+    slots: SlotCount
+    rounds: int = 1
+    terminated_cleanly: bool = True
+
+
+def frame_picks(
+    tag_ids: Sequence[int], frame_size: int, probability: float, seed: int
+) -> List[int]:
+    """Per-tag slot picks for a request (f, p, seed).
+
+    A tag participates with probability ``p`` and, if so, pseudo-randomly
+    selects one slot — both decisions are deterministic functions of
+    (tag ID, seed), evaluated identically by tags and by a predicting
+    reader.  Non-participants get -1.
+    """
+    hasher = TagHasher(seed)
+    picks = []
+    for tid in tag_ids:
+        tid = int(tid)
+        if probability >= 1.0 or hasher.participates(tid, probability):
+            picks.append(hasher.slot_of(tid, frame_size))
+        else:
+            picks.append(-1)
+    return picks
+
+
+def search_masks(
+    tag_ids: Sequence[int], frame_size: int, k_hashes: int, seed: int
+) -> List[int]:
+    """Per-tag multi-slot masks for a search request (f, k, seed):
+    every tag sets its ``k_hashes`` hashed slots (Sec. III-B)."""
+    hasher = TagHasher(seed)
+    masks = []
+    for tid in tag_ids:
+        mask = 0
+        for slot in hasher.slots_of(int(tid), frame_size, k_hashes):
+            mask |= 1 << slot
+        masks.append(mask)
+    return masks
+
+
+class FrameTransport(abc.ABC):
+    """A channel between the reader and a fixed tag population."""
+
+    def __init__(self, n_tags: int):
+        self._ledger = EnergyLedger(n_tags)
+        self._slots = SlotCount()
+        self.frames_run = 0
+
+    @property
+    @abc.abstractmethod
+    def tag_ids(self) -> np.ndarray:
+        """IDs of the tags this transport serves."""
+
+    @abc.abstractmethod
+    def run_frame(
+        self, frame_size: int, probability: float, seed: int
+    ) -> FrameOutcome:
+        """Execute one request (f, p, seed) and return the status bitmap."""
+
+    def run_search_frame(
+        self, frame_size: int, k_hashes: int, seed: int
+    ) -> FrameOutcome:
+        """Execute one multi-bit search request (f, k, seed): every tag
+        sets its k hashed slots.  Optional — transports that can carry
+        multi-bit picks override this."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support search frames"
+        )
+
+    def run_pick_frame(
+        self, frame_size: int, picks: Sequence[int]
+    ) -> FrameOutcome:
+        """Execute one frame with externally supplied per-tag picks
+        (-1 = silent).  Used by protocols whose slot distribution is not
+        uniform — e.g. LoF's geometric hashing.  The picks must still be
+        a deterministic function of (tag ID, seed) computed by the caller,
+        or the transports stop being interchangeable."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support external picks"
+        )
+
+    @property
+    def ledger(self) -> EnergyLedger:
+        """Per-tag energy accumulated over all frames so far."""
+        return self._ledger
+
+    @property
+    def slots(self) -> SlotCount:
+        """Execution time accumulated over all frames so far."""
+        return self._slots
+
+    def _record(self, outcome: FrameOutcome) -> FrameOutcome:
+        self._slots += outcome.slots
+        self.frames_run += 1
+        return outcome
+
+
+class TraditionalTransport(FrameTransport):
+    """Single-hop reader covering every tag directly (the classic model).
+
+    The status bitmap is simply the union of the participants' picks — a
+    busy slot is a slot some tag transmitted in, collisions included.  Each
+    participant spends one transmitted bit per frame; there is no relaying
+    and no idle listening (traditional tags only talk to the reader).
+    """
+
+    def __init__(self, tag_ids: Sequence[int]):
+        ids = np.asarray(list(tag_ids), dtype=np.int64)
+        super().__init__(len(ids))
+        self._tag_ids = ids
+
+    @property
+    def tag_ids(self) -> np.ndarray:
+        return self._tag_ids
+
+    def run_frame(
+        self, frame_size: int, probability: float, seed: int
+    ) -> FrameOutcome:
+        picks = frame_picks(self._tag_ids, frame_size, probability, seed)
+        bitmap = Bitmap.from_indices(frame_size, (s for s in picks if s >= 0))
+        sent = np.array([1.0 if s >= 0 else 0.0 for s in picks])
+        self._ledger.add_sent_bulk(sent)
+        return self._record(
+            FrameOutcome(bitmap=bitmap, slots=SlotCount(short_slots=frame_size))
+        )
+
+    def run_search_frame(
+        self, frame_size: int, k_hashes: int, seed: int
+    ) -> FrameOutcome:
+        masks = search_masks(self._tag_ids, frame_size, k_hashes, seed)
+        bits = 0
+        sent = np.zeros(len(masks))
+        for i, mask in enumerate(masks):
+            bits |= mask
+            sent[i] = mask.bit_count()
+        self._ledger.add_sent_bulk(sent)
+        return self._record(
+            FrameOutcome(
+                bitmap=Bitmap(frame_size, bits),
+                slots=SlotCount(short_slots=frame_size),
+            )
+        )
+
+    def run_pick_frame(
+        self, frame_size: int, picks: Sequence[int]
+    ) -> FrameOutcome:
+        if len(picks) != len(self._tag_ids):
+            raise ValueError("picks must have one entry per tag")
+        bitmap = Bitmap.from_indices(frame_size, (s for s in picks if s >= 0))
+        sent = np.array([1.0 if s >= 0 else 0.0 for s in picks])
+        self._ledger.add_sent_bulk(sent)
+        return self._record(
+            FrameOutcome(bitmap=bitmap, slots=SlotCount(short_slots=frame_size))
+        )
+
+
+class CCMTransport(FrameTransport):
+    """A CCM session per frame over a multi-hop networked-tag system."""
+
+    def __init__(
+        self,
+        network: Network,
+        checking_frame_length: Optional[int] = None,
+        use_indicator_vector: bool = True,
+        channel: Optional[Channel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(network.n_tags)
+        self.network = network
+        self.checking_frame_length = checking_frame_length
+        self.use_indicator_vector = use_indicator_vector
+        self.channel = channel
+        self.rng = rng
+        self.sessions: List[SessionResult] = []
+
+    @property
+    def tag_ids(self) -> np.ndarray:
+        return self.network.tag_ids
+
+    def run_frame(
+        self, frame_size: int, probability: float, seed: int
+    ) -> FrameOutcome:
+        picks = frame_picks(self.network.tag_ids, frame_size, probability, seed)
+        config = CCMConfig(
+            frame_size=frame_size,
+            checking_frame_length=self.checking_frame_length,
+            use_indicator_vector=self.use_indicator_vector,
+        )
+        result = run_session(
+            self.network,
+            picks,
+            config,
+            channel=self.channel,
+            rng=self.rng,
+            ledger=self._ledger,
+        )
+        self.sessions.append(result)
+        return self._record(
+            FrameOutcome(
+                bitmap=result.bitmap,
+                slots=result.slots,
+                rounds=result.rounds,
+                terminated_cleanly=result.terminated_cleanly,
+            )
+        )
+
+    def run_search_frame(
+        self, frame_size: int, k_hashes: int, seed: int
+    ) -> FrameOutcome:
+        masks = search_masks(self.network.tag_ids, frame_size, k_hashes, seed)
+        config = CCMConfig(
+            frame_size=frame_size,
+            checking_frame_length=self.checking_frame_length,
+            use_indicator_vector=self.use_indicator_vector,
+        )
+        result = run_session_masks(
+            self.network,
+            masks,
+            config,
+            channel=self.channel,
+            rng=self.rng,
+            ledger=self._ledger,
+        )
+        self.sessions.append(result)
+        return self._record(
+            FrameOutcome(
+                bitmap=result.bitmap,
+                slots=result.slots,
+                rounds=result.rounds,
+                terminated_cleanly=result.terminated_cleanly,
+            )
+        )
+
+    def run_pick_frame(
+        self, frame_size: int, picks: Sequence[int]
+    ) -> FrameOutcome:
+        config = CCMConfig(
+            frame_size=frame_size,
+            checking_frame_length=self.checking_frame_length,
+            use_indicator_vector=self.use_indicator_vector,
+        )
+        result = run_session(
+            self.network,
+            list(picks),
+            config,
+            channel=self.channel,
+            rng=self.rng,
+            ledger=self._ledger,
+        )
+        self.sessions.append(result)
+        return self._record(
+            FrameOutcome(
+                bitmap=result.bitmap,
+                slots=result.slots,
+                rounds=result.rounds,
+                terminated_cleanly=result.terminated_cleanly,
+            )
+        )
+
+
+class MultiReaderCCMTransport(FrameTransport):
+    """Round-robin multi-reader CCM (Sec. III-G, Eq. 1)."""
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        readers: Sequence[Reader],
+        tag_range: float,
+        tag_ids: Optional[Sequence[int]] = None,
+        checking_frame_length: Optional[int] = None,
+        channel: Optional[Channel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        positions = np.asarray(positions, dtype=np.float64)
+        n = positions.shape[0]
+        super().__init__(n)
+        self.positions = positions
+        self.readers = list(readers)
+        self.tag_range = tag_range
+        self._tag_ids = (
+            np.arange(1, n + 1, dtype=np.int64)
+            if tag_ids is None
+            else np.asarray(list(tag_ids), dtype=np.int64)
+        )
+        self.checking_frame_length = checking_frame_length
+        self.channel = channel
+        self.rng = rng
+
+    @property
+    def tag_ids(self) -> np.ndarray:
+        return self._tag_ids
+
+    def run_frame(
+        self, frame_size: int, probability: float, seed: int
+    ) -> FrameOutcome:
+        picks = frame_picks(self._tag_ids, frame_size, probability, seed)
+        config = CCMConfig(
+            frame_size=frame_size,
+            checking_frame_length=self.checking_frame_length,
+        )
+        result = run_multireader_session(
+            self.positions,
+            self.readers,
+            self.tag_range,
+            picks,
+            config,
+            tag_ids=self._tag_ids,
+            channel=self.channel,
+            rng=self.rng,
+        )
+        self._ledger.merge(result.ledger)
+        return self._record(
+            FrameOutcome(bitmap=result.bitmap, slots=result.slots)
+        )
+
+
+def ideal_bitmap(
+    tag_ids: Sequence[int], frame_size: int, probability: float, seed: int
+) -> Bitmap:
+    """The bitmap a perfect observer of all tags would record — used by
+    Theorem-1 tests and by TRP's reader-side prediction."""
+    picks = frame_picks(tag_ids, frame_size, probability, seed)
+    return Bitmap.from_indices(frame_size, (s for s in picks if s >= 0))

@@ -1,0 +1,139 @@
+"""Result persistence and report rendering.
+
+Simulation campaigns are expensive (the full-scale table sweep is ~13
+CPU-minutes), so their outputs should be kept, diffed and re-rendered
+without re-running.  This module round-trips
+:class:`~repro.sim.runner.SweepResult` through plain JSON, flattens it to
+CSV for spreadsheet/pandas use, and renders Markdown comparison tables of
+the kind EXPERIMENTS.md is built from.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.sim.runner import SweepResult, TrialAggregate
+
+PathLike = Union[str, pathlib.Path]
+
+#: Format marker so future layout changes stay loadable.
+_FORMAT = "repro-sweep-v1"
+
+
+def sweep_to_dict(result: SweepResult) -> dict:
+    """A JSON-ready representation of a sweep."""
+    return {
+        "format": _FORMAT,
+        "parameter": result.parameter,
+        "values": list(result.values),
+        "aggregates": [
+            {
+                name: {
+                    "mean": agg.mean,
+                    "std": agg.std,
+                    "minimum": agg.minimum,
+                    "maximum": agg.maximum,
+                    "count": agg.count,
+                }
+                for name, agg in point.items()
+            }
+            for point in result.aggregates
+        ],
+    }
+
+
+def sweep_from_dict(data: dict) -> SweepResult:
+    """Inverse of :func:`sweep_to_dict` (validates the format marker)."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    aggregates = []
+    for point in data["aggregates"]:
+        aggregates.append(
+            {
+                name: TrialAggregate(
+                    name=name,
+                    mean=fields["mean"],
+                    std=fields["std"],
+                    minimum=fields["minimum"],
+                    maximum=fields["maximum"],
+                    count=fields["count"],
+                )
+                for name, fields in point.items()
+            }
+        )
+    return SweepResult(
+        parameter=data["parameter"],
+        values=[float(v) for v in data["values"]],
+        aggregates=aggregates,
+    )
+
+
+def save_sweep(result: SweepResult, path: PathLike) -> None:
+    """Write a sweep to ``path`` as JSON."""
+    payload = json.dumps(sweep_to_dict(result), indent=2, sort_keys=True)
+    pathlib.Path(path).write_text(payload + "\n", encoding="utf-8")
+
+
+def load_sweep(path: PathLike) -> SweepResult:
+    """Read a sweep previously written by :func:`save_sweep`."""
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    return sweep_from_dict(data)
+
+
+def sweep_to_csv(
+    result: SweepResult,
+    path: Optional[PathLike] = None,
+    metrics: Optional[Sequence[str]] = None,
+) -> str:
+    """Flatten a sweep to long-form CSV.
+
+    One row per (parameter value, metric) with mean/std/min/max/count
+    columns.  Returns the CSV text; also writes it if ``path`` is given.
+    """
+    names = list(metrics) if metrics is not None else result.metric_names()
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [result.parameter, "metric", "mean", "std", "min", "max", "count"]
+    )
+    for value, point in zip(result.values, result.aggregates):
+        for name in names:
+            if name not in point:
+                raise KeyError(f"metric {name!r} missing at {value}")
+            agg = point[name]
+            writer.writerow(
+                [value, name, agg.mean, agg.std, agg.minimum, agg.maximum,
+                 agg.count]
+            )
+    text = buf.getvalue()
+    if path is not None:
+        pathlib.Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def markdown_table(
+    title: str,
+    columns: Sequence[float],
+    rows: Dict[str, Sequence[float]],
+    paper_rows: Optional[Dict[str, Sequence[float]]] = None,
+    col_label: str = "r",
+) -> str:
+    """Render a measured-vs-paper comparison as a Markdown table."""
+    header = (
+        f"| |{'|'.join(f' {col_label}={c:g} ' for c in columns)}|"
+    )
+    divider = "|---" * (len(columns) + 1) + "|"
+    lines = [f"**{title}**", "", header, divider]
+    for name, values in rows.items():
+        cells = "|".join(f" {v:,.1f} " for v in values)
+        lines.append(f"| {name} (measured) |{cells}|")
+        if paper_rows and name in paper_rows:
+            cells = "|".join(f" {v:,.1f} " for v in paper_rows[name])
+            lines.append(f"| {name} (paper) |{cells}|")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Trial running, parameter sweeps, and metric aggregation.
+
+The paper's evaluation averages every data point over 100 independent
+deployments (Sec. VI-A).  This module provides the scaffolding: a trial is
+a function ``(trial_index, rng_seed) -> dict of metrics``; ``run_trials``
+repeats it with derived seeds and aggregates each metric's mean/std/min/max;
+``sweep`` maps that over a parameter axis (the paper's inter-tag range r).
+
+Everything is deterministic given the base seed, and metrics are plain
+dicts of floats so experiments stay decoupled from protocols.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from repro.sim.rng import derive_seed
+
+MetricDict = Mapping[str, float]
+TrialFn = Callable[[int, int], MetricDict]
+
+
+@dataclass
+class TrialAggregate:
+    """Summary statistics of one metric across trials."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, name: str, samples: Sequence[float]) -> "TrialAggregate":
+        if not samples:
+            raise ValueError(f"no samples for metric {name!r}")
+        n = len(samples)
+        mean = sum(samples) / n
+        var = sum((s - mean) ** 2 for s in samples) / n if n > 1 else 0.0
+        return cls(
+            name=name,
+            mean=mean,
+            std=math.sqrt(var),
+            minimum=min(samples),
+            maximum=max(samples),
+            count=n,
+        )
+
+
+def aggregate_metrics(
+    per_trial: Sequence[MetricDict],
+) -> Dict[str, TrialAggregate]:
+    """Aggregate a list of per-trial metric dicts, keyed by metric name.
+
+    Every trial must report the same metric set — a missing key is a bug
+    in the experiment, not data to be imputed, so it raises.
+    """
+    if not per_trial:
+        raise ValueError("no trials to aggregate")
+    keys = set(per_trial[0])
+    for i, metrics in enumerate(per_trial):
+        if set(metrics) != keys:
+            raise ValueError(
+                f"trial {i} reported metrics {sorted(metrics)} but trial 0 "
+                f"reported {sorted(keys)}"
+            )
+    return {
+        key: TrialAggregate.from_samples(key, [float(m[key]) for m in per_trial])
+        for key in sorted(keys)
+    }
+
+
+def run_trials(
+    trial_fn: TrialFn,
+    n_trials: int,
+    base_seed: int = 0,
+) -> Dict[str, TrialAggregate]:
+    """Run ``trial_fn`` ``n_trials`` times with independent derived seeds."""
+    if n_trials <= 0:
+        raise ValueError("n_trials must be positive")
+    per_trial = [
+        trial_fn(k, derive_seed(base_seed, 0x7121A1, k) % (2**32))
+        for k in range(n_trials)
+    ]
+    return aggregate_metrics(per_trial)
+
+
+@dataclass
+class SweepResult:
+    """Aggregated metrics along one swept parameter axis."""
+
+    parameter: str
+    values: List[float]
+    aggregates: List[Dict[str, TrialAggregate]] = field(default_factory=list)
+
+    def series(self, metric: str, statistic: str = "mean") -> List[float]:
+        """Extract one metric's statistic along the axis (a plot series)."""
+        out = []
+        for agg in self.aggregates:
+            if metric not in agg:
+                raise KeyError(f"metric {metric!r} not in sweep results")
+            out.append(getattr(agg[metric], statistic))
+        return out
+
+    def metric_names(self) -> List[str]:
+        return sorted(self.aggregates[0]) if self.aggregates else []
+
+    def as_rows(self, metrics: Sequence[str]) -> List[List[float]]:
+        """Table rows: one per metric, columns following the axis values."""
+        return [self.series(m) for m in metrics]
+
+
+def sweep(
+    parameter: str,
+    values: Iterable[float],
+    trial_factory: Callable[[float], TrialFn],
+    n_trials: int,
+    base_seed: int = 0,
+) -> SweepResult:
+    """Run ``n_trials`` trials at each parameter value.
+
+    ``trial_factory(value)`` builds the trial function for one axis point;
+    each point gets an independent seed stream derived from ``base_seed``
+    and the point's index, so adding points never perturbs existing ones.
+    """
+    result = SweepResult(parameter=parameter, values=[])
+    for idx, value in enumerate(values):
+        trial_fn = trial_factory(value)
+        agg = run_trials(
+            trial_fn,
+            n_trials,
+            base_seed=derive_seed(base_seed, 0x5EE9, idx) % (2**32),
+        )
+        result.values.append(float(value))
+        result.aggregates.append(agg)
+    return result

@@ -1,0 +1,121 @@
+"""Session tracing: a structured event log of one CCM session.
+
+Protocol debugging needs more than the final bitmap: *when* did each slot
+reach the reader, how many tags transmitted per round, how long did each
+checking frame run.  Pass a :class:`SessionTracer` to
+:func:`repro.core.session.run_session` and it records one event per
+protocol step; export as NDJSON for external tooling or render the
+built-in summary.
+
+Events (``kind`` / payload):
+
+* ``round_start``   — ``round``
+* ``frame``         — ``transmitters``, ``bits_new_at_reader``,
+  ``reader_busy_total``
+* ``indicator``     — ``silenced_total``
+* ``checking``      — ``slots_executed``, ``reader_heard``,
+  ``pending_tags``
+* ``session_end``   — ``rounds``, ``clean``, ``busy_slots``
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass
+class TraceEvent:
+    """One recorded protocol step."""
+
+    kind: str
+    round_index: int
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"kind": self.kind, "round": self.round_index}
+        payload.update(self.data)
+        return json.dumps(payload, sort_keys=True)
+
+
+class SessionTracer:
+    """Collects :class:`TraceEvent` records during one session."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, kind: str, round_index: int, **data: Any) -> None:
+        self.events.append(TraceEvent(kind, round_index, data))
+
+    # -- queries -----------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def rounds(self) -> int:
+        starts = self.of_kind("round_start")
+        return max((e.round_index for e in starts), default=0)
+
+    def first_delivery_round(self) -> Optional[int]:
+        """The first round in which the reader learned any new bit."""
+        for event in self.of_kind("frame"):
+            if event.data.get("bits_new_at_reader", 0) > 0:
+                return event.round_index
+        return None
+
+    # -- export ---------------------------------------------------------------
+
+    def to_ndjson(self, path: Optional[PathLike] = None) -> str:
+        """One JSON object per line; also written to ``path`` if given."""
+        text = "\n".join(e.to_json() for e in self.events)
+        if text:
+            text += "\n"
+        if path is not None:
+            pathlib.Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_ndjson(cls, text: str) -> "SessionTracer":
+        tracer = cls()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            kind = payload.pop("kind")
+            round_index = payload.pop("round")
+            tracer.emit(kind, round_index, **payload)
+        return tracer
+
+    def summary(self) -> str:
+        """A per-round text digest of the session."""
+        lines = [
+            f"{'round':>6} {'tx tags':>8} {'new bits':>9} {'silenced':>9} "
+            f"{'check slots':>12} {'heard':>6}"
+        ]
+        frames = {e.round_index: e for e in self.of_kind("frame")}
+        indicators = {e.round_index: e for e in self.of_kind("indicator")}
+        checks = {e.round_index: e for e in self.of_kind("checking")}
+        for r in sorted(frames):
+            fr = frames[r].data
+            iv = indicators.get(r)
+            ck = checks.get(r)
+            lines.append(
+                f"{r:>6} {fr.get('transmitters', 0):>8} "
+                f"{fr.get('bits_new_at_reader', 0):>9} "
+                f"{(iv.data.get('silenced_total', 0) if iv else 0):>9} "
+                f"{(ck.data.get('slots_executed', 0) if ck else 0):>12} "
+                f"{str(ck.data.get('reader_heard', False) if ck else False):>6}"
+            )
+        ends = self.of_kind("session_end")
+        if ends:
+            end = ends[-1].data
+            lines.append(
+                f"session: {end.get('rounds')} rounds, "
+                f"{end.get('busy_slots')} busy slots, "
+                f"clean={end.get('clean')}"
+            )
+        return "\n".join(lines)

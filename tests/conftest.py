@@ -1,0 +1,58 @@
+"""Shared fixtures: small deterministic networks used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.geometry import Point
+from repro.net.topology import Network, PaperDeployment, Reader, paper_network
+
+
+@pytest.fixture(scope="session")
+def small_network() -> Network:
+    """A 400-tag paper-style deployment, r = 6 m (fast, 2-4 tiers)."""
+    return paper_network(
+        6.0, n_tags=400, seed=123, deployment=PaperDeployment(n_tags=400)
+    )
+
+
+@pytest.fixture(scope="session")
+def dense_network() -> Network:
+    """A 1,000-tag deployment at r = 4 m: denser, more tiers."""
+    return paper_network(
+        4.0, n_tags=1000, seed=321, deployment=PaperDeployment(n_tags=1000)
+    )
+
+
+@pytest.fixture()
+def line_network() -> Network:
+    """A hand-built 5-tag chain: reader — t0 — t1 — t2 — t3 — t4.
+
+    The reader hears only t0 (r' = 1.5, spacing 1.0 from 1.0 outward), and
+    each tag hears only its chain neighbours, so tiers are exactly
+    1, 2, 3, 4, 5.  Ideal for slot-accurate protocol assertions.
+    """
+    positions = np.array(
+        [[1.0, 0.0], [2.0, 0.0], [3.0, 0.0], [4.0, 0.0], [5.0, 0.0]]
+    )
+    reader = Reader(
+        position=Point(0.0, 0.0),
+        reader_to_tag_range=10.0,
+        tag_to_reader_range=1.5,
+    )
+    return Network.build(positions, [reader], tag_range=1.2)
+
+
+@pytest.fixture()
+def star_network() -> Network:
+    """Four tier-1 tags around the reader plus one tier-2 tag."""
+    positions = np.array(
+        [[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [0.0, -1.0], [2.5, 0.0]]
+    )
+    reader = Reader(
+        position=Point(0.0, 0.0),
+        reader_to_tag_range=10.0,
+        tag_to_reader_range=1.5,
+    )
+    return Network.build(positions, [reader], tag_range=1.6)

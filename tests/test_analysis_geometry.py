@@ -1,0 +1,200 @@
+"""Tests for repro.analysis.geometry — Eqs. (5)-(10), verified against
+Monte-Carlo integration where formulas are involved."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.geometry import (
+    TierGeometry,
+    geometric_num_tiers,
+    lens_area,
+    tier_of_distance,
+    tier_ring_area,
+)
+
+
+def _mc_lens(a, b, d, n=200_000, seed=0):
+    """Monte-Carlo area of the intersection of two disks."""
+    rng = np.random.default_rng(seed)
+    # Sample within disk A centred at origin; disk B centred at (d, 0).
+    r = a * np.sqrt(rng.random(n))
+    theta = rng.random(n) * 2 * math.pi
+    x, y = r * np.cos(theta), r * np.sin(theta)
+    inside_b = (x - d) ** 2 + y**2 <= b * b
+    return math.pi * a * a * inside_b.mean()
+
+
+class TestLensArea:
+    def test_disjoint(self):
+        assert lens_area(1.0, 1.0, 3.0) == 0.0
+
+    def test_touching(self):
+        assert lens_area(1.0, 1.0, 2.0) == 0.0
+
+    def test_contained(self):
+        assert lens_area(1.0, 10.0, 0.5) == pytest.approx(math.pi)
+
+    def test_identical(self):
+        assert lens_area(2.0, 2.0, 0.0) == pytest.approx(4 * math.pi)
+
+    def test_half_overlap_symmetry(self):
+        assert lens_area(2.0, 3.0, 2.5) == pytest.approx(
+            lens_area(3.0, 2.0, 2.5)
+        )
+
+    @pytest.mark.parametrize(
+        "a,b,d",
+        [(2.0, 3.0, 2.5), (1.0, 1.0, 1.0), (5.0, 2.0, 4.0), (3.0, 3.0, 0.5)],
+    )
+    def test_matches_monte_carlo(self, a, b, d):
+        assert lens_area(a, b, d) == pytest.approx(
+            _mc_lens(a, b, d), rel=0.02
+        )
+
+    def test_zero_radius(self):
+        assert lens_area(0.0, 1.0, 0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lens_area(-1.0, 1.0, 0.0)
+
+
+class TestTierFunctions:
+    def test_tier_of_distance_tier1(self):
+        assert tier_of_distance(0.0, 20.0, 6.0) == 1
+        assert tier_of_distance(20.0, 20.0, 6.0) == 1
+
+    def test_tier_of_distance_outer(self):
+        assert tier_of_distance(20.1, 20.0, 6.0) == 2
+        assert tier_of_distance(26.0, 20.0, 6.0) == 2
+        assert tier_of_distance(26.1, 20.0, 6.0) == 3
+
+    def test_tier_validation(self):
+        with pytest.raises(ValueError):
+            tier_of_distance(-1.0, 20.0, 6.0)
+        with pytest.raises(ValueError):
+            tier_of_distance(1.0, 0.0, 6.0)
+
+    def test_geometric_num_tiers_paper_values(self):
+        """Matches Fig. 3's layout: R = 30, r' = 20."""
+        expected = {2: 6, 3: 5, 4: 4, 5: 3, 6: 3, 7: 3, 8: 3, 9: 3, 10: 2}
+        for r, k in expected.items():
+            assert geometric_num_tiers(30.0, 20.0, float(r)) == k
+
+    def test_num_tiers_when_r_prime_covers_all(self):
+        assert geometric_num_tiers(20.0, 20.0, 5.0) == 1
+
+    def test_ring_areas_sum_to_field(self):
+        total = sum(
+            tier_ring_area(k, 30.0, 20.0, 6.0) for k in range(1, 4)
+        )
+        assert total == pytest.approx(math.pi * 900)
+
+    def test_ring_area_clipped_at_field_edge(self):
+        # Tier 3 at r = 6 covers 26..30 m only (not 26..32).
+        a3 = tier_ring_area(3, 30.0, 20.0, 6.0)
+        assert a3 == pytest.approx(math.pi * (900 - 676))
+
+    def test_ring_area_validation(self):
+        with pytest.raises(ValueError):
+            tier_ring_area(0, 30.0, 20.0, 6.0)
+
+
+class TestTierGeometry:
+    def _geo(self, tier=2, r=6.0):
+        return TierGeometry(
+            density=3.5368,
+            reader_to_tag=30.0,
+            tag_to_reader=20.0,
+            tag_range=r,
+            tier=tier,
+            n_tiers=geometric_num_tiers(30.0, 20.0, r),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierGeometry(0.0, 30, 20, 6, 1, 3)
+        with pytest.raises(ValueError):
+            TierGeometry(3.5, 30, 20, 6, 4, 3)
+        with pytest.raises(ValueError):
+            TierGeometry(3.5, 30, 20, -6, 1, 3)
+
+    def test_tag_distance(self):
+        assert self._geo(tier=1).tag_distance == 20.0
+        assert self._geo(tier=3).tag_distance == 32.0
+
+    def test_gamma_prime_eq5(self):
+        geo = self._geo()
+        assert geo.gamma_prime_size(0) == 0.0
+        # |Γ'_1| = rho * pi * r'^2
+        assert geo.gamma_prime_size(1) == pytest.approx(
+            3.5368 * math.pi * 400, rel=1e-6
+        )
+        assert geo.gamma_prime_size(2) == pytest.approx(
+            3.5368 * math.pi * 26**2, rel=1e-6
+        )
+
+    def test_gamma_zero_is_self(self):
+        assert self._geo().gamma_size(0) == 1.0
+
+    def test_gamma_grows(self):
+        geo = self._geo()
+        assert geo.gamma_size(1) < geo.gamma_size(2)
+
+    def test_gamma_inner_tier_full_disk(self):
+        # Tier-1 tag, i = 1: the disk never leaves coverage (k+i-1 <= K).
+        geo = self._geo(tier=1)
+        assert geo.gamma_size(1) == pytest.approx(
+            3.5368 * math.pi * 36, rel=1e-6
+        )
+
+    def test_shadow_reduces_outer_tier_disk(self):
+        # A tier-3 tag at 32 m: even its 1-hop disk pokes outside R = 30.
+        geo = self._geo(tier=3)
+        full = 3.5368 * math.pi * 36
+        assert geo.gamma_size(1) < full
+
+    def test_shadow_area_monte_carlo(self):
+        """S_i of Fig. 2(b) against direct integration."""
+        geo = self._geo(tier=3)
+        i = 1
+        c_radius = i * 6.0
+        rng = np.random.default_rng(5)
+        n = 200_000
+        r = c_radius * np.sqrt(rng.random(n))
+        th = rng.random(n) * 2 * math.pi
+        # tag at (32, 0); reader at origin with R = 30
+        x = 32.0 + r * np.cos(th)
+        y = r * np.sin(th)
+        outside = x**2 + y**2 > 900.0
+        mc = math.pi * c_radius**2 * outside.mean()
+        assert geo.shadow_area(i) == pytest.approx(mc, rel=0.02)
+
+    def test_union_bounds(self):
+        geo = self._geo(tier=2)
+        for i in range(0, 4):
+            union = geo.gamma_union_size(i)
+            assert union <= geo.gamma_size(i) + geo.gamma_prime_size(i) + 1e-9
+            assert union >= max(geo.gamma_size(i), geo.gamma_prime_size(i)) - 1e-9
+
+    def test_union_monotone_in_hops(self):
+        geo = self._geo(tier=2)
+        sizes = [geo.gamma_union_size(i) for i in range(4)]
+        assert all(a <= b + 1e-9 for a, b in zip(sizes, sizes[1:]))
+
+    def test_disjoint_regime_is_plain_sum(self):
+        """Eq. (10): for i <= k/2 the two disks cannot intersect."""
+        geo = self._geo(tier=3, r=2.0)  # k = 3 at r = 2? ensure valid
+        geo = TierGeometry(3.5368, 30.0, 20.0, 2.0, 4, 6)
+        i = 2  # i <= k/2
+        assert geo.overlap_area(i) == 0.0
+        assert geo.gamma_union_size(i) == pytest.approx(
+            geo.gamma_size(i) + geo.gamma_prime_size(i)
+        )
+
+    def test_overlap_positive_when_disks_meet(self):
+        geo = TierGeometry(3.5368, 30.0, 20.0, 6.0, 2, 3)
+        # i = 2: tag disk radius 12 at distance 26; reader disk radius 26.
+        assert geo.overlap_area(2) > 0.0

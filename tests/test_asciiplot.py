@@ -1,0 +1,67 @@
+"""Tests for repro.experiments.asciiplot — terminal line charts."""
+
+import pytest
+
+from repro.experiments.asciiplot import AsciiChart, line_chart
+
+
+class TestLineChart:
+    def test_renders_markers_and_legend(self):
+        text = line_chart(
+            "demo", [1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]}
+        )
+        assert "demo" in text
+        assert "o a" in text and "x b" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_labels_present(self):
+        text = line_chart("t", [2, 10], {"s": [5.0, 1.0]})
+        lines = text.splitlines()
+        assert any("2" in ln and "10" in ln for ln in lines)
+
+    def test_log_scale(self):
+        text = line_chart(
+            "log", [1, 2, 3], {"s": [10.0, 1000.0, 100000.0]}, log_y=True
+        )
+        assert "1.0e+05" in text or "100000" in text.replace(",", "")
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart("bad", [1, 2], {"s": [0.0, 1.0]}, log_y=True)
+
+    def test_constant_series_renders(self):
+        text = line_chart("flat", [1, 2, 3], {"s": [5.0, 5.0, 5.0]})
+        assert "o" in text
+
+    def test_dimensions_respected(self):
+        text = line_chart(
+            "dim", [1, 2], {"s": [1.0, 2.0]}, width=30, height=8
+        )
+        body = [ln for ln in text.splitlines() if "│" in ln or "┤" in ln]
+        assert len(body) == 8
+        for ln in body:
+            assert len(ln) <= 12 + 30 + 1
+
+
+class TestAsciiChartValidation:
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiChart().render()
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiChart().set_x([])
+
+    def test_length_mismatch_rejected(self):
+        chart = AsciiChart()
+        chart.set_x([1, 2, 3])
+        with pytest.raises(ValueError):
+            chart.add_series("s", [1.0])
+
+    def test_many_series_cycle_markers(self):
+        chart = AsciiChart()
+        chart.set_x([1, 2])
+        for i in range(10):
+            chart.add_series(f"s{i}", [float(i), float(i + 1)])
+        text = chart.render()
+        assert "s9" in text

@@ -1,0 +1,200 @@
+"""Unit tests for repro.core.bitmap."""
+
+import pytest
+
+from repro.core.bitmap import Bitmap, union
+
+
+class TestConstruction:
+    def test_empty_bitmap(self):
+        bm = Bitmap(8)
+        assert len(bm) == 8
+        assert bm.is_empty()
+        assert bm.popcount() == 0
+        assert bm.zero_count() == 8
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(-3)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(8, -1)
+
+    def test_value_overflowing_size_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(3, 0b1000)
+
+    def test_value_filling_size_accepted(self):
+        bm = Bitmap(3, 0b111)
+        assert bm.popcount() == 3
+
+    def test_from_indices(self):
+        bm = Bitmap.from_indices(10, [0, 3, 9])
+        assert bm.get(0) and bm.get(3) and bm.get(9)
+        assert not bm.get(1)
+        assert bm.popcount() == 3
+
+    def test_from_indices_duplicate_is_idempotent(self):
+        bm = Bitmap.from_indices(10, [4, 4, 4])
+        assert bm.popcount() == 1
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(IndexError):
+            Bitmap.from_indices(10, [10])
+        with pytest.raises(IndexError):
+            Bitmap.from_indices(10, [-1])
+
+    def test_from_bools(self):
+        bm = Bitmap.from_bools([True, False, True])
+        assert bm.size == 3
+        assert bm.get(0) and not bm.get(1) and bm.get(2)
+
+    def test_from_bools_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap.from_bools([])
+
+
+class TestAccess:
+    def test_getitem(self):
+        bm = Bitmap.from_indices(5, [2])
+        assert bm[2] is True
+        assert bm[0] is False
+
+    def test_index_bounds(self):
+        bm = Bitmap(5)
+        with pytest.raises(IndexError):
+            bm.get(5)
+        with pytest.raises(IndexError):
+            bm.get(-1)
+
+    def test_indices_roundtrip(self):
+        picked = [1, 5, 17, 30]
+        bm = Bitmap.from_indices(31, picked)
+        assert list(bm.indices()) == picked
+
+    def test_to_bools_roundtrip(self):
+        bm = Bitmap.from_indices(6, [0, 5])
+        assert Bitmap.from_bools(bm.to_bools()) == bm
+
+    def test_to_bitstring_slot_zero_first(self):
+        bm = Bitmap.from_indices(4, [0])
+        assert bm.to_bitstring() == "1000"
+
+    def test_repr_mentions_busy_count(self):
+        assert "busy=2" in repr(Bitmap.from_indices(8, [1, 2]))
+
+
+class TestMutation:
+    def test_set_and_clear(self):
+        bm = Bitmap(4)
+        bm.set(2)
+        assert bm.get(2)
+        bm.clear(2)
+        assert not bm.get(2)
+
+    def test_set_is_idempotent(self):
+        bm = Bitmap(4)
+        bm.set(1)
+        bm.set(1)
+        assert bm.popcount() == 1
+
+    def test_merge_is_or(self):
+        a = Bitmap.from_indices(8, [0, 1])
+        b = Bitmap.from_indices(8, [1, 2])
+        a.merge(b)
+        assert list(a.indices()) == [0, 1, 2]
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Bitmap(8).merge(Bitmap(9))
+
+    def test_merge_type_check(self):
+        with pytest.raises(TypeError):
+            Bitmap(8).merge(0b11)  # type: ignore[arg-type]
+
+    def test_copy_is_independent(self):
+        a = Bitmap.from_indices(8, [0])
+        b = a.copy()
+        b.set(1)
+        assert not a.get(1)
+
+
+class TestOperators:
+    def test_or(self):
+        a = Bitmap.from_indices(8, [0])
+        b = Bitmap.from_indices(8, [7])
+        assert list((a | b).indices()) == [0, 7]
+
+    def test_and(self):
+        a = Bitmap.from_indices(8, [0, 3])
+        b = Bitmap.from_indices(8, [3, 5])
+        assert list((a & b).indices()) == [3]
+
+    def test_xor(self):
+        a = Bitmap.from_indices(8, [0, 3])
+        b = Bitmap.from_indices(8, [3, 5])
+        assert list((a ^ b).indices()) == [0, 5]
+
+    def test_invert(self):
+        bm = Bitmap.from_indices(4, [0, 2])
+        assert list((~bm).indices()) == [1, 3]
+
+    def test_invert_respects_width(self):
+        bm = Bitmap(4)
+        assert (~bm).popcount() == 4
+
+    def test_difference(self):
+        a = Bitmap.from_indices(8, [0, 1, 2])
+        b = Bitmap.from_indices(8, [1])
+        assert list(a.difference(b).indices()) == [0, 2]
+
+    def test_equality_and_hash(self):
+        a = Bitmap.from_indices(8, [3])
+        b = Bitmap.from_indices(8, [3])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Bitmap.from_indices(9, [3])
+
+    def test_equality_other_type(self):
+        assert Bitmap(4) != 0
+
+
+class TestSegments:
+    def test_segments_roundtrip(self):
+        bm = Bitmap.from_indices(200, [0, 95, 96, 199])
+        segs = bm.segments(96)
+        assert len(segs) == 3  # ceil(200/96)
+        back = Bitmap.from_segments(200, segs, 96)
+        assert back == bm
+
+    def test_segments_width_positive(self):
+        with pytest.raises(ValueError):
+            Bitmap(8).segments(0)
+
+    def test_segment_values_bounded(self):
+        bm = Bitmap(10, (1 << 10) - 1)
+        for seg in bm.segments(4):
+            assert 0 <= seg < 16
+
+
+class TestUnion:
+    def test_union_of_none(self):
+        assert union([], 8).is_empty()
+
+    def test_union_matches_eq1(self):
+        parts = [
+            Bitmap.from_indices(16, [0, 5]),
+            Bitmap.from_indices(16, [5, 9]),
+            Bitmap.from_indices(16, [15]),
+        ]
+        combined = union(parts, 16)
+        assert list(combined.indices()) == [0, 5, 9, 15]
+
+    def test_union_size_mismatch(self):
+        with pytest.raises(ValueError):
+            union([Bitmap(8)], 9)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.net.channel — slot-level propagation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.net.channel import LossyChannel, PerfectChannel
+
+
+def _csr(adjacency):
+    """Build (indptr, indices) from a list of neighbor lists."""
+    indptr = np.zeros(len(adjacency) + 1, dtype=np.int64)
+    chunks = []
+    for i, neigh in enumerate(adjacency):
+        indptr[i + 1] = indptr[i] + len(neigh)
+        chunks.extend(neigh)
+    return indptr, np.array(chunks, dtype=np.int64)
+
+
+class TestPerfectChannel:
+    def test_single_transmitter(self):
+        indptr, indices = _csr([[1], [0, 2], [1]])
+        heard = PerfectChannel().propagate([0b01, 0, 0], indptr, indices)
+        assert heard == [0, 0b01, 0]
+
+    def test_collision_merges_to_busy(self):
+        # tags 0 and 2 both transmit slot 0; tag 1 hears one busy slot.
+        indptr, indices = _csr([[1], [0, 2], [1]])
+        heard = PerfectChannel().propagate([0b1, 0, 0b1], indptr, indices)
+        assert heard[1] == 0b1
+
+    def test_different_slots_merge_to_union(self):
+        indptr, indices = _csr([[1], [0, 2], [1]])
+        heard = PerfectChannel().propagate([0b01, 0, 0b10], indptr, indices)
+        assert heard[1] == 0b11
+
+    def test_out_of_range_not_heard(self):
+        indptr, indices = _csr([[], []])
+        heard = PerfectChannel().propagate([0b1, 0], indptr, indices)
+        assert heard == [0, 0]
+
+    def test_transmitter_hears_its_own_neighbors_only(self):
+        indptr, indices = _csr([[1], [0], []])
+        heard = PerfectChannel().propagate([0b1, 0b10, 0b100], indptr, indices)
+        assert heard[0] == 0b10
+        assert heard[1] == 0b1
+        assert heard[2] == 0
+
+    def test_reader_senses_union_of_tier1(self):
+        tier1 = np.array([True, False, True])
+        busy = PerfectChannel().reader_senses([0b01, 0b10, 0b100], tier1)
+        assert busy == 0b101
+
+    def test_reader_ignores_outer_tiers(self):
+        tier1 = np.array([False, False])
+        assert PerfectChannel().reader_senses([0b1, 0b1], tier1) == 0
+
+
+class TestLossyChannel:
+    def test_loss_validation(self):
+        with pytest.raises(ValueError):
+            LossyChannel(loss=1.0)
+        with pytest.raises(ValueError):
+            LossyChannel(loss=-0.1)
+
+    def test_zero_loss_equals_perfect(self):
+        indptr, indices = _csr([[1], [0, 2], [1]])
+        transmit = [0b101, 0, 0b10]
+        rng = np.random.default_rng(0)
+        lossy = LossyChannel(loss=0.0).propagate(transmit, indptr, indices, rng)
+        perfect = PerfectChannel().propagate(transmit, indptr, indices)
+        assert lossy == perfect
+
+    def test_requires_rng(self):
+        indptr, indices = _csr([[1], [0]])
+        with pytest.raises(ValueError):
+            LossyChannel(loss=0.5).propagate([0b1, 0], indptr, indices)
+        with pytest.raises(ValueError):
+            LossyChannel(loss=0.5).reader_senses([0b1], np.array([True]))
+
+    def test_high_loss_drops_most_bits(self):
+        indptr, indices = _csr([[1], [0]])
+        rng = np.random.default_rng(42)
+        heard_count = 0
+        for _ in range(300):
+            heard = LossyChannel(loss=0.9).propagate(
+                [0b1, 0], indptr, indices, rng
+            )
+            heard_count += heard[1]
+        assert 5 <= heard_count <= 70  # ~10% of 300
+
+    def test_redundant_transmitters_improve_reliability(self):
+        """Two transmitters of the same slot give two independent chances."""
+        indptr, indices = _csr([[2], [2], [0, 1]])
+        rng = np.random.default_rng(7)
+        single = 0
+        double = 0
+        for _ in range(500):
+            single += LossyChannel(loss=0.5).propagate(
+                [0b1, 0, 0], indptr, indices, rng
+            )[2]
+            double += LossyChannel(loss=0.5).propagate(
+                [0b1, 0b1, 0], indptr, indices, rng
+            )[2]
+        assert double > single
+
+    def test_reader_senses_with_loss(self):
+        rng = np.random.default_rng(3)
+        tier1 = np.array([True])
+        hits = sum(
+            LossyChannel(loss=0.5).reader_senses([0b1], tier1, rng)
+            for _ in range(400)
+        )
+        assert 120 <= hits <= 280

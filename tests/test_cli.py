@@ -1,0 +1,86 @@
+"""Tests for the repro-ccm command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import SCALES, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_presets_exist(self):
+        assert set(SCALES) == {"bench", "default", "full"}
+
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for name in ("fig3", "fig4", "tables", "theorem1", "accuracy",
+                     "analysis", "ablations", "extensions", "statefree",
+                     "robustness", "all"):
+            args = parser.parse_args([name])
+            assert callable(args.func)
+
+    def test_overrides_parsed(self):
+        args = build_parser().parse_args(
+            ["tables", "--n-tags", "500", "--trials", "2",
+             "--ranges", "2", "6", "--seed", "9"]
+        )
+        assert args.n_tags == 500
+        assert args.trials == 2
+        assert args.ranges == [2.0, 6.0]
+        assert args.seed == 9
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--scale", "huge"])
+
+
+class TestExecution:
+    def test_fig3_small(self, capsys):
+        code = main(["fig3", "--n-tags", "400", "--trials", "1",
+                     "--ranges", "6", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+
+    def test_tables_small(self, capsys):
+        code = main(["tables", "--n-tags", "400", "--trials", "1",
+                     "--ranges", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "GMLE-CCM (measured)" in out
+
+    def test_out_file_appended(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        main(["fig3", "--n-tags", "400", "--trials", "1",
+              "--ranges", "6", "--out", str(target)])
+        capsys.readouterr()
+        assert "Fig. 3" in target.read_text()
+
+
+class TestRenderCommand:
+    def test_render_from_saved_sweep(self, tmp_path, capsys):
+        sweep_path = tmp_path / "sweep.json"
+        main(["tables", "--n-tags", "400", "--trials", "1",
+              "--ranges", "6", "--json", str(sweep_path)])
+        capsys.readouterr()
+        code = main(["render", "--json", str(sweep_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "**Execution time (total slots)**" in out
+        assert "| GMLE-CCM (measured) |" in out
+
+    def test_render_requires_json(self):
+        with pytest.raises(SystemExit):
+            main(["render"])
+
+    def test_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        main(["tables", "--n-tags", "400", "--trials", "1",
+              "--ranges", "6", "--csv", str(csv_path)])
+        capsys.readouterr()
+        text = csv_path.read_text()
+        assert text.startswith("tag_range_m,metric,mean")
+        assert "sicp_slots" in text

@@ -1,0 +1,183 @@
+"""Tests for repro.analysis.cost_model — Eqs. (3), (11)-(13)."""
+
+import pytest
+
+from repro.analysis.cost_model import CCMCostModel, chi
+from repro.experiments import paperconfig as cfg
+
+
+def _model(r=6.0, f=cfg.GMLE_FRAME_SIZE, p=None):
+    return CCMCostModel(
+        frame_size=f,
+        participation=p if p is not None else cfg.gmle_participation(cfg.N_TAGS),
+        density=cfg.DENSITY,
+        reader_to_tag=30.0,
+        tag_to_reader=20.0,
+        tag_range=r,
+    )
+
+
+class TestChi:
+    def test_zero_picks(self):
+        assert chi(0, 100) == 0.0
+
+    def test_one_pick(self):
+        assert chi(1, 100) == pytest.approx(1.0)
+
+    def test_saturates_at_frame(self):
+        assert chi(1e6, 100) == pytest.approx(100.0, rel=1e-6)
+
+    def test_monotone(self):
+        values = [chi(n, 128) for n in (0, 10, 50, 200)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_subadditive(self):
+        """Collisions: 2n tags occupy fewer than twice the slots of n."""
+        assert chi(200, 128) < 2 * chi(100, 128)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi(-1, 100)
+
+
+class TestModelBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _model(p=0.0)
+        with pytest.raises(ValueError):
+            _model(f=0)
+
+    def test_n_tiers_matches_geometry(self):
+        assert _model(r=6.0).n_tiers == 3
+        assert _model(r=2.0).n_tiers == 6
+        assert _model(r=10.0).n_tiers == 2
+
+    def test_checking_length_is_2k(self):
+        assert _model(r=6.0).checking_frame_length == 6
+
+
+class TestEq3:
+    def test_r6_value(self):
+        out = _model(r=6.0).execution_time()
+        assert out.total_slots == 3 * (1671 + 18 + 6)  # = 5085
+
+    def test_decreases_with_r(self):
+        assert (
+            _model(r=2.0).execution_time().total_slots
+            > _model(r=6.0).execution_time().total_slots
+            > _model(r=10.0).execution_time().total_slots
+        )
+
+
+class TestEq11:
+    def test_monitor_slots_bounded(self):
+        model = _model()
+        for k in range(1, model.n_tiers + 1):
+            n_r = model.monitor_slots(k)
+            upper = model.n_tiers * (
+                model.frame_size + 18 + model.checking_frame_length
+            )
+            assert 0 < n_r < upper
+
+    def test_first_round_nearly_full_frame(self):
+        """Round 1: Γ_0 ∪ Γ'_0 = {t}, so the tag monitors ~f slots."""
+        model = _model()
+        geo_term = model.frame_size * (
+            1 - 1 / model.frame_size
+        ) ** model.participation
+        assert geo_term == pytest.approx(model.frame_size, rel=1e-3)
+
+    def test_received_bits_exceed_monitor_slots(self):
+        """Bit counting adds the f-bit indicator payloads each round."""
+        model = _model()
+        for k in range(1, model.n_tiers + 1):
+            assert model.received_bits(k) > model.monitor_slots(k)
+
+    def test_received_decreases_with_r_like_table4(self):
+        values = [
+            _model(r=r).received_bits(1) for r in (2.0, 6.0, 10.0)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_received_magnitude_matches_paper_table4(self):
+        """Paper Table IV, GMLE-CCM at r = 6: 7578 avg bits received.
+        The analysis should land within ~25 %."""
+        model = _model(r=6.0)
+        weights = model.tier_weights()
+        avg = sum(
+            w * model.received_bits(k)
+            for k, w in zip(range(1, model.n_tiers + 1), weights)
+        )
+        assert avg == pytest.approx(7578, rel=0.25)
+
+
+class TestEq12Eq13:
+    def test_round1_is_p(self):
+        model = _model()
+        assert model.transmit_slots_round(1, 1) == model.participation
+
+    def test_round_index_validation(self):
+        with pytest.raises(ValueError):
+            _model().transmit_slots_round(1, 0)
+
+    def test_round_costs_bounded_by_frame(self):
+        """Each round's expected transmissions are within [0, f] (a tag
+        cannot transmit more slots than the frame has)."""
+        model = _model(r=6.0)
+        for k in range(1, model.n_tiers + 1):
+            for i in range(1, model.n_tiers + 1):
+                n_si = model.transmit_slots_round(k, i)
+                assert 0.0 <= n_si <= model.frame_size
+
+    def test_checking_upper_bound_variants(self):
+        model = _model()
+        text_form = model.transmit_slots(2, checking_upper_bound="K")
+        eq_form = model.transmit_slots(2, checking_upper_bound="K*Lc")
+        assert eq_form > text_form
+        with pytest.raises(ValueError):
+            model.transmit_slots(2, checking_upper_bound="bogus")
+
+    def test_sent_increases_with_r_like_table3(self):
+        """Table III: GMLE-CCM sent bits grow with r (bigger Γ_i)."""
+        weights_avg = []
+        for r in (2.0, 6.0, 10.0):
+            model = _model(r=r)
+            w = model.tier_weights()
+            weights_avg.append(
+                sum(
+                    wk * model.sent_bits(k)
+                    for k, wk in zip(range(1, model.n_tiers + 1), w)
+                )
+            )
+        assert weights_avg[0] < weights_avg[1] < weights_avg[2]
+
+    def test_trp_is_gmle_with_p1(self):
+        """Sec. V-C: TRP's analysis is GMLE's with p = 1."""
+        trp = CCMCostModel(
+            frame_size=cfg.TRP_FRAME_SIZE,
+            participation=1.0,
+            density=cfg.DENSITY,
+            reader_to_tag=30.0,
+            tag_to_reader=20.0,
+            tag_range=6.0,
+        )
+        assert trp.transmit_slots_round(2, 1) == 1.0
+
+
+class TestAggregation:
+    def test_tier_weights_sum_to_one(self):
+        for r in (2.0, 6.0, 10.0):
+            assert sum(_model(r=r).tier_weights()) == pytest.approx(1.0)
+
+    def test_tier1_weight_matches_area_fraction(self):
+        # Tier 1 covers 20 of 30 m radius -> 4/9 of the field.
+        weights = _model(r=6.0).tier_weights()
+        assert weights[0] == pytest.approx(4 / 9, rel=1e-6)
+
+    def test_predict_energy_table_keys(self):
+        table = _model().predict_energy_table()
+        assert set(table) == {
+            "avg_sent", "max_sent", "avg_received", "max_received",
+        }
+        assert table["max_sent"] >= table["avg_sent"]
+        assert table["max_received"] >= table["avg_received"]

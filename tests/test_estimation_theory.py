@@ -1,0 +1,108 @@
+"""Tests for repro.analysis.estimation_theory."""
+
+import math
+
+import pytest
+
+from repro.analysis.estimation_theory import (
+    detection_curve,
+    executions_required,
+    expected_idle_fraction,
+    frames_required,
+    per_frame_relative_stderr,
+    per_frame_relative_variance,
+    repeated_detection_probability,
+    solve_optimal_load,
+)
+from repro.protocols.gmle import OPTIMAL_LOAD
+
+
+class TestIdleFraction:
+    def test_zero_load(self):
+        assert expected_idle_fraction(0.0) == 1.0
+
+    def test_decreasing(self):
+        assert expected_idle_fraction(2.0) < expected_idle_fraction(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_idle_fraction(-1.0)
+
+
+class TestVariance:
+    def test_formula(self):
+        lam, f = 1.0, 100
+        assert per_frame_relative_variance(lam, f) == pytest.approx(
+            (math.e - 1) / 100
+        )
+
+    def test_stderr_is_sqrt(self):
+        assert per_frame_relative_stderr(1.5, 200) == pytest.approx(
+            math.sqrt(per_frame_relative_variance(1.5, 200))
+        )
+
+    def test_minimum_at_optimal_load(self):
+        best = per_frame_relative_variance(OPTIMAL_LOAD, 1000)
+        for lam in (0.5, 1.0, 1.3, 2.0, 3.0):
+            assert per_frame_relative_variance(lam, 1000) >= best
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            per_frame_relative_variance(0.0, 100)
+        with pytest.raises(ValueError):
+            per_frame_relative_variance(1.0, 0)
+
+
+class TestFramesRequired:
+    def test_paper_frame_needs_one(self):
+        assert frames_required(0.95, 0.05, 1671, OPTIMAL_LOAD) == 1
+
+    def test_small_frame_needs_more(self):
+        k = frames_required(0.95, 0.05, 128, OPTIMAL_LOAD)
+        assert k > 10
+
+    def test_scales_inverse_beta_squared(self):
+        k1 = frames_required(0.95, 0.05, 128, OPTIMAL_LOAD)
+        k2 = frames_required(0.95, 0.025, 128, OPTIMAL_LOAD)
+        assert k2 == pytest.approx(4 * k1, rel=0.1)
+
+
+class TestOptimalLoad:
+    def test_matches_constant(self):
+        assert solve_optimal_load() == pytest.approx(OPTIMAL_LOAD, abs=1e-9)
+
+    def test_stationarity(self):
+        lam = solve_optimal_load()
+        assert lam * math.exp(lam) == pytest.approx(
+            2 * (math.exp(lam) - 1), rel=1e-10
+        )
+
+
+class TestRepeatedDetection:
+    def test_compounds(self):
+        single = repeated_detection_probability(1000, 256, 5, 1)
+        double = repeated_detection_probability(1000, 256, 5, 2)
+        assert double == pytest.approx(1 - (1 - single) ** 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            repeated_detection_probability(1000, 256, 5, 0)
+
+    def test_executions_required_consistent(self):
+        k = executions_required(1000, 256, 5, 0.99)
+        assert repeated_detection_probability(1000, 256, 5, k) >= 0.99
+        if k > 1:
+            assert repeated_detection_probability(1000, 256, 5, k - 1) < 0.99
+
+    def test_executions_required_one_when_single_suffices(self):
+        assert executions_required(100, 1 << 16, 10, 0.9) == 1
+
+    def test_executions_validation(self):
+        with pytest.raises(ValueError):
+            executions_required(1000, 256, 5, 1.0)
+
+
+class TestDetectionCurve:
+    def test_monotone_in_missing(self):
+        curve = detection_curve(1000, 256, [1, 5, 20, 100])
+        assert all(a < b for a, b in zip(curve, curve[1:]))

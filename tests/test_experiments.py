@@ -1,0 +1,258 @@
+"""Tests for the experiments package (small scales, shape assertions)."""
+
+import math
+
+import pytest
+
+from repro.experiments import paperconfig as cfg
+from repro.experiments import (
+    ablations,
+    accuracy,
+    analysis_vs_sim,
+    extensions,
+    fig3_tiers,
+    master,
+    theorem1_equivalence,
+)
+from repro.experiments.common import (
+    format_table,
+    make_trial,
+    paper_trial_metrics,
+    sweep_tag_range,
+)
+
+
+# Small enough to run in seconds, large enough that the paper's
+# qualitative shapes (CCM beating SICP) already hold — they emerge once
+# SICP's O(n) ID traffic dwarfs the fixed paper-sized CCM frames, which
+# needs n ≳ 1,500 (the benchmarks use 2,000).
+SMALL = cfg.ReproScale(
+    n_tags=1600, n_trials=1, tag_ranges=(3.0, 6.0, 10.0), base_seed=5
+)
+
+
+class TestPaperConfig:
+    def test_density_matches_paper(self):
+        assert cfg.DENSITY == pytest.approx(3.54, abs=0.01)
+
+    def test_gmle_participation_rule(self):
+        assert cfg.gmle_participation(10_000) == pytest.approx(
+            1.59 * 1671 / 10_000
+        )
+        assert cfg.gmle_participation(10) == 1.0  # clamped
+
+    def test_paper_tables_complete(self):
+        for table in cfg.PAPER_TABLES.values():
+            for proto in ("sicp", "gmle_ccm", "trp_ccm"):
+                assert len(table[proto]) == len(cfg.TABLE_TAG_RANGES_M)
+
+    def test_scales_note(self):
+        assert "trials" in cfg.BENCH_SCALE.scaled_density_note()
+
+
+class TestTrialMetrics:
+    def test_metric_namespace(self):
+        metrics = paper_trial_metrics(6.0, 700, seed=9)
+        for proto in ("sicp", "gmle_ccm", "trp_ccm"):
+            for key in ("slots", "max_sent", "avg_received"):
+                assert f"{proto}_{key}" in metrics
+        assert metrics["tiers"] >= 2
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            paper_trial_metrics(6.0, 100, seed=1, protocols=("bogus",))
+
+    def test_trial_fn_deterministic(self):
+        trial = make_trial(6.0, 500)
+        assert trial(0, 42) == trial(0, 42)
+
+    def test_sicp_collects_reachable(self):
+        metrics = paper_trial_metrics(6.0, 700, seed=3, protocols=("sicp",))
+        assert metrics["sicp_collected"] == metrics["reachable"]
+
+
+class TestFig3:
+    def test_shapes(self):
+        result = fig3_tiers.run(SMALL)
+        assert len(result.measured_tiers) == 3
+        # Non-increasing in r.
+        assert result.measured_tiers[0] >= result.measured_tiers[-1]
+        assert result.geometric_tiers == [5, 3, 2]
+
+    def test_report_renders(self):
+        result = fig3_tiers.run(SMALL)
+        text = fig3_tiers.report(result)
+        assert "Fig. 3" in text and "geometric" in text
+
+
+class TestMaster:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return master.run(SMALL)
+
+    def test_ccm_beats_sicp_on_time(self, result):
+        fig4 = result.fig4_execution_time()
+        for i in range(len(result.tag_ranges)):
+            assert fig4["gmle_ccm"][i] < fig4["sicp"][i]
+            assert fig4["trp_ccm"][i] < fig4["sicp"][i]
+
+    def test_ccm_sent_bits_orders_below_sicp(self, result):
+        t3 = result.table3_avg_sent()
+        for i in range(len(result.tag_ranges)):
+            assert t3["gmle_ccm"][i] * 3 < t3["sicp"][i]
+
+    def test_ccm_received_below_sicp(self, result):
+        t4 = result.table4_avg_received()
+        for i in range(len(result.tag_ranges)):
+            assert t4["gmle_ccm"][i] < t4["sicp"][i]
+            assert t4["trp_ccm"][i] < t4["sicp"][i]
+
+    def test_trp_gmle_cost_tracks_frame_ratio(self, result):
+        """CCM's received bits scale with the frame size: the TRP:GMLE
+        cost ratio follows f_trp/f_gmle (at the paper's scale TRP's frame
+        is ~2x GMLE's, so TRP costs more; at reduced populations TRP's
+        frame is resized down by trp_frame_for and can be cheaper)."""
+        frame_ratio = cfg.trp_frame_for(SMALL.n_tags) / cfg.GMLE_FRAME_SIZE
+        t4 = result.table4_avg_received()
+        for i in range(len(result.tag_ranges)):
+            cost_ratio = t4["trp_ccm"][i] / t4["gmle_ccm"][i]
+            assert cost_ratio == pytest.approx(frame_ratio, rel=0.35)
+
+    def test_report_includes_paper_rows_at_table_ranges(self):
+        small5 = cfg.ReproScale(
+            n_tags=500, n_trials=1, tag_ranges=cfg.TABLE_TAG_RANGES_M,
+            base_seed=5,
+        )
+        result = master.run(small5)
+        text = master.report(result)
+        assert "(paper)" in text
+        assert "Table IV" in text
+
+    def test_report_omits_paper_rows_otherwise(self, result):
+        text = master.report(result)
+        assert "Table I" in text
+        assert "41,767" not in text  # paper row suppressed off-grid
+
+
+class TestFormatTable:
+    def test_renders_measured_and_paper(self):
+        text = format_table(
+            "T", [2.0, 4.0],
+            {"sicp": [1.0, 2.0]},
+            {"sicp": [10.0, 20.0]},
+        )
+        assert "SICP (measured)" in text
+        assert "SICP (paper)" in text
+        assert "r=2" in text
+
+
+class TestTheorem1Experiment:
+    def test_all_cases_equal(self):
+        result = theorem1_equivalence.run(n_tags=600, n_deployments=2)
+        assert result.all_equal
+        assert len(result.cases) == 10
+        text = theorem1_equivalence.report(result)
+        assert "PASS" in text
+
+
+class TestAccuracyExperiment:
+    def test_estimation_runs(self):
+        result = accuracy.run_estimation(n_tags=600, n_runs=4)
+        assert len(result.estimates) == 4
+        assert all(e > 0 for e in result.estimates)
+        assert "coverage" in accuracy.report_estimation(result)
+
+    def test_detection_curve_shape(self):
+        result = accuracy.run_detection(
+            n_tags=500, frame_size=160, missing_counts=[1, 10, 40], n_runs=6
+        )
+        assert len(result.empirical) == 3
+        # Analytic curve is monotone; empirical should not be wildly off.
+        assert result.analytic[0] < result.analytic[-1]
+        assert "TRP" in accuracy.report_detection(result)
+
+
+class TestAblationExperiments:
+    def test_indicator_ablation_direction(self):
+        result = ablations.run_indicator_ablation(
+            n_tags=500, tag_ranges=(4.0,), n_trials=2, frame_size=256
+        )
+        with_iv = result.with_indicator[0]
+        without_iv = result.without_indicator[0]
+        assert without_iv["avg_sent"] > with_iv["avg_sent"]
+        assert "Ablation" in ablations.report_indicator(result)
+
+    def test_checking_ablation_completeness(self):
+        rows = ablations.run_checking_ablation(
+            n_tags=500, tag_range=3.0, n_trials=2, frame_size=256
+        )
+        by_lc = {row.checking_length: row for row in rows}
+        longest = max(by_lc)
+        assert by_lc[longest].complete_fraction == 1.0
+        assert by_lc[1].complete_fraction < 1.0
+        assert "L_c" in ablations.report_checking(rows)
+
+    def test_load_sweep_minimum_near_optimum(self):
+        rows = ablations.run_load_sweep()
+        best = min(rows, key=lambda r: r["relative_stderr"])
+        assert best["load"] == pytest.approx(1.59, abs=0.01)
+        assert "1.59" in ablations.report_load(rows)
+
+    def test_density_ablation_monotone(self):
+        rows = ablations.run_density_ablation(
+            populations=(400, 1600), n_trials=2
+        )
+        assert (
+            rows[0]["reachable_fraction"] <= rows[1]["reachable_fraction"] + 0.05
+        )
+        assert "density" in ablations.report_density(rows).lower()
+
+
+class TestAnalysisVsSim:
+    def test_predictions_within_magnitude(self):
+        rows = analysis_vs_sim.run(
+            n_tags=2_000, tag_ranges=[6.0], base_seed=1
+        )
+        row = rows[0]
+        assert row.predicted_slots >= row.measured_slots * 0.95
+        ratio = row.predicted_avg_received / row.measured_avg_received
+        assert 0.3 < ratio < 3.0
+        assert "Eqs" in analysis_vs_sim.report(rows)
+
+
+class TestExtensionExperiments:
+    def test_load_balance_direction(self):
+        rows = extensions.run_load_balance(n_tags=600, tag_ranges=(6.0,))
+        row = rows[0]
+        assert row.ccm_ratio_received < 1.5
+        assert row.sicp_ratio_sent > row.ccm_ratio_sent
+        assert "balance" in extensions.report_load_balance(rows).lower()
+
+    def test_multireader_demo(self):
+        result = extensions.run_multireader_demo(n_tags=1200)
+        assert result.combined_equals_reference
+        assert result.n_readers == 3
+        assert "Eq. 1" in extensions.report_multireader(result)
+
+    def test_cicp_comparison(self):
+        rows = extensions.run_cicp_comparison(n_tags=400, tag_ranges=(6.0,))
+        row = rows[0]
+        assert row.cicp_seconds > row.sicp_seconds
+        assert row.sicp_collected == row.cicp_collected
+        assert "CICP" in extensions.report_cicp(rows)
+
+
+class TestPerTierAnalysis:
+    def test_received_predictions_track_measurement(self):
+        rows = analysis_vs_sim.run_per_tier(n_tags=2000, seed=1)
+        assert len(rows) >= 2
+        for row in rows:
+            ratio = row.predicted_received / max(row.measured_received, 1.0)
+            assert 0.5 < ratio < 2.0
+        assert "tier" in analysis_vs_sim.report_per_tier(rows)
+
+    def test_sent_predictions_right_magnitude(self):
+        rows = analysis_vs_sim.run_per_tier(n_tags=2000, seed=2)
+        for row in rows[1:]:  # tier-1 worst-case deliberately overshoots
+            ratio = row.predicted_sent / max(row.measured_sent, 1e-9)
+            assert 0.2 < ratio < 5.0

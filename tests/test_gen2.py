@@ -1,0 +1,85 @@
+"""Tests for repro.net.gen2 — Gen2-derived slot timing."""
+
+import pytest
+
+from repro.net.gen2 import Gen2Params
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        Gen2Params()
+
+    def test_bad_tari(self):
+        with pytest.raises(ValueError):
+            Gen2Params(tari_us=0.0)
+
+    def test_bad_miller(self):
+        with pytest.raises(ValueError):
+            Gen2Params(miller=3)
+
+    def test_bad_data1(self):
+        with pytest.raises(ValueError):
+            Gen2Params(data1_tari=2.5)
+
+
+class TestDerivedRates:
+    def test_blf_from_dr_and_trcal(self):
+        # DR=64/3, TRcal=66.7 us -> ~320 kHz (a standard operating point)
+        assert Gen2Params().blf_khz == pytest.approx(320.0, rel=0.01)
+
+    def test_fm0_bit_time_is_one_period(self):
+        p = Gen2Params(miller=1)
+        assert p.tag_bit_time_us == pytest.approx(1000.0 / p.blf_khz)
+
+    def test_miller_scales_bit_time(self):
+        m1 = Gen2Params(miller=1).tag_bit_time_us
+        m8 = Gen2Params(miller=8).tag_bit_time_us
+        assert m8 == pytest.approx(8 * m1)
+
+    def test_reader_bit_between_tari_bounds(self):
+        p = Gen2Params()
+        assert p.tari_us < p.reader_bit_time_us < 2 * p.tari_us
+
+    def test_t1_at_least_rtcal(self):
+        p = Gen2Params()
+        assert p.t1_us >= p.rtcal_us
+
+
+class TestSlotDurations:
+    def test_id_slot_much_longer_than_short(self):
+        p = Gen2Params()
+        ratio = p.id_slot_us() / p.short_slot_us()
+        assert 3.0 < ratio < 20.0
+
+    def test_slot_timing_positive_and_ordered(self):
+        timing = Gen2Params().slot_timing()
+        assert 0 < timing.short_slot_s < timing.id_slot_s
+
+    def test_default_matches_library_ballpark(self):
+        """The library-wide SlotTiming defaults (0.4 ms / 2.4 ms) are the
+        same order as this profile's derivation."""
+        timing = Gen2Params().slot_timing()
+        assert 0.05e-3 < timing.short_slot_s < 1.0e-3
+        assert 0.5e-3 < timing.id_slot_s < 10e-3
+
+    def test_broadcast_scales_with_payload(self):
+        p = Gen2Params()
+        assert p.reader_broadcast_us(192) > p.reader_broadcast_us(96)
+        with pytest.raises(ValueError):
+            p.reader_broadcast_us(0)
+
+    def test_faster_link_shrinks_slots(self):
+        slow = Gen2Params(miller=8).slot_timing()
+        fast = Gen2Params(miller=1).slot_timing()
+        assert fast.short_slot_s < slow.short_slot_s
+        assert fast.id_slot_s < slow.id_slot_s
+
+    def test_eq3_seconds_view(self):
+        """End-to-end: the r = 6 GMLE-CCM session (5,075 slots) maps to a
+        sub-10-second wall-clock at this profile — the sanity scale for a
+        warehouse inventory round."""
+        from repro.net.timing import SlotCount
+
+        timing = Gen2Params().slot_timing()
+        session = SlotCount(short_slots=5075 - 54, id_slots=54)
+        assert 0.5 < session.seconds(timing) < 10.0

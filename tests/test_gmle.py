@@ -1,0 +1,206 @@
+"""Tests for repro.protocols.gmle — the estimator and its statistics."""
+
+import math
+
+import pytest
+
+from repro.protocols.gmle import (
+    FrameObservation,
+    GMLEProtocol,
+    OPTIMAL_LOAD,
+    fisher_information,
+    gmle_frame_size,
+    mle_estimate,
+    normal_quantile,
+    relative_halfwidth,
+)
+from repro.protocols.transport import CCMTransport, TraditionalTransport
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_values(self):
+        assert normal_quantile(0.95) == pytest.approx(1.6449, abs=1e-3)
+        assert normal_quantile(0.975) == pytest.approx(1.9600, abs=1e-3)
+        assert normal_quantile(0.05) == pytest.approx(-1.6449, abs=1e-3)
+
+    def test_symmetry(self):
+        for p in (0.6, 0.9, 0.99, 0.999):
+            assert normal_quantile(p) == pytest.approx(
+                -normal_quantile(1 - p), abs=1e-8
+            )
+
+    def test_tails(self):
+        assert normal_quantile(1e-6) < -4.5
+        assert normal_quantile(1 - 1e-6) > 4.5
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+
+class TestFrameSize:
+    def test_paper_value(self):
+        """α = 95 %, β = 5 % must give the paper's f = 1671 (Sec. VI-A)."""
+        assert gmle_frame_size(0.95, 0.05) == 1671
+
+    def test_tighter_accuracy_needs_bigger_frame(self):
+        assert gmle_frame_size(0.95, 0.01) > gmle_frame_size(0.95, 0.05)
+        assert gmle_frame_size(0.99, 0.05) > gmle_frame_size(0.95, 0.05)
+
+    def test_optimal_load_value(self):
+        # λ* solves λ e^λ = 2(e^λ − 1)
+        lam = OPTIMAL_LOAD
+        assert lam * math.exp(lam) == pytest.approx(
+            2 * (math.exp(lam) - 1), rel=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gmle_frame_size(alpha=1.0)
+        with pytest.raises(ValueError):
+            gmle_frame_size(beta=0.0)
+
+
+class TestFrameObservation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameObservation(10, 1.0, 11)
+        with pytest.raises(ValueError):
+            FrameObservation(10, 0.0, 5)
+
+    def test_log_avoid_negative(self):
+        assert FrameObservation(10, 0.5, 5).log_avoid < 0
+
+
+class TestMLE:
+    def _observe(self, n, f, p):
+        """Expected idle count for a synthetic frame."""
+        q = (1 - p / f) ** n
+        return FrameObservation(f, p, round(f * q))
+
+    def test_recovers_known_n_single_frame(self):
+        obs = [self._observe(1000, 4096, 1.0)]
+        assert mle_estimate(obs) == pytest.approx(1000, rel=0.02)
+
+    def test_recovers_with_sampling(self):
+        obs = [self._observe(10_000, 1671, 0.2657)]
+        assert mle_estimate(obs) == pytest.approx(10_000, rel=0.02)
+
+    def test_multiple_frames_combine(self):
+        obs = [
+            self._observe(5000, 2048, 0.5),
+            self._observe(5000, 2048, 0.6),
+            self._observe(5000, 1024, 0.3),
+        ]
+        assert mle_estimate(obs) == pytest.approx(5000, rel=0.02)
+
+    def test_all_idle_means_zero(self):
+        obs = [FrameObservation(64, 1.0, 64)]
+        assert mle_estimate(obs) == 0.0
+
+    def test_saturated_frames_rejected(self):
+        with pytest.raises(ValueError):
+            mle_estimate([FrameObservation(64, 1.0, 0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mle_estimate([])
+
+    def test_monotone_in_idle_count(self):
+        low_idle = mle_estimate([FrameObservation(256, 1.0, 40)])
+        high_idle = mle_estimate([FrameObservation(256, 1.0, 120)])
+        assert low_idle > high_idle
+
+
+class TestInformationAndHalfwidth:
+    def test_information_positive(self):
+        obs = [FrameObservation(1671, 0.27, 800)]
+        assert fisher_information(obs, 10_000) > 0
+
+    def test_more_frames_tighter_halfwidth(self):
+        one = [FrameObservation(1671, 0.27, 780)]
+        two = one * 2
+        assert relative_halfwidth(two, 10_000, 0.95) < relative_halfwidth(
+            one, 10_000, 0.95
+        )
+
+    def test_paper_frame_meets_beta_in_one_frame(self):
+        """f = 1671 at optimal load: one frame's halfwidth ≤ 5 %."""
+        n = 10_000
+        p = OPTIMAL_LOAD * 1671 / n
+        q = (1 - p / 1671) ** n
+        obs = [FrameObservation(1671, p, round(1671 * q))]
+        hw = relative_halfwidth(obs, n, 0.95)
+        assert hw <= 0.0505
+
+    def test_degenerate_inputs(self):
+        assert relative_halfwidth([], 100, 0.95) == math.inf
+        assert relative_halfwidth(
+            [FrameObservation(10, 1.0, 5)], 0.0, 0.95
+        ) == math.inf
+
+
+class TestProtocolOverTraditional:
+    def test_estimate_accurate(self):
+        ids = list(range(1, 3001))
+        transport = TraditionalTransport(ids)
+        protocol = GMLEProtocol(alpha=0.95, beta=0.05)
+        result = protocol.estimate(transport, seed=11)
+        assert result.estimate == pytest.approx(3000, rel=0.12)
+        assert result.frames >= 1
+        assert result.rough_frames >= 1
+
+    def test_known_rough_estimate_skips_phase_one(self):
+        ids = list(range(1, 2001))
+        transport = TraditionalTransport(ids)
+        protocol = GMLEProtocol(known_rough_estimate=2000)
+        result = protocol.estimate(transport, seed=4)
+        assert result.rough_frames == 0
+        assert result.estimate == pytest.approx(2000, rel=0.12)
+
+    def test_empty_population(self):
+        transport = TraditionalTransport([])
+        protocol = GMLEProtocol()
+        result = protocol.estimate(transport, seed=2)
+        assert result.estimate == 0.0
+
+    def test_halfwidth_reported(self):
+        transport = TraditionalTransport(list(range(1, 1001)))
+        result = GMLEProtocol(known_rough_estimate=1000).estimate(
+            transport, seed=9
+        )
+        assert result.achieved_halfwidth <= 0.06
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GMLEProtocol(frame_size=-1)
+        with pytest.raises(ValueError):
+            GMLEProtocol(max_frames=0)
+
+
+class TestProtocolOverCCM:
+    def test_estimate_over_multihop(self, small_network):
+        transport = CCMTransport(small_network)
+        n_reachable = int(small_network.reachable_mask.sum())
+        protocol = GMLEProtocol(
+            alpha=0.95, beta=0.05, known_rough_estimate=n_reachable
+        )
+        result = protocol.estimate(transport, seed=21)
+        assert result.estimate == pytest.approx(n_reachable, rel=0.15)
+
+    def test_ccm_and_traditional_agree_exactly(self, small_network):
+        """Theorem 1 at the protocol level: same seeds -> same bitmaps ->
+        bit-identical estimates."""
+        reachable = small_network.tag_ids[small_network.reachable_mask]
+        ccm = CCMTransport(small_network)
+        trad = TraditionalTransport(reachable)
+        p1 = GMLEProtocol(known_rough_estimate=400)
+        p2 = GMLEProtocol(known_rough_estimate=400)
+        r_ccm = p1.estimate(ccm, seed=77)
+        r_trad = p2.estimate(trad, seed=77)
+        assert r_ccm.estimate == pytest.approx(r_trad.estimate, rel=1e-12)

@@ -1,0 +1,153 @@
+"""Tests for repro.protocols.identification."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.identification import IterativeIdentification
+from repro.protocols.transport import CCMTransport, TraditionalTransport
+
+
+def _population(n):
+    return list(range(1, n + 1))
+
+
+class TestValidation:
+    def test_load_positive(self):
+        with pytest.raises(ValueError):
+            IterativeIdentification(load=0.0)
+
+    def test_rounds_positive(self):
+        with pytest.raises(ValueError):
+            IterativeIdentification(max_rounds=0)
+
+    def test_empty_inventory(self):
+        with pytest.raises(ValueError):
+            IterativeIdentification().identify(
+                TraditionalTransport([1]), [], seed=0
+            )
+
+
+class TestClosedSystem:
+    def test_nothing_missing_all_confirmed_present(self):
+        ids = _population(300)
+        result = IterativeIdentification().identify(
+            TraditionalTransport(ids), ids, seed=1
+        )
+        assert result.fully_resolved
+        assert result.confirmed_missing == []
+        assert result.confirmed_present == ids
+
+    def test_identifies_exact_missing_set(self):
+        ids = _population(400)
+        gone = {7, 77, 177, 277, 377}
+        present = [t for t in ids if t not in gone]
+        result = IterativeIdentification().identify(
+            TraditionalTransport(present), ids, seed=2
+        )
+        assert result.fully_resolved
+        assert set(result.confirmed_missing) == gone
+        assert set(result.confirmed_present) == set(present)
+
+    def test_everything_missing(self):
+        ids = _population(100)
+        result = IterativeIdentification().identify(
+            TraditionalTransport([]), ids, seed=3
+        )
+        assert set(result.confirmed_missing) == set(ids)
+        assert result.confirmed_present == []
+
+    def test_no_false_accusations_across_seeds(self):
+        ids = _population(250)
+        gone = set(range(1, 26))
+        present = [t for t in ids if t not in gone]
+        for seed in range(5):
+            result = IterativeIdentification().identify(
+                TraditionalTransport(present), ids, seed=seed
+            )
+            assert set(result.confirmed_missing) == gone
+            assert not set(result.confirmed_present) & gone
+
+    def test_convergence_trace(self):
+        ids = _population(500)
+        result = IterativeIdentification().identify(
+            TraditionalTransport(ids), ids, seed=4
+        )
+        assert sum(result.resolved_per_round) == 500
+        assert result.rounds == len(result.resolved_per_round)
+
+    def test_max_rounds_leaves_unresolved(self):
+        ids = _population(500)
+        result = IterativeIdentification(max_rounds=1, load=5.0).identify(
+            TraditionalTransport(ids), ids, seed=5
+        )
+        # One overloaded round cannot resolve everyone.
+        assert result.unresolved
+        assert not result.fully_resolved
+
+
+class TestOpenSystem:
+    def test_unknown_tag_detected(self):
+        ids = _population(200)
+        # The field holds an intruder the inventory does not know.
+        field = ids + [999_999]
+        result = IterativeIdentification().identify(
+            TraditionalTransport(field), ids, seed=6
+        )
+        assert result.unknown_tag_detected
+
+    def test_closed_field_reports_no_unknown(self):
+        ids = _population(200)
+        result = IterativeIdentification().identify(
+            TraditionalTransport(ids), ids, seed=7
+        )
+        assert not result.unknown_tag_detected
+
+    def test_open_mode_never_confirms_present(self):
+        ids = _population(150)
+        result = IterativeIdentification(
+            assume_closed_system=False, max_rounds=4
+        ).identify(TraditionalTransport(ids), ids, seed=8)
+        assert result.confirmed_present == []
+        assert result.confirmed_missing == []  # nothing is missing either
+
+    def test_open_mode_still_identifies_missing(self):
+        ids = _population(150)
+        gone = {10, 20, 30}
+        present = [t for t in ids if t not in gone]
+        result = IterativeIdentification(
+            assume_closed_system=False, max_rounds=12
+        ).identify(TraditionalTransport(present), ids, seed=9)
+        assert gone <= set(result.confirmed_missing)
+
+
+class TestOverCCM:
+    def test_identification_through_multihop(self, small_network):
+        known = [int(t) for t in small_network.tag_ids]
+        rng = np.random.default_rng(4)
+        gone_idx = rng.choice(small_network.n_tags, size=15, replace=False)
+        keep = np.ones(small_network.n_tags, dtype=bool)
+        keep[gone_idx] = False
+        present_net = small_network.subset(keep)
+        gone_ids = {int(small_network.tag_ids[i]) for i in gone_idx}
+        if not present_net.is_fully_reachable():
+            pytest.skip("removals disconnected the relay network")
+        result = IterativeIdentification().identify(
+            CCMTransport(present_net), known, seed=11
+        )
+        assert result.fully_resolved
+        assert set(result.confirmed_missing) == gone_ids
+
+    def test_ccm_matches_traditional(self, small_network):
+        """Theorem 1 once more: identical rounds, identical verdicts."""
+        if not small_network.is_fully_reachable():
+            pytest.skip("fixture has unreachable tags")
+        known = [int(t) for t in small_network.tag_ids]
+        ccm = IterativeIdentification().identify(
+            CCMTransport(small_network), known, seed=12
+        )
+        trad = IterativeIdentification().identify(
+            TraditionalTransport(known), known, seed=12
+        )
+        assert ccm.confirmed_missing == trad.confirmed_missing
+        assert ccm.confirmed_present == trad.confirmed_present
+        assert ccm.rounds == trad.rounds

@@ -1,0 +1,178 @@
+"""Integration tests: full protocol stacks over shared deployments.
+
+These exercise the library the way the examples and experiments do —
+network construction through protocol execution through metric extraction —
+and pin the paper's qualitative claims at a scale where they already hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import CCMConfig, run_session
+from repro.experiments import paperconfig as cfg
+from repro.net.topology import PaperDeployment, paper_network
+from repro.protocols.gmle import GMLEProtocol
+from repro.protocols.sicp import run_sicp
+from repro.protocols.transport import (
+    CCMTransport,
+    TraditionalTransport,
+    frame_picks,
+    ideal_bitmap,
+)
+from repro.protocols.trp import TRPProtocol
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    """A 2,000-tag deployment at r = 6 m — the benchmark scale, where the
+    paper's qualitative results are already visible."""
+    return paper_network(
+        6.0, n_tags=2000, seed=2019, deployment=PaperDeployment(n_tags=2000)
+    )
+
+
+class TestEndToEndEstimation:
+    def test_estimate_close_to_truth(self, warehouse):
+        transport = CCMTransport(warehouse)
+        protocol = GMLEProtocol(alpha=0.95, beta=0.05)
+        result = protocol.estimate(transport, seed=1)
+        n_true = int(warehouse.reachable_mask.sum())
+        assert result.estimate == pytest.approx(n_true, rel=0.1)
+
+    def test_estimation_cost_orders_below_sicp(self, warehouse):
+        transport = CCMTransport(warehouse)
+        GMLEProtocol(known_rough_estimate=2000).estimate(transport, seed=2)
+        sicp = run_sicp(warehouse, seed=2)
+        assert transport.slots.total_slots < sicp.total_slots / 3
+        assert transport.ledger.avg_sent() < sicp.ledger.avg_sent() / 3
+        assert transport.ledger.avg_received() < sicp.ledger.avg_received() / 2
+
+
+class TestEndToEndDetection:
+    def test_full_inventory_pipeline(self, warehouse):
+        known = [int(t) for t in warehouse.tag_ids]
+        # Steal 60 tags (1.5x the tolerance scaled down).
+        rng = np.random.default_rng(99)
+        stolen = set(
+            int(warehouse.tag_ids[i])
+            for i in rng.choice(2000, size=60, replace=False)
+        )
+        keep = np.array([int(t) not in stolen for t in warehouse.tag_ids])
+        present = warehouse.subset(keep)
+        transport = CCMTransport(present)
+        protocol = TRPProtocol(frame_size=2048)
+        result = protocol.detect(transport, known, seed=5)
+        assert result.detected
+        assert set(result.suspicious_ids) <= stolen
+        assert len(result.suspicious_ids) > 0
+
+    def test_intact_inventory_never_alarms(self, warehouse):
+        known = [int(t) for t in warehouse.tag_ids]
+        if not warehouse.is_fully_reachable():
+            known = [
+                int(t) for t in warehouse.tag_ids[warehouse.reachable_mask]
+            ]
+        transport = CCMTransport(warehouse)
+        for seed in (11, 12, 13):
+            result = TRPProtocol(frame_size=1024).detect(
+                transport, known, seed=seed
+            )
+            assert not result.detected
+
+
+class TestCostShapes:
+    """The paper's qualitative cost claims at bench scale (Sec. VI-B)."""
+
+    @pytest.fixture(scope="class")
+    def by_range(self):
+        out = {}
+        for r in (3.0, 6.0, 10.0):
+            net = paper_network(
+                r, n_tags=2000, seed=7, deployment=PaperDeployment(n_tags=2000)
+            )
+            picks = frame_picks(
+                net.tag_ids, cfg.GMLE_FRAME_SIZE,
+                cfg.gmle_participation(2000), seed=7,
+            )
+            ccm = run_session(
+                net, picks, CCMConfig(frame_size=cfg.GMLE_FRAME_SIZE)
+            )
+            sicp = run_sicp(net, seed=7)
+            out[r] = (net, ccm, sicp)
+        return out
+
+    def test_ccm_time_decreases_with_r(self, by_range):
+        slots = [by_range[r][1].total_slots for r in (3.0, 6.0, 10.0)]
+        assert slots[0] > slots[1] >= slots[2]
+
+    def test_ccm_beats_sicp_time_everywhere(self, by_range):
+        for r, (net, ccm, sicp) in by_range.items():
+            assert ccm.total_slots < sicp.total_slots
+
+    def test_ccm_received_decreases_with_r(self, by_range):
+        received = [
+            by_range[r][1].ledger.avg_received() for r in (3.0, 6.0, 10.0)
+        ]
+        assert received[0] > received[1] > received[2]
+
+    def test_ccm_sent_increases_with_r(self, by_range):
+        sent = [by_range[r][1].ledger.avg_sent() for r in (3.0, 6.0, 10.0)]
+        assert sent[0] < sent[1] < sent[2]
+
+    def test_sicp_max_sent_dominated_by_roots(self, by_range):
+        for r, (net, ccm, sicp) in by_range.items():
+            assert (
+                sicp.ledger.max_sent() > 10 * ccm.ledger.max_sent()
+            )
+
+    def test_ccm_load_balanced_sicp_not(self, by_range):
+        for r, (net, ccm, sicp) in by_range.items():
+            assert ccm.ledger.load_balance_ratio() < 1.3
+            assert (
+                sicp.ledger.max_sent() / sicp.ledger.avg_sent()
+                > ccm.ledger.max_sent() / max(ccm.ledger.avg_sent(), 1e-9)
+            )
+
+
+class TestMultiSessionStateFreedom:
+    def test_sessions_independent(self, warehouse):
+        """State-free tags: running a session twice with the same seed
+        yields identical results (no state carries over)."""
+        picks = frame_picks(warehouse.tag_ids, 512, 1.0, seed=3)
+        a = run_session(warehouse, picks, CCMConfig(frame_size=512))
+        b = run_session(warehouse, picks, CCMConfig(frame_size=512))
+        assert a.bitmap == b.bitmap
+        assert a.rounds == b.rounds
+        assert a.total_slots == b.total_slots
+        assert np.array_equal(a.ledger.bits_sent, b.ledger.bits_sent)
+
+    def test_different_seeds_different_bitmaps(self, warehouse):
+        p1 = frame_picks(warehouse.tag_ids, 512, 1.0, seed=3)
+        p2 = frame_picks(warehouse.tag_ids, 512, 1.0, seed=4)
+        a = run_session(warehouse, p1, CCMConfig(frame_size=512))
+        b = run_session(warehouse, p2, CCMConfig(frame_size=512))
+        assert a.bitmap != b.bitmap
+
+
+class TestTheorem1AtScale:
+    @pytest.mark.parametrize("r", [3.0, 6.0, 10.0])
+    def test_equivalence(self, r):
+        net = paper_network(
+            r, n_tags=2000, seed=31, deployment=PaperDeployment(n_tags=2000)
+        )
+        picks = frame_picks(net.tag_ids, 1024, 0.6, seed=31)
+        result = run_session(net, picks, CCMConfig(frame_size=1024))
+        reachable = net.tag_ids[net.reachable_mask]
+        assert result.bitmap == ideal_bitmap(reachable, 1024, 0.6, 31)
+
+    def test_protocol_level_equivalence(self, warehouse):
+        """The same GMLE run over CCM and over a traditional reader returns
+        the identical estimate (identical bitmaps, Theorem 1)."""
+        reachable = warehouse.tag_ids[warehouse.reachable_mask]
+        est_ccm = GMLEProtocol(known_rough_estimate=2000).estimate(
+            CCMTransport(warehouse), seed=55
+        )
+        est_trad = GMLEProtocol(known_rough_estimate=2000).estimate(
+            TraditionalTransport(reachable), seed=55
+        )
+        assert est_ccm.estimate == est_trad.estimate

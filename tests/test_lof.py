@@ -1,0 +1,133 @@
+"""Tests for repro.protocols.lof — the Lottery-Frame estimator."""
+
+import math
+
+import pytest
+
+from repro.core.bitmap import Bitmap
+from repro.protocols.lof import (
+    LoFProtocol,
+    PHI,
+    first_idle_slot,
+    frames_required,
+    geometric_pick,
+    lof_estimate,
+    lof_picks,
+)
+from repro.protocols.transport import CCMTransport, TraditionalTransport
+from repro.experiments import estimators
+
+
+class TestGeometricPick:
+    def test_in_range(self):
+        for tid in range(1, 500):
+            assert 0 <= geometric_pick(tid, 32, seed=1) < 32
+
+    def test_deterministic(self):
+        assert geometric_pick(7, 32, 5) == geometric_pick(7, 32, 5)
+
+    def test_geometric_distribution(self):
+        """P(slot = i) ≈ 2^-(i+1): about half land in slot 0."""
+        n = 20_000
+        counts = [0] * 32
+        for tid in range(n):
+            counts[geometric_pick(tid, 32, seed=9)] += 1
+        assert abs(counts[0] / n - 0.5) < 0.02
+        assert abs(counts[1] / n - 0.25) < 0.02
+        assert abs(counts[2] / n - 0.125) < 0.01
+
+    def test_cap_at_last_slot(self):
+        # With frame_size 2 everything lands in slot 0 or 1.
+        picks = {geometric_pick(t, 2, seed=3) for t in range(1000)}
+        assert picks == {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_pick(1, 0, seed=0)
+
+    def test_lof_picks_length(self):
+        assert len(lof_picks([1, 2, 3], 32, 0)) == 3
+
+
+class TestFirstIdle:
+    def test_empty_bitmap(self):
+        assert first_idle_slot(Bitmap(8)) == 0
+
+    def test_prefix_busy(self):
+        assert first_idle_slot(Bitmap.from_indices(8, [0, 1, 2])) == 3
+
+    def test_gap_counts(self):
+        assert first_idle_slot(Bitmap.from_indices(8, [0, 2, 3])) == 1
+
+    def test_full_bitmap(self):
+        assert first_idle_slot(Bitmap(4, 0b1111)) == 4
+
+
+class TestEstimateMath:
+    def test_single_frame_formula(self):
+        assert lof_estimate([10]) == pytest.approx(1024 / PHI)
+
+    def test_mean_over_frames(self):
+        assert lof_estimate([10, 12]) == pytest.approx((2.0**11) / PHI)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lof_estimate([])
+
+    def test_frames_required_scale(self):
+        m5 = frames_required(0.95, 0.05)
+        m10 = frames_required(0.95, 0.10)
+        assert m5 == pytest.approx(4 * m10, rel=0.05)
+        assert m5 > 500  # ~654 at the default target
+
+
+class TestLoFOverTransports:
+    def test_accuracy_traditional(self):
+        ids = list(range(1, 1001))
+        transport = TraditionalTransport(ids)
+        result = LoFProtocol(max_frames=400).estimate(transport, seed=3)
+        assert result.estimate == pytest.approx(1000, rel=0.2)
+        assert result.frames == 400
+        assert result.slots.total_slots == 400 * 32
+
+    def test_unbiased_log_estimate(self):
+        """mean(R) should sit near log2(φ·n)."""
+        ids = list(range(1, 2001))
+        transport = TraditionalTransport(ids)
+        result = LoFProtocol(max_frames=300).estimate(transport, seed=4)
+        mean_r = sum(result.first_idle_indices) / len(
+            result.first_idle_indices
+        )
+        assert mean_r == pytest.approx(math.log2(PHI * 2000), abs=0.25)
+
+    def test_ccm_equals_traditional(self, small_network):
+        """Theorem 1 holds for geometric picks too: identical frames give
+        identical estimates."""
+        reachable = [
+            int(t) for t in small_network.tag_ids[small_network.reachable_mask]
+        ]
+        ccm = LoFProtocol(max_frames=40).estimate(
+            CCMTransport(small_network), seed=5
+        )
+        trad = LoFProtocol(max_frames=40).estimate(
+            TraditionalTransport(reachable), seed=5
+        )
+        assert ccm.first_idle_indices == trad.first_idle_indices
+        assert ccm.estimate == trad.estimate
+
+    def test_frame_size_validation(self):
+        with pytest.raises(ValueError):
+            LoFProtocol(frame_size=1)
+
+
+class TestEstimatorComparison:
+    def test_gmle_cheaper_over_ccm(self):
+        # Same accuracy target for both (LoF gets its full frame budget).
+        rows = estimators.run(n_tags=400, n_runs=1)
+        by_name = {row.name: row for row in rows}
+        assert by_name["GMLE"].mean_slots < by_name["LOF"].mean_slots
+        assert (
+            by_name["GMLE"].mean_avg_received_bits
+            < by_name["LOF"].mean_avg_received_bits
+        )
+        assert "GMLE" in estimators.report(rows)

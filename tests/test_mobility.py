@@ -1,0 +1,90 @@
+"""Tests for repro.net.mobility and the state-freedom experiment."""
+
+import numpy as np
+import pytest
+
+from repro.net.geometry import Point, uniform_disk
+from repro.net.mobility import displace, relocate_fraction
+from repro.experiments import statefree
+
+
+class TestDisplace:
+    def test_zero_step_is_identity(self):
+        pos = uniform_disk(100, 20.0, seed=1)
+        moved = displace(pos, 0.0, 20.0, seed=2)
+        assert np.allclose(moved, pos)
+
+    def test_step_bounded(self):
+        pos = uniform_disk(300, 20.0, seed=1)
+        moved = displace(pos, 2.5, 25.0, seed=2)
+        d = np.hypot(*(moved - pos).T)
+        assert np.all(d <= 2.5 + 1e-9)
+
+    def test_stays_in_disk(self):
+        pos = uniform_disk(300, 10.0, seed=3)
+        moved = displace(pos, 5.0, 10.0, seed=4)
+        assert np.all(np.hypot(moved[:, 0], moved[:, 1]) <= 10.0 + 1e-9)
+
+    def test_offset_center_respected(self):
+        center = Point(50.0, 50.0)
+        pos = uniform_disk(100, 5.0, center=center, seed=5)
+        moved = displace(pos, 3.0, 5.0, center=center, seed=6)
+        d = np.hypot(moved[:, 0] - 50.0, moved[:, 1] - 50.0)
+        assert np.all(d <= 5.0 + 1e-9)
+
+    def test_validation(self):
+        pos = uniform_disk(10, 5.0, seed=1)
+        with pytest.raises(ValueError):
+            displace(pos, -1.0, 5.0)
+        with pytest.raises(ValueError):
+            displace(pos, 1.0, 0.0)
+
+    def test_seed_reproducible(self):
+        pos = uniform_disk(50, 5.0, seed=1)
+        a = displace(pos, 1.0, 5.0, seed=9)
+        b = displace(pos, 1.0, 5.0, seed=9)
+        assert np.array_equal(a, b)
+
+
+class TestRelocate:
+    def test_zero_fraction_identity(self):
+        pos = uniform_disk(100, 20.0, seed=1)
+        assert np.array_equal(relocate_fraction(pos, 0.0, 20.0, seed=2), pos)
+
+    def test_fraction_moved(self):
+        pos = uniform_disk(200, 20.0, seed=1)
+        moved = relocate_fraction(pos, 0.25, 20.0, seed=2)
+        changed = np.any(moved != pos, axis=1)
+        assert changed.sum() == 50
+
+    def test_all_moved(self):
+        pos = uniform_disk(100, 20.0, seed=1)
+        moved = relocate_fraction(pos, 1.0, 20.0, seed=2)
+        assert np.all(np.hypot(moved[:, 0], moved[:, 1]) <= 20.0 + 1e-9)
+
+    def test_validation(self):
+        pos = uniform_disk(10, 5.0, seed=1)
+        with pytest.raises(ValueError):
+            relocate_fraction(pos, 1.5, 5.0)
+        with pytest.raises(ValueError):
+            relocate_fraction(pos, 0.5, 0.0)
+
+
+class TestStateFreeExperiment:
+    def test_stale_tree_degrades_ccm_does_not(self):
+        rows = statefree.run(
+            n_tags=600, max_steps=[0.0, 4.0], n_trials=2, frame_size=128
+        )
+        by_step = {row.max_step_m: row for row in rows}
+        assert by_step[0.0].sicp_stale_delivered_fraction == pytest.approx(1.0)
+        assert by_step[4.0].sicp_stale_delivered_fraction < 0.9
+        for row in rows:
+            assert row.ccm_complete
+            assert row.ccm_bitmap_exact
+
+    def test_report_renders(self):
+        rows = statefree.run(
+            n_tags=400, max_steps=[0.0], n_trials=1, frame_size=64
+        )
+        text = statefree.report(rows)
+        assert "state-free" in text.lower() or "State-free" in text

@@ -1,0 +1,257 @@
+"""Property-based tests (hypothesis) on core data structures & invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.geometry import lens_area
+from repro.core.bitmap import Bitmap, union
+from repro.core.session import CCMConfig, run_session
+from repro.net.geometry import GridIndex, Point, uniform_disk
+from repro.net.topology import Network, Reader
+from repro.protocols.gmle import FrameObservation, mle_estimate
+from repro.protocols.transport import frame_picks, ideal_bitmap
+from repro.sim.rng import TagHasher, splitmix64
+
+sizes = st.integers(min_value=1, max_value=300)
+
+
+@st.composite
+def bitmap_pairs(draw):
+    size = draw(sizes)
+    a = draw(st.integers(min_value=0, max_value=(1 << size) - 1))
+    b = draw(st.integers(min_value=0, max_value=(1 << size) - 1))
+    return Bitmap(size, a), Bitmap(size, b)
+
+
+class TestBitmapAlgebra:
+    @given(bitmap_pairs())
+    def test_or_is_commutative(self, pair):
+        a, b = pair
+        assert a | b == b | a
+
+    @given(bitmap_pairs())
+    def test_or_is_idempotent_on_union(self, pair):
+        a, b = pair
+        c = a | b
+        assert c | a == c
+        assert c | b == c
+
+    @given(bitmap_pairs())
+    def test_popcount_inclusion_exclusion(self, pair):
+        a, b = pair
+        assert (a | b).popcount() + (a & b).popcount() == (
+            a.popcount() + b.popcount()
+        )
+
+    @given(bitmap_pairs())
+    def test_difference_disjoint_from_other(self, pair):
+        a, b = pair
+        assert (a.difference(b) & b).is_empty()
+
+    @given(bitmap_pairs())
+    def test_xor_is_symmetric_difference(self, pair):
+        a, b = pair
+        assert a ^ b == (a.difference(b)) | (b.difference(a))
+
+    @given(bitmap_pairs())
+    def test_demorgan(self, pair):
+        a, b = pair
+        assert ~(a | b) == (~a) & (~b)
+
+    @given(st.lists(st.integers(min_value=0, max_value=199), max_size=40))
+    def test_indices_roundtrip(self, indices):
+        bm = Bitmap.from_indices(200, indices)
+        assert set(bm.indices()) == set(indices)
+
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=128),
+    )
+    def test_segments_roundtrip(self, size, width):
+        bm = Bitmap(size, (1 << size) - 1 if size % 2 else (1 << size) // 3)
+        assert Bitmap.from_segments(size, bm.segments(width), width) == bm
+
+    @given(st.lists(bitmap_pairs(), min_size=1, max_size=5))
+    def test_union_order_invariant(self, pairs):
+        size = pairs[0][0].size
+        maps = [Bitmap(size, p[0].bits % (1 << size)) for p in pairs]
+        assert union(maps, size) == union(list(reversed(maps)), size)
+
+
+class TestHashingProperties:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_splitmix_in_range(self, x):
+        assert 0 <= splitmix64(x) < 2**64
+
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=1, max_value=5_000),
+    )
+    def test_slot_pick_stable_and_bounded(self, seed, tag_id, frame):
+        h = TagHasher(seed)
+        slot = h.slot_of(tag_id, frame)
+        assert 0 <= slot < frame
+        assert slot == TagHasher(seed).slot_of(tag_id, frame)
+
+    @given(st.integers(min_value=0, max_value=2**32), st.floats(0.0, 1.0))
+    def test_participation_deterministic(self, seed, p):
+        h = TagHasher(seed)
+        assert h.participates(17, p) == h.participates(17, p)
+
+
+class TestLensProperties:
+    radii = st.floats(min_value=0.01, max_value=50.0)
+
+    @given(radii, radii, st.floats(min_value=0.0, max_value=120.0))
+    def test_bounded_by_smaller_disk(self, a, b, d):
+        area = lens_area(a, b, d)
+        smallest = math.pi * min(a, b) ** 2
+        assert -1e-9 <= area <= smallest + 1e-9
+
+    @given(radii, radii, st.floats(min_value=0.0, max_value=120.0))
+    def test_symmetric_in_radii(self, a, b, d):
+        assert lens_area(a, b, d) == pytest.approx(
+            lens_area(b, a, d), rel=1e-9, abs=1e-9
+        )
+
+    @given(radii, radii)
+    def test_monotone_in_distance(self, a, b):
+        distances = [0.0, 0.5 * (a + b), a + b + 1.0]
+        areas = [lens_area(a, b, d) for d in distances]
+        assert areas[0] >= areas[1] >= areas[2]
+
+
+class TestMLEProperties:
+    @given(
+        st.integers(min_value=50, max_value=5000),
+        st.integers(min_value=64, max_value=2048),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mle_inverts_expectation(self, n, f):
+        """Feeding the exact expected idle count recovers ~n (when the
+        frame is informative: not saturated, not empty)."""
+        q = (1 - 1.0 / f) ** n
+        idle = round(f * q)
+        if idle <= 0 or idle >= f:
+            return
+        est = mle_estimate([FrameObservation(f, 1.0, idle)])
+        # Rounding the idle count quantises the estimate; allow that.
+        assert est == pytest.approx(n, rel=0.25)
+
+    @given(st.integers(min_value=1, max_value=63))
+    def test_mle_monotone_in_idle(self, idle):
+        lo = mle_estimate([FrameObservation(64, 1.0, idle)])
+        hi = mle_estimate([FrameObservation(64, 1.0, idle + 1)])
+        assert lo >= hi
+
+
+@st.composite
+def deployments(draw):
+    n = draw(st.integers(min_value=30, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    tag_range = draw(st.sampled_from([3.0, 5.0, 8.0]))
+    positions = uniform_disk(n, 15.0, seed=seed)
+    reader = Reader(Point(0, 0), reader_to_tag_range=15.0,
+                    tag_to_reader_range=6.0)
+    return Network.build(positions, [reader], tag_range), seed
+
+
+class TestNetworkProperties:
+    @given(deployments())
+    @settings(max_examples=25, deadline=None)
+    def test_adjacency_symmetric(self, built):
+        net, _ = built
+        neigh = [set(net.neighbors(i).tolist()) for i in range(net.n_tags)]
+        for i in range(net.n_tags):
+            assert i not in neigh[i]
+            for j in neigh[i]:
+                assert i in neigh[j]
+
+    @given(deployments())
+    @settings(max_examples=25, deadline=None)
+    def test_tier_steps_by_one_hop(self, built):
+        """A reachable tag's tier exceeds its best neighbour's by exactly
+        one (BFS invariant), except tier-1 tags."""
+        net, _ = built
+        for i in range(net.n_tags):
+            t = net.tiers[i]
+            if t <= 1:
+                continue
+            neighbor_tiers = [
+                net.tiers[j] for j in net.neighbors(i) if net.tiers[j] > 0
+            ]
+            if t > 0:
+                assert neighbor_tiers, "reachable non-tier-1 tag must have neighbors"
+                assert min(neighbor_tiers) == t - 1
+
+
+class TestSessionProperties:
+    @given(
+        deployments(),
+        st.integers(min_value=16, max_value=256),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_theorem1_equivalence(self, built, frame_size, probability):
+        """The headline invariant: with a checking frame long enough for
+        the realised topology, CCM's bitmap equals the single-hop bitmap
+        over the reachable population — for arbitrary deployments, frame
+        sizes and sampling probabilities.  (The paper's range-based L_c
+        estimate assumes dense deployments; sparse random graphs can have
+        more hops than distance/r, so the invariant test supplies the
+        topology-aware length.  The ablation experiment covers the
+        too-short case.)"""
+        net, seed = built
+        l_c = 2 * max(net.num_tiers, 1) + 2
+        picks = frame_picks(net.tag_ids, frame_size, probability, seed)
+        result = run_session(
+            net,
+            picks,
+            CCMConfig(frame_size=frame_size, checking_frame_length=l_c,
+                      max_rounds=net.n_tags + 1),
+        )
+        reachable = net.tag_ids[net.reachable_mask]
+        assert result.terminated_cleanly
+        assert result.bitmap == ideal_bitmap(
+            reachable, frame_size, probability, seed
+        )
+
+    @given(deployments())
+    @settings(max_examples=20, deadline=None)
+    def test_unclean_termination_is_the_data_loss_signal(self, built):
+        """If a session reports clean termination, no reachable tag's bit
+        was dropped — even when L_c came from the paper's heuristic."""
+        net, seed = built
+        picks = frame_picks(net.tag_ids, 64, 1.0, seed)
+        result = run_session(net, picks, CCMConfig(frame_size=64))
+        if result.terminated_cleanly:
+            reachable = net.tag_ids[net.reachable_mask]
+            reference = ideal_bitmap(reachable, 64, 1.0, seed)
+            assert reference.difference(result.bitmap).is_empty()
+
+    @given(deployments())
+    @settings(max_examples=15, deadline=None)
+    def test_rounds_bounded_by_tiers_plus_one(self, built):
+        net, seed = built
+        picks = frame_picks(net.tag_ids, 64, 1.0, seed)
+        result = run_session(net, picks, CCMConfig(frame_size=64))
+        if result.terminated_cleanly and net.num_tiers > 0:
+            assert result.rounds <= max(net.num_tiers, 1) + 1
+
+    @given(deployments())
+    @settings(max_examples=15, deadline=None)
+    def test_energy_non_negative_and_bounded(self, built):
+        net, seed = built
+        f = 64
+        picks = frame_picks(net.tag_ids, f, 1.0, seed)
+        result = run_session(net, picks, CCMConfig(frame_size=f))
+        assert np.all(result.ledger.bits_sent >= 0)
+        # A tag cannot transmit more than one bit per slot of any frame.
+        max_possible = result.rounds * f + sum(
+            s.checking_slots_executed for s in result.round_stats
+        )
+        assert np.all(result.ledger.bits_sent <= max_possible)

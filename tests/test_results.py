@@ -1,0 +1,98 @@
+"""Tests for repro.sim.results — persistence and report rendering."""
+
+import json
+
+import pytest
+
+from repro.sim.results import (
+    load_sweep,
+    markdown_table,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_csv,
+    sweep_to_dict,
+)
+from repro.sim.runner import sweep
+
+
+@pytest.fixture()
+def small_sweep():
+    def factory(value):
+        def trial(k, seed):
+            return {"metric_a": value * 2.0, "metric_b": float(seed % 5)}
+
+        return trial
+
+    return sweep("x", [1.0, 2.0], factory, n_trials=3, base_seed=9)
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_preserves_everything(self, small_sweep):
+        back = sweep_from_dict(sweep_to_dict(small_sweep))
+        assert back.parameter == small_sweep.parameter
+        assert back.values == small_sweep.values
+        assert back.series("metric_a") == small_sweep.series("metric_a")
+        assert back.series("metric_b", "std") == small_sweep.series(
+            "metric_b", "std"
+        )
+        assert back.aggregates[0]["metric_a"].count == 3
+
+    def test_format_marker_checked(self):
+        with pytest.raises(ValueError):
+            sweep_from_dict({"format": "something-else"})
+
+    def test_dict_is_json_serialisable(self, small_sweep):
+        json.dumps(sweep_to_dict(small_sweep))
+
+
+class TestFileRoundtrip:
+    def test_save_load(self, small_sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(small_sweep, path)
+        back = load_sweep(path)
+        assert back.series("metric_a") == small_sweep.series("metric_a")
+
+    def test_load_rejects_other_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_sweep(path)
+
+
+class TestCsv:
+    def test_long_form_layout(self, small_sweep):
+        text = sweep_to_csv(small_sweep)
+        lines = text.strip().splitlines()
+        # header + 2 values x 2 metrics
+        assert len(lines) == 1 + 4
+        assert lines[0].startswith("x,metric,mean")
+
+    def test_metric_subset(self, small_sweep):
+        text = sweep_to_csv(small_sweep, metrics=["metric_a"])
+        assert "metric_b" not in text
+
+    def test_missing_metric_raises(self, small_sweep):
+        with pytest.raises(KeyError):
+            sweep_to_csv(small_sweep, metrics=["nope"])
+
+    def test_writes_file(self, small_sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(small_sweep, path=path)
+        assert path.read_text().startswith("x,metric")
+
+
+class TestMarkdown:
+    def test_measured_only(self):
+        text = markdown_table("T", [2.0, 6.0], {"SICP": [1.0, 2.0]})
+        assert "**T**" in text
+        assert "| SICP (measured) | 1.0 | 2.0 |" in text
+
+    def test_with_paper_rows(self):
+        text = markdown_table(
+            "T", [2.0], {"SICP": [1.0]}, {"SICP": [10.0]}
+        )
+        assert "(paper) | 10.0 |" in text
+
+    def test_column_labels(self):
+        text = markdown_table("T", [3.0], {"a": [1.0]}, col_label="loss")
+        assert "loss=3" in text

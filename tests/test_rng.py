@@ -1,0 +1,123 @@
+"""Unit tests for repro.sim.rng — the deterministic tag-side hashing."""
+
+import pytest
+
+from repro.sim.rng import TagHasher, derive_seed, hash2, splitmix64, uniform_unit
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_64_bit_output(self):
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(x) < 2**64
+
+    def test_distinct_inputs_distinct_outputs(self):
+        outputs = {splitmix64(x) for x in range(1000)}
+        assert len(outputs) == 1000  # splitmix64 is a bijection
+
+    def test_avalanche(self):
+        """Flipping one input bit flips roughly half the output bits."""
+        flips = bin(splitmix64(42) ^ splitmix64(43)).count("1")
+        assert 15 <= flips <= 49
+
+    def test_hash2_order_sensitive(self):
+        assert hash2(1, 2) != hash2(2, 1)
+
+    def test_uniform_unit_range(self):
+        for x in range(0, 2**64, 2**60):
+            assert 0.0 <= uniform_unit(splitmix64(x)) < 1.0
+
+
+class TestDeriveSeed:
+    def test_labels_independent(self):
+        assert derive_seed(7, 1) != derive_seed(7, 2)
+
+    def test_label_order_matters(self):
+        assert derive_seed(7, 1, 2) != derive_seed(7, 2, 1)
+
+    def test_no_labels_still_mixes(self):
+        assert derive_seed(0) != 0
+
+
+class TestTagHasherSlots:
+    def test_slot_in_range(self):
+        h = TagHasher(99)
+        for tid in range(1, 200):
+            assert 0 <= h.slot_of(tid, 31) < 31
+
+    def test_slot_deterministic_across_instances(self):
+        assert TagHasher(5).slot_of(77, 100) == TagHasher(5).slot_of(77, 100)
+
+    def test_slot_changes_with_seed(self):
+        slots_a = [TagHasher(1).slot_of(t, 1000) for t in range(50)]
+        slots_b = [TagHasher(2).slot_of(t, 1000) for t in range(50)]
+        assert slots_a != slots_b
+
+    def test_slot_roughly_uniform(self):
+        h = TagHasher(42)
+        frame = 10
+        counts = [0] * frame
+        n = 10_000
+        for tid in range(n):
+            counts[h.slot_of(tid, frame)] += 1
+        expected = n / frame
+        for c in counts:
+            assert abs(c - expected) < 5 * (expected**0.5)
+
+    def test_invalid_frame_size(self):
+        with pytest.raises(ValueError):
+            TagHasher(1).slot_of(5, 0)
+
+
+class TestTagHasherSampling:
+    def test_probability_bounds_enforced(self):
+        h = TagHasher(1)
+        with pytest.raises(ValueError):
+            h.participates(1, -0.1)
+        with pytest.raises(ValueError):
+            h.participates(1, 1.1)
+
+    def test_extremes(self):
+        h = TagHasher(1)
+        assert not h.participates(123, 0.0)
+        # probability 1.0 - epsilon catches essentially everything
+        assert all(h.participates(t, 0.999999999) for t in range(100))
+
+    def test_empirical_rate(self):
+        h = TagHasher(7)
+        p = 0.3
+        n = 20_000
+        hits = sum(h.participates(t, p) for t in range(n))
+        assert abs(hits / n - p) < 0.02
+
+    def test_sampling_independent_of_slot_choice(self):
+        """Participation and slot pick come from separate streams: tags in
+        the sample must still be slot-uniform."""
+        h = TagHasher(11)
+        frame = 8
+        counts = [0] * frame
+        for tid in range(20_000):
+            if h.participates(tid, 0.25):
+                counts[h.slot_of(tid, frame)] += 1
+        total = sum(counts)
+        for c in counts:
+            assert abs(c - total / frame) < 5 * ((total / frame) ** 0.5)
+
+
+class TestBackoff:
+    def test_backoff_in_window(self):
+        h = TagHasher(3)
+        for attempt in range(5):
+            for tid in range(100):
+                assert 0 <= h.backoff(tid, attempt, 16) < 16
+
+    def test_backoff_varies_with_attempt(self):
+        h = TagHasher(3)
+        series = [h.backoff(42, attempt, 1024) for attempt in range(30)]
+        assert len(set(series)) > 10
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            TagHasher(3).backoff(1, 0, 0)

@@ -1,0 +1,116 @@
+"""Tests for repro.sim.runner — trials, sweeps, aggregation."""
+
+import pytest
+
+from repro.sim.runner import (
+    SweepResult,
+    TrialAggregate,
+    aggregate_metrics,
+    run_trials,
+    sweep,
+)
+
+
+class TestTrialAggregate:
+    def test_from_samples(self):
+        agg = TrialAggregate.from_samples("x", [1.0, 2.0, 3.0])
+        assert agg.mean == 2.0
+        assert agg.minimum == 1.0
+        assert agg.maximum == 3.0
+        assert agg.count == 3
+        assert agg.std == pytest.approx((2 / 3) ** 0.5)
+
+    def test_single_sample_zero_std(self):
+        agg = TrialAggregate.from_samples("x", [5.0])
+        assert agg.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrialAggregate.from_samples("x", [])
+
+
+class TestAggregateMetrics:
+    def test_keyed_by_metric(self):
+        agg = aggregate_metrics([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert agg["a"].mean == 2.0
+        assert agg["b"].mean == 3.0
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([{"a": 1}, {"b": 2}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([])
+
+
+class TestRunTrials:
+    def test_seeds_are_distinct_and_deterministic(self):
+        seen = []
+
+        def trial(k, seed):
+            seen.append(seed)
+            return {"seed": float(seed)}
+
+        run_trials(trial, 5, base_seed=1)
+        assert len(set(seen)) == 5
+        first = list(seen)
+        seen.clear()
+        run_trials(trial, 5, base_seed=1)
+        assert seen == first
+
+    def test_different_base_seed_different_streams(self):
+        def trial(k, seed):
+            return {"seed": float(seed)}
+
+        a = run_trials(trial, 3, base_seed=1)["seed"].mean
+        b = run_trials(trial, 3, base_seed=2)["seed"].mean
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda k, s: {"x": 1.0}, 0)
+
+
+class TestSweep:
+    def _factory(self, value):
+        def trial(k, seed):
+            return {"double": 2.0 * value, "noise": float(seed % 7)}
+
+        return trial
+
+    def test_series_extraction(self):
+        result = sweep("v", [1.0, 2.0, 3.0], self._factory, n_trials=2)
+        assert result.series("double") == [2.0, 4.0, 6.0]
+        assert result.values == [1.0, 2.0, 3.0]
+
+    def test_series_statistics(self):
+        result = sweep("v", [1.0], self._factory, n_trials=4)
+        assert result.series("noise", "minimum")[0] <= result.series(
+            "noise", "maximum"
+        )[0]
+
+    def test_unknown_metric_raises(self):
+        result = sweep("v", [1.0], self._factory, n_trials=1)
+        with pytest.raises(KeyError):
+            result.series("nope")
+
+    def test_metric_names(self):
+        result = sweep("v", [1.0], self._factory, n_trials=1)
+        assert result.metric_names() == ["double", "noise"]
+
+    def test_as_rows(self):
+        result = sweep("v", [1.0, 2.0], self._factory, n_trials=1)
+        rows = result.as_rows(["double"])
+        assert rows == [[2.0, 4.0]]
+
+    def test_point_independence(self):
+        """Adding axis points must not perturb earlier points' seeds."""
+        short = sweep("v", [1.0], self._factory, n_trials=3)
+        long = sweep("v", [1.0, 2.0], self._factory, n_trials=3)
+        assert short.series("noise") == long.series("noise")[:1]
+
+    def test_empty_sweep(self):
+        result = sweep("v", [], self._factory, n_trials=1)
+        assert result.values == []
+        assert result.metric_names() == []

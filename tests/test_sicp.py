@@ -1,0 +1,166 @@
+"""Tests for repro.protocols.sicp — the ID-collection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.net.energy import EnergyLedger, ID_BITS
+from repro.protocols.sicp import (
+    SICPParams,
+    SpanningTree,
+    build_tree,
+    collect_ids,
+    run_sicp,
+)
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        SICPParams()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SICPParams(relay_contention_window=0)
+        with pytest.raises(ValueError):
+            SICPParams(ack_slots=-1)
+        with pytest.raises(ValueError):
+            SICPParams(announce_base_window=0)
+
+
+class TestTreeBuilding:
+    def _build(self, network, seed=1):
+        rng = np.random.default_rng(seed)
+        ledger = EnergyLedger(network.n_tags)
+        return build_tree(network, SICPParams(), rng, ledger) + (ledger,)
+
+    def test_line_tree_structure(self, line_network):
+        tree, slots, _ = self._build(line_network)
+        assert tree.parent.tolist() == [SpanningTree.ROOT, 0, 1, 2, 3]
+        assert tree.depth.tolist() == [1, 2, 3, 4, 5]
+
+    def test_star_tree(self, star_network):
+        tree, _, _ = self._build(star_network)
+        assert (tree.parent[:4] == SpanningTree.ROOT).all()
+        assert tree.parent[4] == 0  # only tag 0 is in range of tag 4
+        assert tree.depth[4] == 2
+
+    def test_parents_are_strictly_shallower(self, small_network):
+        tree, _, _ = self._build(small_network)
+        for i in range(small_network.n_tags):
+            p = tree.parent[i]
+            if p >= 0:
+                assert tree.depth[i] == tree.depth[p] + 1
+
+    def test_parents_are_neighbors(self, small_network):
+        tree, _, _ = self._build(small_network)
+        for i in range(small_network.n_tags):
+            p = tree.parent[i]
+            if p >= 0:
+                assert p in small_network.neighbors(i)
+
+    def test_all_reachable_attached(self, small_network):
+        tree, _, _ = self._build(small_network)
+        assert np.array_equal(
+            tree.attached_mask(), small_network.reachable_mask
+        )
+
+    def test_unreachable_stay_unattached(self):
+        from repro.net.geometry import Point
+        from repro.net.topology import Network, Reader
+
+        positions = np.array([[1.0, 0.0], [50.0, 50.0]])
+        reader = Reader(Point(0, 0), 10.0, 1.5)
+        net = Network.build(positions, [reader], tag_range=1.0)
+        tree, _, _ = self._build(net)
+        assert tree.parent[1] == SpanningTree.UNATTACHED
+
+    def test_subtree_sizes(self, line_network):
+        tree, _, _ = self._build(line_network)
+        assert tree.subtree_sizes().tolist() == [5, 4, 3, 2, 1]
+
+    def test_announce_energy_charged(self, star_network):
+        _, _, ledger = self._build(star_network)
+        # Every tag announces at least once: >= 96 bits sent each.
+        assert np.all(ledger.bits_sent >= ID_BITS)
+
+    def test_phase1_uses_id_slots(self, star_network):
+        _, slots, _ = self._build(star_network)
+        assert slots.id_slots > 0
+        assert slots.short_slots == 0
+
+
+class TestCollection:
+    def _run(self, network, seed=2):
+        rng = np.random.default_rng(seed)
+        ledger = EnergyLedger(network.n_tags)
+        tree, _ = build_tree(network, SICPParams(), rng, ledger)
+        ledger2 = EnergyLedger(network.n_tags)
+        collected, slots = collect_ids(network, tree, SICPParams(), rng, ledger2)
+        return tree, collected, slots, ledger2
+
+    def test_collects_every_reachable_id(self, small_network):
+        _, collected, _, _ = self._run(small_network)
+        reachable = set(
+            int(t)
+            for t in small_network.tag_ids[small_network.reachable_mask]
+        )
+        assert set(collected) == reachable
+        assert len(collected) == len(reachable)  # no duplicates
+
+    def test_post_order_children_before_parents(self, line_network):
+        tree, collected, _, _ = self._run(line_network)
+        # Line IDs are 1..5 root-to-leaf; post-order arrives leaf first.
+        assert collected == [5, 4, 3, 2, 1]
+
+    def test_id_slot_count_is_sum_of_depths(self, line_network):
+        tree, _, slots, _ = self._run(line_network)
+        assert slots.id_slots == int(tree.depth.sum())  # 1+2+3+4+5 = 15
+
+    def test_sent_bits_proportional_to_subtree(self, line_network):
+        tree, _, _, ledger = self._run(line_network)
+        subtree = tree.subtree_sizes()
+        for i in range(5):
+            expected = subtree[i] * ID_BITS + (subtree[i] - 1)  # IDs + acks
+            assert ledger.bits_sent[i] == pytest.approx(expected)
+
+    def test_everyone_senses_whole_phase(self, line_network):
+        _, _, slots, ledger = self._run(line_network)
+        assert np.all(ledger.bits_received >= slots.total_slots)
+
+
+class TestRunSICP:
+    def test_end_to_end(self, small_network):
+        result = run_sicp(small_network, seed=3)
+        assert len(result.collected_ids) == int(
+            small_network.reachable_mask.sum()
+        )
+        assert result.total_slots == (
+            result.phase1_slots.total_slots + result.phase2_slots.total_slots
+        )
+
+    def test_seed_reproducible(self, small_network):
+        a = run_sicp(small_network, seed=4)
+        b = run_sicp(small_network, seed=4)
+        assert a.total_slots == b.total_slots
+        assert a.collected_ids == b.collected_ids
+
+    def test_root_load_exceeds_average(self, dense_network):
+        """The SICP pathology the paper highlights: tree roots relay entire
+        subtrees, so max sent far exceeds average sent."""
+        result = run_sicp(dense_network, seed=5)
+        summary = result.ledger.summary()
+        assert summary["max_sent"] > 5 * summary["avg_sent"]
+
+    def test_max_depth_close_to_tiers(self, small_network):
+        result = run_sicp(small_network, seed=6)
+        assert result.tree.max_depth() >= small_network.num_tiers
+
+    def test_cost_decreases_with_range(self):
+        from repro.net.topology import PaperDeployment, paper_network
+
+        slots = []
+        for r in (3.0, 6.0, 10.0):
+            net = paper_network(
+                r, n_tags=800, seed=7, deployment=PaperDeployment(n_tags=800)
+            )
+            slots.append(run_sicp(net, seed=8).total_slots)
+        assert slots[0] > slots[1] > slots[2]

@@ -1,0 +1,66 @@
+"""Tests for repro.experiments.topomap — ASCII deployment maps."""
+
+import pytest
+
+from repro.experiments.topomap import render_topology, tier_histogram
+from repro.net.topology import PaperDeployment, paper_network
+
+
+class TestRenderTopology:
+    def test_reader_marked(self, small_network):
+        text = render_topology(small_network)
+        assert "@" in text
+
+    def test_tier_digits_present(self, small_network):
+        text = render_topology(small_network)
+        assert "1" in text
+        assert str(small_network.num_tiers) in text
+
+    def test_dimensions(self, small_network):
+        text = render_topology(small_network, width=40, height=12)
+        body = [ln for ln in text.splitlines() if ln.startswith("│")]
+        assert len(body) == 12
+        assert all(len(ln) == 42 for ln in body)
+
+    def test_too_small_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            render_topology(small_network, width=4, height=4)
+
+    def test_unreachable_marked(self):
+        import numpy as np
+        from repro.net.geometry import Point
+        from repro.net.topology import Network, Reader
+
+        positions = np.array([[1.0, 0.0], [50.0, 50.0]])
+        net = Network.build(
+            positions, [Reader(Point(0, 0), 10.0, 1.5)], tag_range=1.0
+        )
+        assert "!" in render_topology(net, width=20, height=10)
+
+    def test_concentric_tiers(self):
+        """Paper geometry: the center cell region is tier 1, the border
+        region is the outermost tier."""
+        net = paper_network(
+            6.0, n_tags=2500, seed=3, deployment=PaperDeployment(n_tags=2500)
+        )
+        text = render_topology(net, width=60, height=28)
+        body = [ln[1:-1] for ln in text.splitlines() if ln.startswith("│")]
+        middle = body[len(body) // 2]
+        center_char = middle[len(middle) // 2 - 1 : len(middle) // 2 + 2]
+        assert "1" in center_char or "@" in center_char
+        top = body[0].replace(" ", "")
+        assert top
+        assert set(top) <= {str(net.num_tiers), str(net.num_tiers - 1)}
+
+
+class TestTierHistogram:
+    def test_bars_per_tier(self, small_network):
+        text = tier_histogram(small_network)
+        assert text.count("tier") == small_network.num_tiers
+
+    def test_counts_match(self, small_network):
+        text = tier_histogram(small_network)
+        sizes = small_network.tier_sizes()
+        for tier, count in enumerate(sizes, start=1):
+            assert f"tier {tier:>2}:" in text
+            assert str(int(count)) in text

@@ -1,0 +1,162 @@
+"""Tests for repro.protocols.transport — the frame-transport abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.session import CCMConfig
+from repro.net.geometry import Point
+from repro.net.topology import Reader
+from repro.protocols.transport import (
+    CCMTransport,
+    MultiReaderCCMTransport,
+    TraditionalTransport,
+    frame_picks,
+    ideal_bitmap,
+)
+
+
+class TestFramePicks:
+    def test_full_participation(self):
+        picks = frame_picks([1, 2, 3], 16, 1.0, seed=0)
+        assert all(0 <= s < 16 for s in picks)
+
+    def test_zero_participation(self):
+        assert frame_picks([1, 2, 3], 16, 0.0, seed=0) == [-1, -1, -1]
+
+    def test_deterministic(self):
+        assert frame_picks([5, 6], 100, 0.5, 9) == frame_picks([5, 6], 100, 0.5, 9)
+
+    def test_partial_participation_rate(self):
+        ids = list(range(1, 5001))
+        picks = frame_picks(ids, 64, 0.3, seed=2)
+        rate = sum(s >= 0 for s in picks) / len(picks)
+        assert abs(rate - 0.3) < 0.03
+
+    def test_ideal_bitmap_matches_picks(self):
+        ids = [10, 20, 30]
+        picks = frame_picks(ids, 32, 1.0, seed=4)
+        bm = ideal_bitmap(ids, 32, 1.0, seed=4)
+        assert sorted(set(picks)) == list(bm.indices())
+
+
+class TestTraditionalTransport:
+    def test_bitmap_is_union_of_picks(self):
+        transport = TraditionalTransport([1, 2, 3, 4])
+        outcome = transport.run_frame(16, 1.0, seed=7)
+        assert outcome.bitmap == ideal_bitmap([1, 2, 3, 4], 16, 1.0, 7)
+
+    def test_slots_counted(self):
+        transport = TraditionalTransport([1, 2])
+        transport.run_frame(16, 1.0, seed=1)
+        transport.run_frame(16, 1.0, seed=2)
+        assert transport.slots.total_slots == 32
+        assert transport.frames_run == 2
+
+    def test_energy_one_bit_per_participant(self):
+        transport = TraditionalTransport([1, 2, 3])
+        transport.run_frame(16, 1.0, seed=1)
+        assert transport.ledger.bits_sent.tolist() == [1.0, 1.0, 1.0]
+        assert transport.ledger.bits_received.sum() == 0.0
+
+    def test_non_participants_send_nothing(self):
+        transport = TraditionalTransport(list(range(1, 101)))
+        transport.run_frame(64, 0.0, seed=1)
+        assert transport.ledger.bits_sent.sum() == 0.0
+
+
+class TestCCMTransport:
+    def test_equivalence_with_traditional(self, small_network):
+        ccm = CCMTransport(small_network)
+        out = ccm.run_frame(128, 1.0, seed=3)
+        reachable = small_network.tag_ids[small_network.reachable_mask]
+        assert out.bitmap == ideal_bitmap(reachable, 128, 1.0, 3)
+        assert out.terminated_cleanly
+
+    def test_sessions_recorded(self, small_network):
+        ccm = CCMTransport(small_network)
+        ccm.run_frame(64, 0.5, seed=1)
+        ccm.run_frame(64, 0.5, seed=2)
+        assert len(ccm.sessions) == 2
+        assert ccm.frames_run == 2
+
+    def test_ledger_accumulates_across_frames(self, small_network):
+        ccm = CCMTransport(small_network)
+        ccm.run_frame(64, 1.0, seed=1)
+        after_one = ccm.ledger.bits_received.sum()
+        ccm.run_frame(64, 1.0, seed=2)
+        assert ccm.ledger.bits_received.sum() > after_one
+
+    def test_indicator_ablation_passthrough(self, small_network):
+        ccm = CCMTransport(small_network, use_indicator_vector=False)
+        out = ccm.run_frame(64, 1.0, seed=1)
+        reachable = small_network.tag_ids[small_network.reachable_mask]
+        assert out.bitmap == ideal_bitmap(reachable, 64, 1.0, 1)
+
+    def test_tag_ids_exposed(self, small_network):
+        ccm = CCMTransport(small_network)
+        assert np.array_equal(ccm.tag_ids, small_network.tag_ids)
+
+
+class TestMultiReaderTransport:
+    def test_covers_split_field(self):
+        positions = np.array(
+            [[1.0, 0.0], [2.0, 0.0], [21.0, 0.0], [22.0, 0.0]]
+        )
+        readers = [
+            Reader(Point(0, 0), 5.0, 1.5),
+            Reader(Point(20, 0), 5.0, 1.5),
+        ]
+        transport = MultiReaderCCMTransport(
+            positions, readers, tag_range=1.2
+        )
+        out = transport.run_frame(32, 1.0, seed=5)
+        assert out.bitmap == ideal_bitmap([1, 2, 3, 4], 32, 1.0, 5)
+
+    def test_requires_reader(self):
+        positions = np.array([[1.0, 0.0]])
+        transport = MultiReaderCCMTransport(positions, [], tag_range=1.0)
+        with pytest.raises(ValueError):
+            transport.run_frame(8, 1.0, seed=0)
+
+
+class TestOptionalTransportMethods:
+    def test_multireader_lacks_search_frames(self):
+        positions = np.array([[1.0, 0.0]])
+        transport = MultiReaderCCMTransport(
+            positions, [Reader(Point(0, 0), 5.0, 1.5)], tag_range=1.0
+        )
+        with pytest.raises(NotImplementedError):
+            transport.run_search_frame(16, 2, seed=0)
+        with pytest.raises(NotImplementedError):
+            transport.run_pick_frame(16, [0])
+
+    def test_pick_frame_traditional(self):
+        transport = TraditionalTransport([1, 2, 3])
+        out = transport.run_pick_frame(8, [0, 0, 5])
+        assert list(out.bitmap.indices()) == [0, 5]
+        assert transport.ledger.bits_sent.tolist() == [1.0, 1.0, 1.0]
+
+    def test_pick_frame_silent_tags(self):
+        transport = TraditionalTransport([1, 2])
+        out = transport.run_pick_frame(8, [-1, 3])
+        assert list(out.bitmap.indices()) == [3]
+        assert transport.ledger.bits_sent.tolist() == [0.0, 1.0]
+
+    def test_pick_frame_length_check(self):
+        with pytest.raises(ValueError):
+            TraditionalTransport([1, 2]).run_pick_frame(8, [0])
+
+    def test_pick_frame_ccm_equivalence(self, small_network):
+        """External picks over CCM equal the single-hop union (Theorem 1
+        for arbitrary pick distributions)."""
+        import numpy as _np
+
+        rng = _np.random.default_rng(3)
+        picks = rng.integers(0, 64, size=small_network.n_tags).tolist()
+        ccm = CCMTransport(small_network)
+        out = ccm.run_pick_frame(64, picks)
+        reachable = small_network.reachable_mask
+        expected = sorted(
+            {picks[i] for i in range(small_network.n_tags) if reachable[i]}
+        )
+        assert list(out.bitmap.indices()) == expected
