@@ -57,9 +57,17 @@ from repro.protocols import (
     run_sicp,
     trp_frame_size,
 )
-from repro.sim import TagHasher, run_trials, sweep
+from repro.sim import (
+    Campaign,
+    ExecutorConfig,
+    TagHasher,
+    TrialFailure,
+    run_trials,
+    run_trials_parallel,
+    sweep,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CCMCostModel",
@@ -95,7 +103,11 @@ __all__ = [
     "run_sicp",
     "trp_frame_size",
     "TagHasher",
+    "Campaign",
+    "ExecutorConfig",
+    "TrialFailure",
     "run_trials",
+    "run_trials_parallel",
     "sweep",
     "__version__",
 ]

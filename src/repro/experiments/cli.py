@@ -10,8 +10,17 @@ Examples::
     repro-ccm all --scale default       # everything, default scale
 
 ``--scale`` presets: bench (n=2,000 × 3 trials), default (n=10,000 × 10
-trials), full (the paper's n=10,000 × 100 trials — slow).  ``--n-tags``,
+trials), full (the paper's n=10,000 × 100 trials).  ``--n-tags``,
 ``--trials`` and ``--ranges`` override any preset.
+
+Campaigns are serial by default; ``--workers N`` fans the independent
+trials of each sweep point out over N worker processes (``--backend``
+selects process/thread/serial) with bit-identical aggregates, which makes
+the ``full`` scale practical::
+
+    repro-ccm tables --scale full --workers 8 --progress
+
+``--progress`` prints a live trial counter to stderr.
 """
 
 from __future__ import annotations
@@ -21,6 +30,8 @@ import sys
 import time
 from dataclasses import replace
 from typing import List, Optional
+
+from repro.sim.parallel import BACKENDS, ExecutorConfig, stderr_ticker
 
 from repro.experiments import (
     ablations,
@@ -57,6 +68,23 @@ def _resolve_scale(args: argparse.Namespace) -> cfg.ReproScale:
     return replace(scale, **overrides) if overrides else scale
 
 
+def _resolve_executor(args: argparse.Namespace) -> Optional[ExecutorConfig]:
+    """``--workers``/``--backend`` -> an executor, or None for serial."""
+    if args.workers is None:
+        return None
+    try:
+        return ExecutorConfig(workers=args.workers, backend=args.backend)
+    except ValueError as exc:
+        raise SystemExit(f"repro-ccm: error: {exc}")
+
+
+def _resolve_progress(args: argparse.Namespace):
+    """``--progress`` -> a stderr ticker sized to the campaign, or None."""
+    if not args.progress:
+        return None
+    return stderr_ticker(_resolve_scale(args).n_trials)
+
+
 def _emit(text: str, out: Optional[str]) -> None:
     print(text)
     if out:
@@ -65,14 +93,23 @@ def _emit(text: str, out: Optional[str]) -> None:
 
 
 def cmd_fig3(args: argparse.Namespace) -> None:
-    result = fig3_tiers.run(_resolve_scale(args))
+    result = fig3_tiers.run(
+        _resolve_scale(args),
+        executor=_resolve_executor(args),
+        on_trial_done=_resolve_progress(args),
+    )
     _emit(fig3_tiers.report(result), args.out)
 
 
 def cmd_tables(args: argparse.Namespace) -> None:
     scale = _resolve_scale(args)
     ranges = scale.tag_ranges
-    result = master.run(scale, tag_ranges=ranges)
+    result = master.run(
+        scale,
+        tag_ranges=ranges,
+        executor=_resolve_executor(args),
+        on_trial_done=_resolve_progress(args),
+    )
     _emit(master.report(result), args.out)
     if args.json:
         from repro.sim.results import save_sweep
@@ -216,6 +253,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="inter-tag ranges (m) to sweep",
     )
     common.add_argument("--seed", type=int, default=None)
+    common.add_argument(
+        "--workers", type=int, default=None,
+        help="fan each campaign's trials out over N workers "
+             "(default: serial; results are bit-identical)",
+    )
+    common.add_argument(
+        "--backend", choices=BACKENDS, default="process",
+        help="executor backend used with --workers (default: process)",
+    )
+    common.add_argument(
+        "--progress", action="store_true",
+        help="print a live trial counter to stderr",
+    )
     common.add_argument(
         "--out", type=str, default=None, help="append reports to this file"
     )

@@ -9,12 +9,14 @@ table experiments are thin sweeps over this.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core.session import CCMConfig, run_session
 from repro.net.topology import Network, PaperDeployment, paper_network
 from repro.protocols.sicp import SICPParams, run_sicp
 from repro.protocols.transport import frame_picks
+from repro.sim.parallel import ExecutorConfig, ProgressFn
 from repro.sim.runner import SweepResult, TrialFn, sweep
 
 from repro.experiments import paperconfig as cfg
@@ -91,23 +93,47 @@ def paper_trial_metrics(
     return metrics
 
 
+@dataclass(frozen=True)
+class PaperTrial:
+    """One deployment-and-protocols trial as a *picklable* callable.
+
+    The process-backend executor pickles the trial function into its
+    workers, which a closure cannot survive — this dataclass carries the
+    same parameters as plain fields and is importable by module path, so
+    the paper's campaigns run on every backend.
+    """
+
+    tag_range: float
+    n_tags: int
+    protocols: Tuple[str, ...] = PROTOCOLS
+
+    def __call__(self, trial_index: int, seed: int) -> Dict[str, float]:
+        return paper_trial_metrics(
+            self.tag_range, self.n_tags, seed, self.protocols
+        )
+
+
 def make_trial(
     tag_range: float, n_tags: int, protocols: Sequence[str] = PROTOCOLS
 ) -> TrialFn:
     """Build a :mod:`repro.sim.runner` trial function for one range."""
-
-    def trial(trial_index: int, seed: int) -> Dict[str, float]:
-        return paper_trial_metrics(tag_range, n_tags, seed, protocols)
-
-    return trial
+    return PaperTrial(tag_range, n_tags, tuple(protocols))
 
 
 def sweep_tag_range(
     scale: cfg.ReproScale,
     protocols: Sequence[str] = PROTOCOLS,
     tag_ranges: Optional[Iterable[float]] = None,
+    *,
+    executor: Optional[ExecutorConfig] = None,
+    on_trial_done: Optional[ProgressFn] = None,
 ) -> SweepResult:
-    """The paper's master sweep: every metric at every inter-tag range."""
+    """The paper's master sweep: every metric at every inter-tag range.
+
+    ``executor`` fans each range point's trials out over a worker pool
+    (serial when ``None`` — bit-identical either way); ``on_trial_done``
+    observes trial completions, e.g. a progress ticker.
+    """
     ranges = tuple(tag_ranges if tag_ranges is not None else scale.tag_ranges)
     return sweep(
         parameter="tag_range_m",
@@ -115,6 +141,8 @@ def sweep_tag_range(
         trial_factory=lambda r: make_trial(r, scale.n_tags, protocols),
         n_trials=scale.n_trials,
         base_seed=scale.base_seed,
+        executor=executor,
+        on_trial_done=on_trial_done,
     )
 
 

@@ -9,9 +9,10 @@ prediction 1 + ⌈(R − r')/r⌉ of the paper's analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.geometry import geometric_num_tiers
+from repro.sim.parallel import ExecutorConfig, ProgressFn
 from repro.sim.runner import SweepResult
 
 from repro.experiments import paperconfig as cfg
@@ -33,9 +34,16 @@ class Fig3Result:
         }
 
 
-def run(scale: cfg.ReproScale = cfg.DEFAULT_SCALE) -> Fig3Result:
+def run(
+    scale: cfg.ReproScale = cfg.DEFAULT_SCALE,
+    *,
+    executor: Optional[ExecutorConfig] = None,
+    on_trial_done: Optional[ProgressFn] = None,
+) -> Fig3Result:
     """Measure tier counts across the r sweep (topology only — cheap)."""
-    result: SweepResult = sweep_tag_range(scale, protocols=())
+    result: SweepResult = sweep_tag_range(
+        scale, protocols=(), executor=executor, on_trial_done=on_trial_done
+    )
     measured = result.series("tiers")
     geometric = [
         geometric_num_tiers(

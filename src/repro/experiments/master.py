@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.sim.parallel import ExecutorConfig, ProgressFn
 from repro.sim.runner import SweepResult
 
 from repro.experiments import paperconfig as cfg
@@ -54,8 +55,18 @@ class MasterResult:
 def run(
     scale: cfg.ReproScale = cfg.DEFAULT_SCALE,
     tag_ranges: Optional[Sequence[float]] = None,
+    *,
+    executor: Optional[ExecutorConfig] = None,
+    on_trial_done: Optional[ProgressFn] = None,
 ) -> MasterResult:
-    return MasterResult(sweep=sweep_tag_range(scale, tag_ranges=tag_ranges))
+    return MasterResult(
+        sweep=sweep_tag_range(
+            scale,
+            tag_ranges=tag_ranges,
+            executor=executor,
+            on_trial_done=on_trial_done,
+        )
+    )
 
 
 def _paper_rows_if_comparable(

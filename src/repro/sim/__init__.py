@@ -4,9 +4,21 @@ The tag-side randomness in CCM-based protocols must be *pseudo-random and
 reproducible from (tag ID, seed)*: the reader predicts which slot each tag
 hashes to (TRP) and whether a tag participates in a frame (GMLE).  The
 :mod:`repro.sim.rng` module provides that hashing.  :mod:`repro.sim.runner`
-runs repeated trials and parameter sweeps and aggregates their metrics.
+runs repeated trials and parameter sweeps and aggregates their metrics;
+:mod:`repro.sim.parallel` fans those campaigns out over worker
+processes/threads with bit-identical results.
 """
 
+from repro.sim.parallel import (
+    Campaign,
+    CampaignError,
+    CampaignResult,
+    CampaignTimeout,
+    ExecutorConfig,
+    TrialFailure,
+    run_trials_parallel,
+    stderr_ticker,
+)
 from repro.sim.rng import (
     TagHasher,
     derive_seed,
@@ -22,11 +34,14 @@ from repro.sim.results import (
     sweep_to_dict,
 )
 from repro.sim.runner import (
+    MetricDict,
     SweepResult,
     TrialAggregate,
+    TrialFn,
     aggregate_metrics,
     run_trials,
     sweep,
+    trial_seed,
 )
 from repro.sim.trace import SessionTracer, TraceEvent
 
@@ -35,11 +50,22 @@ __all__ = [
     "derive_seed",
     "splitmix64",
     "uniform_unit",
+    "Campaign",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignTimeout",
+    "ExecutorConfig",
+    "TrialFailure",
+    "run_trials_parallel",
+    "stderr_ticker",
+    "MetricDict",
     "SweepResult",
     "TrialAggregate",
+    "TrialFn",
     "aggregate_metrics",
     "run_trials",
     "sweep",
+    "trial_seed",
     "load_sweep",
     "markdown_table",
     "save_sweep",

@@ -1,0 +1,402 @@
+"""Parallel campaign execution engine for Monte-Carlo trial fan-out.
+
+The paper's evaluation averages every data point over 100 independent
+deployments (Sec. VI-A); trials are independent by construction (derived
+seeds, no shared state), which makes trial-level fan-out the natural
+parallelism.  This module provides it:
+
+* :class:`ExecutorConfig` — where and how trials run (``process`` /
+  ``thread`` / ``serial`` backend, worker count, chunking, timeout,
+  bounded retry, ``fail_fast``).
+* :class:`Campaign` — the forward-facing object API: a trial function,
+  a trial count, a base seed, and an executor; ``run()`` returns a
+  :class:`CampaignResult` with aggregates *and* structured failures.
+* :func:`run_trials_parallel` — functional shorthand over
+  :class:`Campaign` defaulting to the process backend.
+* :class:`TrialFailure` — a worker exception captured as data (type,
+  message, traceback, attempts) instead of a crashed campaign.
+* :func:`stderr_ticker` — a default progress callback for CLIs.
+
+Determinism contract: every backend derives the per-trial seed stream
+with :func:`repro.sim.runner.trial_seed` — exactly the stream the serial
+``run_trials`` path uses — and aggregates per-trial metrics in trial-index
+order, so serial and parallel runs of the same campaign produce
+bit-identical :class:`~repro.sim.runner.TrialAggregate` values.
+
+Process-backend caveat: the trial function crosses a pickle boundary, so
+it must be a module-level function or a picklable callable object (e.g.
+:class:`repro.experiments.common.PaperTrial`) — not a closure.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import traceback as _traceback
+from concurrent import futures
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.sim.runner import (
+    MetricDict,
+    TrialAggregate,
+    TrialFn,
+    aggregate_metrics,
+    trial_seed,
+)
+
+#: Recognised values for :attr:`ExecutorConfig.backend`.
+BACKENDS = ("process", "thread", "serial")
+
+#: Progress callback signature: ``(trial_index, elapsed_s, metrics)``.
+#: ``metrics`` is ``None`` when the trial ultimately failed.  Called from
+#: the parent process as results arrive, possibly out of trial order.
+ProgressFn = Callable[[int, float, Optional[MetricDict]], None]
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """How a campaign's trials are executed.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; ``0`` means auto (``os.cpu_count()``).  Ignored by
+        the ``serial`` backend.
+    backend:
+        ``"process"`` (default — true parallelism, trial function must be
+        picklable), ``"thread"`` (shared memory, useful when trials release
+        the GIL or for testing), or ``"serial"`` (in-process loop that
+        still provides failure capture, retries and progress).
+    chunk_size:
+        Trials submitted per worker task; raise it to amortise IPC when
+        individual trials are very cheap.
+    timeout_s:
+        Overall wall-clock budget for the campaign's result harvest; on
+        expiry pending work is cancelled and :class:`CampaignTimeout` is
+        raised.  ``None`` means no limit.
+    max_retries:
+        Bounded retries per failing trial.  Each retry re-derives the
+        seed deterministically (attempt number enters the derivation), so
+        retried campaigns remain reproducible.
+    fail_fast:
+        Abort the whole campaign on the first trial failure by raising
+        :class:`CampaignError` instead of collecting the failure.
+    """
+
+    workers: int = 0
+    backend: str = "process"
+    chunk_size: int = 1
+    timeout_s: Optional[float] = None
+    max_retries: int = 0
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    @classmethod
+    def serial(cls, **overrides) -> "ExecutorConfig":
+        """The in-process backend (today's default execution model)."""
+        overrides.setdefault("workers", 1)
+        return cls(backend="serial", **overrides)
+
+    def resolved_workers(self) -> int:
+        if self.workers > 0:
+            return self.workers
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class TrialFailure:
+    """One trial's terminal failure, captured as data.
+
+    Carries everything needed to reproduce and diagnose the failure
+    without re-running the campaign: the trial index, the seed of the
+    *last* attempt, how many attempts were made, and the exception's
+    type name, message and full traceback text (strings, so the record
+    crosses process boundaries regardless of the exception class).
+    """
+
+    trial_index: int
+    seed: int
+    attempts: int
+    error_type: str
+    message: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return (
+            f"trial {self.trial_index} failed after {self.attempts} "
+            f"attempt(s) (last seed {self.seed}): "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+class CampaignError(RuntimeError):
+    """A campaign ended with trial failures the caller did not tolerate.
+
+    ``failures`` holds the structured records; ``aggregates`` holds the
+    statistics of whatever trials did succeed (possibly empty).
+    """
+
+    def __init__(
+        self,
+        failures: Sequence[TrialFailure],
+        aggregates: Optional[Dict[str, TrialAggregate]] = None,
+    ):
+        self.failures = list(failures)
+        self.aggregates = aggregates or {}
+        lines = [f"{len(self.failures)} trial(s) failed:"]
+        lines += [f"  {f}" for f in self.failures[:5]]
+        if len(self.failures) > 5:
+            lines.append(f"  ... and {len(self.failures) - 5} more")
+        super().__init__("\n".join(lines))
+
+
+class CampaignTimeout(CampaignError):
+    """The campaign exceeded :attr:`ExecutorConfig.timeout_s`."""
+
+    def __init__(self, timeout_s: float, done: int, total: int):
+        self.timeout_s = timeout_s
+        self.done = done
+        self.total = total
+        RuntimeError.__init__(
+            self,
+            f"campaign timed out after {timeout_s}s "
+            f"with {done}/{total} trials finished",
+        )
+        self.failures = []
+        self.aggregates = {}
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced.
+
+    ``per_trial`` is index-ordered with ``None`` holes where trials
+    failed; ``aggregates`` covers the successful trials only and is
+    empty if none succeeded.
+    """
+
+    aggregates: Dict[str, TrialAggregate]
+    failures: List[TrialFailure]
+    n_trials: int
+    elapsed_s: float
+    per_trial: List[Optional[MetricDict]] = field(default_factory=list)
+
+    @property
+    def n_ok(self) -> int:
+        return self.n_trials - len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def stderr_ticker(
+    n_trials: int, label: str = "campaign", stream: Optional[TextIO] = None
+) -> ProgressFn:
+    """A default progress callback: a one-line stderr counter.
+
+    Counts trials as they finish and rewrites one ``\\r`` line; after
+    ``n_trials`` completions it prints a newline and resets, so one
+    ticker can be reused across the points of a sweep (each point runs
+    the same trial count).
+    """
+    out = stream if stream is not None else sys.stderr
+    state = {"done": 0}
+
+    def tick(trial_index: int, elapsed_s: float, metrics: Optional[MetricDict]) -> None:
+        state["done"] += 1
+        out.write(
+            f"\r[{label}] {state['done']}/{n_trials} trials "
+            f"({elapsed_s:.1f}s)"
+        )
+        if state["done"] >= n_trials:
+            out.write("\n")
+            state["done"] = 0
+        out.flush()
+
+    return tick
+
+
+# -- worker-side execution ----------------------------------------------------
+#
+# Everything submitted to a pool is a module-level function taking plain
+# picklable arguments, and everything returned is plain data (metric dicts
+# and TrialFailure records) — no live exception objects cross the boundary.
+
+
+def _execute_trial(
+    trial_fn: TrialFn, trial_index: int, base_seed: int, max_retries: int
+) -> Tuple[Optional[Dict[str, float]], Optional[TrialFailure]]:
+    """Run one trial with bounded retries; never raises.
+
+    Returns ``(metrics, None)`` on success or ``(None, TrialFailure)``
+    after the last attempt fails.  Attempt ``a`` uses
+    ``trial_seed(base_seed, trial_index, a)`` so retries are themselves
+    deterministic and independent of the failing seed.
+    """
+    last: Optional[TrialFailure] = None
+    for attempt in range(max_retries + 1):
+        seed = trial_seed(base_seed, trial_index, attempt)
+        try:
+            return dict(trial_fn(trial_index, seed)), None
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            last = TrialFailure(
+                trial_index=trial_index,
+                seed=seed,
+                attempts=attempt + 1,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=_traceback.format_exc(),
+            )
+    return None, last
+
+
+def _run_chunk(
+    trial_fn: TrialFn,
+    indices: Sequence[int],
+    base_seed: int,
+    max_retries: int,
+) -> List[Tuple[int, Optional[Dict[str, float]], Optional[TrialFailure]]]:
+    """Worker task: execute a chunk of trial indices."""
+    return [
+        (k,) + _execute_trial(trial_fn, k, base_seed, max_retries)
+        for k in indices
+    ]
+
+
+# -- the campaign -------------------------------------------------------------
+
+
+@dataclass
+class Campaign:
+    """A reproducible batch of independent trials with one seed stream.
+
+    The forward-facing object API over ``run_trials``: construct with a
+    trial function ``(trial_index, seed) -> metric dict``, a trial count,
+    a base seed, and optionally an :class:`ExecutorConfig`; ``run()``
+    executes and returns a :class:`CampaignResult`.
+
+    ``executor=None`` (the default) runs serially in-process — the exact
+    behaviour, seed stream and aggregate values of the historical
+    ``run_trials`` loop.
+    """
+
+    trial_fn: TrialFn
+    n_trials: int
+    base_seed: int = 0
+    executor: Optional[ExecutorConfig] = None
+    on_trial_done: Optional[ProgressFn] = None
+
+    def run(self) -> CampaignResult:
+        if self.n_trials <= 0:
+            raise ValueError("n_trials must be positive")
+        cfg = self.executor or ExecutorConfig.serial()
+        started = time.perf_counter()
+        per_trial: List[Optional[Dict[str, float]]] = [None] * self.n_trials
+        failures: List[TrialFailure] = []
+
+        def record(
+            k: int,
+            metrics: Optional[Dict[str, float]],
+            failure: Optional[TrialFailure],
+        ) -> None:
+            per_trial[k] = metrics
+            if failure is not None:
+                failures.append(failure)
+            if self.on_trial_done is not None:
+                self.on_trial_done(k, time.perf_counter() - started, metrics)
+            if failure is not None and cfg.fail_fast:
+                raise CampaignError([failure])
+
+        if cfg.backend == "serial":
+            self._run_serial(cfg, record)
+        else:
+            self._run_pooled(cfg, record)
+
+        successes = [m for m in per_trial if m is not None]
+        aggregates = aggregate_metrics(successes) if successes else {}
+        failures.sort(key=lambda f: f.trial_index)
+        return CampaignResult(
+            aggregates=aggregates,
+            failures=failures,
+            n_trials=self.n_trials,
+            elapsed_s=time.perf_counter() - started,
+            per_trial=per_trial,
+        )
+
+    def _run_serial(self, cfg: ExecutorConfig, record) -> None:
+        for k in range(self.n_trials):
+            metrics, failure = _execute_trial(
+                self.trial_fn, k, self.base_seed, cfg.max_retries
+            )
+            record(k, metrics, failure)
+
+    def _run_pooled(self, cfg: ExecutorConfig, record) -> None:
+        pool_cls = (
+            futures.ProcessPoolExecutor
+            if cfg.backend == "process"
+            else futures.ThreadPoolExecutor
+        )
+        indices = list(range(self.n_trials))
+        chunks = [
+            indices[i : i + cfg.chunk_size]
+            for i in range(0, self.n_trials, cfg.chunk_size)
+        ]
+        done = 0
+        with pool_cls(max_workers=cfg.resolved_workers()) as pool:
+            pending = [
+                pool.submit(
+                    _run_chunk, self.trial_fn, chunk, self.base_seed,
+                    cfg.max_retries,
+                )
+                for chunk in chunks
+            ]
+            try:
+                for fut in futures.as_completed(pending, timeout=cfg.timeout_s):
+                    for k, metrics, failure in fut.result():
+                        record(k, metrics, failure)
+                        done += 1
+            except futures.TimeoutError:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise CampaignTimeout(cfg.timeout_s, done, self.n_trials)
+            except CampaignError:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+
+def run_trials_parallel(
+    trial_fn: TrialFn,
+    n_trials: int,
+    base_seed: int = 0,
+    executor: Optional[ExecutorConfig] = None,
+    on_trial_done: Optional[ProgressFn] = None,
+) -> CampaignResult:
+    """Run a campaign on the parallel engine and return the full result.
+
+    The functional shorthand over :class:`Campaign`; unlike ``run_trials``
+    it defaults to the process backend (``ExecutorConfig()``) and returns
+    the :class:`CampaignResult` — aggregates *and* failures — rather than
+    raising when trials fail.
+    """
+    return Campaign(
+        trial_fn,
+        n_trials,
+        base_seed,
+        executor=executor if executor is not None else ExecutorConfig(),
+        on_trial_done=on_trial_done,
+    ).run()

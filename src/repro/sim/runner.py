@@ -8,18 +8,49 @@ repeats it with derived seeds and aggregates each metric's mean/std/min/max;
 
 Everything is deterministic given the base seed, and metrics are plain
 dicts of floats so experiments stay decoupled from protocols.
+
+Campaigns can be fanned out over worker processes/threads via the
+:mod:`repro.sim.parallel` engine (``executor=`` on ``run_trials``/``sweep``
+or the :class:`~repro.sim.parallel.Campaign` object API); both paths share
+:func:`trial_seed`, so the results are bit-identical.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.sim.rng import derive_seed
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.sim.parallel import ExecutorConfig, ProgressFn
+
 MetricDict = Mapping[str, float]
 TrialFn = Callable[[int, int], MetricDict]
+
+#: Stream label separating the per-trial seed stream from other uses of
+#: the base seed (the sweep axis uses a different label).
+TRIAL_SEED_STREAM = 0x7121A1
+
+#: Stream label mixed in when a failing trial is retried with a fresh seed.
+_RETRY_STREAM = 0x7E7B
+
+
+def trial_seed(base_seed: int, trial_index: int, attempt: int = 0) -> int:
+    """The 32-bit seed for one trial of a campaign.
+
+    This is the single definition of the campaign seed stream: the serial
+    path here and every :mod:`repro.sim.parallel` backend call it, which
+    is what makes serial and parallel runs bit-identical.  ``attempt > 0``
+    derives an independent retry seed (deterministic, so retried campaigns
+    stay reproducible).
+    """
+    if attempt == 0:
+        return derive_seed(base_seed, TRIAL_SEED_STREAM, trial_index) % (2**32)
+    return derive_seed(
+        base_seed, TRIAL_SEED_STREAM, trial_index, _RETRY_STREAM, attempt
+    ) % (2**32)
 
 
 @dataclass
@@ -39,7 +70,10 @@ class TrialAggregate:
             raise ValueError(f"no samples for metric {name!r}")
         n = len(samples)
         mean = sum(samples) / n
-        var = sum((s - mean) ** 2 for s in samples) / n if n > 1 else 0.0
+        # Sample (Bessel-corrected) variance: trials are independent draws
+        # from the deployment distribution, so /(n-1) is the unbiased
+        # estimator the "std across trials" docs promise.
+        var = sum((s - mean) ** 2 for s in samples) / (n - 1) if n > 1 else 0.0
         return cls(
             name=name,
             mean=mean,
@@ -77,15 +111,42 @@ def run_trials(
     trial_fn: TrialFn,
     n_trials: int,
     base_seed: int = 0,
+    *,
+    executor: "Optional[ExecutorConfig]" = None,
+    on_trial_done: "Optional[ProgressFn]" = None,
 ) -> Dict[str, TrialAggregate]:
-    """Run ``trial_fn`` ``n_trials`` times with independent derived seeds."""
+    """Run ``trial_fn`` ``n_trials`` times with independent derived seeds.
+
+    With the default ``executor=None`` this is the historical inline
+    serial loop: trial exceptions propagate raw, and no campaign
+    machinery is involved.  Pass an
+    :class:`~repro.sim.parallel.ExecutorConfig` to fan trials out over a
+    process or thread pool — the aggregates are bit-identical to the
+    serial run.  On this path a trial failure raises
+    :class:`~repro.sim.parallel.CampaignError` (carrying the structured
+    :class:`~repro.sim.parallel.TrialFailure` records); use
+    :class:`~repro.sim.parallel.Campaign` directly to tolerate partial
+    failure.
+    """
     if n_trials <= 0:
         raise ValueError("n_trials must be positive")
-    per_trial = [
-        trial_fn(k, derive_seed(base_seed, 0x7121A1, k) % (2**32))
-        for k in range(n_trials)
-    ]
-    return aggregate_metrics(per_trial)
+    if executor is None and on_trial_done is None:
+        per_trial = [
+            trial_fn(k, trial_seed(base_seed, k)) for k in range(n_trials)
+        ]
+        return aggregate_metrics(per_trial)
+    from repro.sim.parallel import Campaign, CampaignError
+
+    result = Campaign(
+        trial_fn,
+        n_trials,
+        base_seed,
+        executor=executor,
+        on_trial_done=on_trial_done,
+    ).run()
+    if result.failures:
+        raise CampaignError(result.failures, result.aggregates)
+    return result.aggregates
 
 
 @dataclass
@@ -119,12 +180,17 @@ def sweep(
     trial_factory: Callable[[float], TrialFn],
     n_trials: int,
     base_seed: int = 0,
+    *,
+    executor: "Optional[ExecutorConfig]" = None,
+    on_trial_done: "Optional[ProgressFn]" = None,
 ) -> SweepResult:
     """Run ``n_trials`` trials at each parameter value.
 
     ``trial_factory(value)`` builds the trial function for one axis point;
     each point gets an independent seed stream derived from ``base_seed``
     and the point's index, so adding points never perturbs existing ones.
+    ``executor``/``on_trial_done`` are forwarded to :func:`run_trials` for
+    each point (parallelism is at the trial level, within a point).
     """
     result = SweepResult(parameter=parameter, values=[])
     for idx, value in enumerate(values):
@@ -133,6 +199,8 @@ def sweep(
             trial_fn,
             n_trials,
             base_seed=derive_seed(base_seed, 0x5EE9, idx) % (2**32),
+            executor=executor,
+            on_trial_done=on_trial_done,
         )
         result.values.append(float(value))
         result.aggregates.append(agg)

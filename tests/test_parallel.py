@@ -1,0 +1,328 @@
+"""Tests for repro.sim.parallel — the parallel campaign engine.
+
+Trial callables used with the process backend live at module level so
+they survive the pickle boundary; the determinism tests assert
+field-for-field aggregate equality across every backend, which is the
+engine's core contract.
+"""
+
+import dataclasses
+import io
+
+import pytest
+
+import repro
+import repro.sim as sim
+from repro.sim.parallel import (
+    Campaign,
+    CampaignError,
+    CampaignResult,
+    CampaignTimeout,
+    ExecutorConfig,
+    TrialFailure,
+    run_trials_parallel,
+    stderr_ticker,
+)
+from repro.sim.runner import run_trials, sweep, trial_seed
+
+
+def noisy_trial(trial_index, seed):
+    """A cheap deterministic trial with seed- and index-dependent metrics."""
+    return {
+        "value": float(seed % 1009),
+        "index": float(trial_index),
+        "mix": float((seed * (trial_index + 1)) % 4013),
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class FailingAt:
+    """Raises on the listed trial indices (picklable, deterministic)."""
+
+    bad_indices: tuple
+
+    def __call__(self, trial_index, seed):
+        if trial_index in self.bad_indices:
+            raise RuntimeError(f"deployment {trial_index} exploded")
+        return noisy_trial(trial_index, seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class FlakyOnFirstSeed:
+    """Fails only when handed the attempt-0 seed for ``bad_index``.
+
+    Retries re-derive the seed, so the retried attempt succeeds — a
+    deterministic stand-in for a transiently bad deployment.
+    """
+
+    bad_index: int
+    base_seed: int
+
+    def __call__(self, trial_index, seed):
+        if (
+            trial_index == self.bad_index
+            and seed == trial_seed(self.base_seed, trial_index)
+        ):
+            raise ValueError("flaky first attempt")
+        return noisy_trial(trial_index, seed)
+
+
+def assert_aggregates_identical(a, b):
+    """Field-for-field (bit-identical) equality of two aggregate dicts."""
+    assert sorted(a) == sorted(b)
+    for name in a:
+        left, right = a[name], b[name]
+        for fld in ("name", "mean", "std", "minimum", "maximum", "count"):
+            assert getattr(left, fld) == getattr(right, fld), (
+                f"{name}.{fld}: {getattr(left, fld)!r} != {getattr(right, fld)!r}"
+            )
+
+
+class TestExecutorConfig:
+    def test_defaults(self):
+        cfg = ExecutorConfig()
+        assert cfg.backend == "process"
+        assert cfg.resolved_workers() >= 1
+
+    def test_serial_constructor(self):
+        assert ExecutorConfig.serial().backend == "serial"
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(backend="gpu")
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(workers=-1)
+        with pytest.raises(ValueError):
+            ExecutorConfig(chunk_size=0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(max_retries=-1)
+
+    def test_explicit_workers_resolved(self):
+        assert ExecutorConfig(workers=3).resolved_workers() == 3
+
+
+class TestDeterminism:
+    """Serial and parallel paths must produce bit-identical aggregates."""
+
+    N, SEED = 20, 1234
+
+    def test_process_backend_matches_serial(self):
+        serial = run_trials(noisy_trial, self.N, self.SEED)
+        parallel = run_trials(
+            noisy_trial, self.N, self.SEED,
+            executor=ExecutorConfig(workers=2, backend="process"),
+        )
+        assert_aggregates_identical(serial, parallel)
+
+    def test_thread_backend_matches_serial(self):
+        serial = run_trials(noisy_trial, self.N, self.SEED)
+        threaded = run_trials(
+            noisy_trial, self.N, self.SEED,
+            executor=ExecutorConfig(workers=4, backend="thread"),
+        )
+        assert_aggregates_identical(serial, threaded)
+
+    def test_serial_backend_matches_inline(self):
+        inline = run_trials(noisy_trial, self.N, self.SEED)
+        engine = run_trials(
+            noisy_trial, self.N, self.SEED, executor=ExecutorConfig.serial()
+        )
+        assert_aggregates_identical(inline, engine)
+
+    def test_chunking_does_not_change_results(self):
+        serial = run_trials(noisy_trial, self.N, self.SEED)
+        chunked = run_trials(
+            noisy_trial, self.N, self.SEED,
+            executor=ExecutorConfig(workers=2, backend="thread", chunk_size=7),
+        )
+        assert_aggregates_identical(serial, chunked)
+
+    def test_campaign_object_matches_run_trials(self):
+        serial = run_trials(noisy_trial, self.N, self.SEED)
+        result = Campaign(noisy_trial, self.N, self.SEED).run()
+        assert isinstance(result, CampaignResult)
+        assert result.ok and result.n_ok == self.N
+        assert_aggregates_identical(serial, result.aggregates)
+
+    def test_sweep_with_executor_matches_serial(self):
+        factory = lambda v: noisy_trial  # noqa: E731 - axis value unused
+        serial = sweep("v", [1.0, 2.0], factory, n_trials=5, base_seed=3)
+        threaded = sweep(
+            "v", [1.0, 2.0], factory, n_trials=5, base_seed=3,
+            executor=ExecutorConfig(workers=2, backend="thread"),
+        )
+        assert serial.values == threaded.values
+        for a, b in zip(serial.aggregates, threaded.aggregates):
+            assert_aggregates_identical(a, b)
+
+
+class TestFailureIsolation:
+    def test_failure_captured_and_rest_aggregated(self):
+        result = run_trials_parallel(
+            FailingAt(bad_indices=(3,)), 10, 7,
+            executor=ExecutorConfig.serial(),
+        )
+        assert not result.ok
+        assert result.n_ok == 9
+        assert result.per_trial[3] is None
+        [failure] = result.failures
+        assert isinstance(failure, TrialFailure)
+        assert failure.trial_index == 3
+        assert failure.attempts == 1
+        assert failure.error_type == "RuntimeError"
+        assert "deployment 3 exploded" in failure.message
+        assert "RuntimeError" in failure.traceback
+        assert failure.seed == trial_seed(7, 3)
+        # The surviving trials still aggregate every metric.
+        assert result.aggregates["value"].count == 9
+
+    def test_failure_captured_across_process_boundary(self):
+        result = run_trials_parallel(
+            FailingAt(bad_indices=(1, 4)), 6, 0,
+            executor=ExecutorConfig(workers=2, backend="process"),
+        )
+        assert [f.trial_index for f in result.failures] == [1, 4]
+        assert result.n_ok == 4
+        assert result.aggregates["value"].count == 4
+
+    def test_fail_fast_aborts(self):
+        with pytest.raises(CampaignError) as excinfo:
+            run_trials_parallel(
+                FailingAt(bad_indices=(2,)), 10, 0,
+                executor=ExecutorConfig.serial(fail_fast=True),
+            )
+        assert excinfo.value.failures[0].trial_index == 2
+
+    def test_run_trials_wrapper_raises_on_failure(self):
+        with pytest.raises(CampaignError) as excinfo:
+            run_trials(
+                FailingAt(bad_indices=(0,)), 4, 0,
+                executor=ExecutorConfig.serial(),
+            )
+        err = excinfo.value
+        assert len(err.failures) == 1
+        # Partial aggregates still ride along for diagnostics.
+        assert err.aggregates["value"].count == 3
+
+    def test_all_failed_gives_empty_aggregates(self):
+        result = run_trials_parallel(
+            FailingAt(bad_indices=tuple(range(3))), 3, 0,
+            executor=ExecutorConfig.serial(),
+        )
+        assert result.aggregates == {}
+        assert result.n_ok == 0
+
+
+class TestRetry:
+    def test_retry_rederives_seed_and_recovers(self):
+        trial = FlakyOnFirstSeed(bad_index=2, base_seed=5)
+        no_retry = run_trials_parallel(
+            trial, 6, 5, executor=ExecutorConfig.serial()
+        )
+        assert [f.trial_index for f in no_retry.failures] == [2]
+
+        retried = run_trials_parallel(
+            trial, 6, 5, executor=ExecutorConfig.serial(max_retries=1)
+        )
+        assert retried.ok
+        assert retried.per_trial[2]["value"] == float(
+            trial_seed(5, 2, attempt=1) % 1009
+        )
+
+    def test_retry_seeds_are_distinct_and_deterministic(self):
+        seeds = {trial_seed(9, 4, attempt=a) for a in range(4)}
+        assert len(seeds) == 4
+        assert trial_seed(9, 4, attempt=2) == trial_seed(9, 4, attempt=2)
+
+
+class TestProgress:
+    def test_callback_sees_every_trial(self):
+        seen = []
+
+        def on_done(k, elapsed, metrics):
+            seen.append((k, metrics is not None))
+            assert elapsed >= 0.0
+
+        run_trials_parallel(
+            FailingAt(bad_indices=(1,)), 5, 0,
+            executor=ExecutorConfig(workers=2, backend="thread"),
+            on_trial_done=on_done,
+        )
+        assert sorted(k for k, _ in seen) == [0, 1, 2, 3, 4]
+        assert dict(seen)[1] is False
+
+    def test_stderr_ticker_counts_and_resets(self):
+        stream = io.StringIO()
+        tick = stderr_ticker(2, stream=stream)
+        tick(0, 0.1, {})
+        tick(1, 0.2, {})
+        tick(0, 0.3, {})  # second campaign reuses the ticker
+        out = stream.getvalue()
+        assert "1/2" in out and "2/2" in out
+        assert out.count("\n") == 1
+
+
+class TestTimeout:
+    def test_timeout_raises_campaign_timeout(self):
+        def slow(trial_index, seed):
+            import time
+
+            time.sleep(0.5)
+            return {"x": 1.0}
+
+        with pytest.raises(CampaignTimeout):
+            run_trials_parallel(
+                slow, 4, 0,
+                executor=ExecutorConfig(
+                    workers=2, backend="thread", timeout_s=0.05
+                ),
+            )
+
+
+class TestExports:
+    def test_sim_exports_campaign_api(self):
+        for name in (
+            "Campaign", "CampaignError", "CampaignResult", "CampaignTimeout",
+            "ExecutorConfig", "TrialFailure", "run_trials_parallel",
+            "stderr_ticker", "trial_seed", "TrialFn", "MetricDict",
+        ):
+            assert name in sim.__all__
+            assert hasattr(sim, name)
+
+    def test_top_level_exports_campaign_api(self):
+        for name in (
+            "Campaign", "ExecutorConfig", "TrialFailure",
+            "run_trials_parallel",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+
+class TestCLIParallel:
+    """`--workers` must not change any reported number."""
+
+    ARGS = ["tables", "--n-tags", "300", "--trials", "2", "--ranges", "4", "6"]
+
+    def test_tables_parallel_output_matches_serial(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(self.ARGS) == 0
+        serial_out = capsys.readouterr().out
+        assert main(self.ARGS + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert "Table IV" in serial_out
+
+    def test_workers_flags_parsed(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["tables", "--workers", "4", "--backend", "thread", "--progress"]
+        )
+        assert args.workers == 4
+        assert args.backend == "thread"
+        assert args.progress is True

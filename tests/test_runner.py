@@ -18,7 +18,8 @@ class TestTrialAggregate:
         assert agg.minimum == 1.0
         assert agg.maximum == 3.0
         assert agg.count == 3
-        assert agg.std == pytest.approx((2 / 3) ** 0.5)
+        # Sample (Bessel-corrected) std: var = ((-1)² + 0² + 1²) / (3 - 1).
+        assert agg.std == pytest.approx(1.0)
 
     def test_single_sample_zero_std(self):
         agg = TrialAggregate.from_samples("x", [5.0])
