@@ -21,12 +21,12 @@ def test_ablation_indicator_vector(benchmark, bench_network, emit):
         return run_session(
             bench_network,
             picks,
-            CCMConfig(frame_size=512, use_indicator_vector=False,
+            config=CCMConfig(frame_size=512, use_indicator_vector=False,
                       max_rounds=12),
         )
 
     flooded = benchmark(no_indicator_session)
-    normal = run_session(bench_network, picks, CCMConfig(frame_size=512))
+    normal = run_session(bench_network, picks, config=CCMConfig(frame_size=512))
     assert flooded.bitmap == normal.bitmap  # correctness unchanged
     assert (
         flooded.ledger.bits_sent.sum() > normal.ledger.bits_sent.sum()

@@ -10,7 +10,7 @@ import numpy as np
 from repro.core.bitmap import Bitmap
 from repro.net.channel import PerfectChannel
 from repro.net.energy import EnergyLedger
-from repro.net.geometry import GridIndex, uniform_disk
+from repro.net.geometry import GridIndex
 from repro.net.topology import Network
 from repro.protocols.sicp import SICPParams, build_tree
 from repro.protocols.transport import frame_picks

@@ -8,7 +8,7 @@ slots at every range, and CCM execution time falls as r grows.
 
 from repro.core.session import CCMConfig, run_session
 from repro.experiments import paperconfig as cfg
-from repro.experiments.common import PROTOCOLS, format_table
+from repro.experiments.common import format_table
 from repro.protocols.transport import frame_picks
 
 
@@ -22,8 +22,7 @@ def test_fig4_execution_time(benchmark, bench_network, bench_master, emit):
 
     def session_unit():
         return run_session(
-            bench_network, picks, CCMConfig(frame_size=cfg.GMLE_FRAME_SIZE)
-        )
+            bench_network, picks, config=CCMConfig(frame_size=cfg.GMLE_FRAME_SIZE))
 
     result = benchmark(session_unit)
     assert result.terminated_cleanly

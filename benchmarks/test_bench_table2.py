@@ -19,8 +19,7 @@ def test_table2_max_received(benchmark, bench_network, bench_master, emit):
 
     def trp_session_unit():
         return run_session(
-            bench_network, picks, CCMConfig(frame_size=cfg.TRP_FRAME_SIZE)
-        )
+            bench_network, picks, config=CCMConfig(frame_size=cfg.TRP_FRAME_SIZE))
 
     result = benchmark(trp_session_unit)
     assert result.terminated_cleanly

@@ -28,8 +28,7 @@ def test_table3_avg_sent(benchmark, bench_scale, bench_master, emit):
 
     def sparse_session_unit():
         return run_session(
-            sparse, picks, CCMConfig(frame_size=cfg.GMLE_FRAME_SIZE)
-        )
+            sparse, picks, config=CCMConfig(frame_size=cfg.GMLE_FRAME_SIZE))
 
     benchmark(sparse_session_unit)
 

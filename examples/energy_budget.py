@@ -41,7 +41,7 @@ def main() -> None:
     # One GMLE-CCM session (one estimation round trip).
     p = min(1.0, 1.59 * GMLE_FRAME / N_TAGS)
     picks = frame_picks(network.tag_ids, GMLE_FRAME, p, seed=4)
-    ccm = run_session(network, picks, CCMConfig(frame_size=GMLE_FRAME))
+    ccm = run_session(network, picks, config=CCMConfig(frame_size=GMLE_FRAME))
     ccm_energy = ccm.ledger.per_tag_energy(profile)
 
     # One SICP collection (the ID-collection alternative).

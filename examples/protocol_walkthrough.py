@@ -34,7 +34,7 @@ def main() -> None:
     picks = frame_picks(network.tag_ids, FRAME_SIZE, 1.0, seed=99)
     tracer = SessionTracer()
     result = run_session(
-        network, picks, CCMConfig(frame_size=FRAME_SIZE), tracer=tracer
+        network, picks, config=CCMConfig(frame_size=FRAME_SIZE), tracer=tracer
     )
 
     print("\nround-by-round session digest:")

@@ -39,7 +39,7 @@ def main() -> None:
     # 2. One CCM session: every tag hashes (ID, seed) to a slot; the busy
     #    slot pattern converges to the reader tier by tier.
     picks = frame_picks(network.tag_ids, FRAME_SIZE, 1.0, seed=42)
-    session = run_session(network, picks, CCMConfig(frame_size=FRAME_SIZE))
+    session = run_session(network, picks, config=CCMConfig(frame_size=FRAME_SIZE))
     print(f"session: {session.rounds} rounds, {session.total_slots} slots, "
           f"{session.bitmap.popcount()} busy slots, "
           f"clean termination: {session.terminated_cleanly}")

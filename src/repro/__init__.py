@@ -14,7 +14,7 @@ Quick start::
     net = paper_network(tag_range=6.0, seed=7)
     hasher = TagHasher(seed=42)
     picks = [hasher.slot_of(int(t), 1671) for t in net.tag_ids]
-    result = run_session(net, picks, CCMConfig(frame_size=1671))
+    result = run_session(net, picks, config=CCMConfig(frame_size=1671))
     print(f"{result.bitmap.popcount()} busy slots in {result.rounds} rounds")
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
@@ -26,8 +26,14 @@ from repro.core import (
     Bitmap,
     CCMConfig,
     MultiReaderResult,
+    RoundStats,
+    SessionEngine,
     SessionResult,
+    SessionTracer,
+    available_engines,
     default_checking_frame_length,
+    get_engine,
+    register_engine,
     run_multireader_session,
     run_session,
     union,
@@ -67,7 +73,7 @@ from repro.sim import (
     sweep,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CCMCostModel",
@@ -76,8 +82,14 @@ __all__ = [
     "Bitmap",
     "CCMConfig",
     "MultiReaderResult",
+    "RoundStats",
+    "SessionEngine",
     "SessionResult",
+    "SessionTracer",
+    "available_engines",
     "default_checking_frame_length",
+    "get_engine",
+    "register_engine",
     "run_multireader_session",
     "run_session",
     "union",

@@ -1,4 +1,4 @@
-"""CCM core: bitmaps, the Algorithm-1 session engine, multi-reader combine.
+"""CCM core: bitmaps, the Algorithm-1 session engines, multi-reader combine.
 
 This subpackage is the paper's primary contribution.  Typical use::
 
@@ -9,11 +9,24 @@ This subpackage is the paper's primary contribution.  Typical use::
     net = paper_network(tag_range=6.0, seed=1)
     hasher = TagHasher(seed=42)
     picks = [hasher.slot_of(int(tid), 1671) for tid in net.tag_ids]
-    result = run_session(net, picks, CCMConfig(frame_size=1671))
+    result = run_session(net, picks, config=CCMConfig(frame_size=1671))
     print(result.bitmap.popcount(), "busy slots in", result.rounds, "rounds")
+
+Sessions run on an interchangeable engine (``engine="packed"`` bit-packed
+uint64 kernels, ``engine="bigint"`` big-int masks, default ``"auto"``);
+see :mod:`repro.core.engine` for the registry.
 """
 
 from repro.core.bitmap import Bitmap, union
+from repro.core.engine import (
+    BigintSessionEngine,
+    PackedSessionEngine,
+    SessionEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    resolve_engine,
+)
 from repro.core.multireader import MultiReaderResult, run_multireader_session
 from repro.core.reliability import RobustCollectResult, robust_collect
 from repro.core.session import (
@@ -21,10 +34,10 @@ from repro.core.session import (
     RoundStats,
     SessionResult,
     default_checking_frame_length,
-    picks_to_masks,
     run_session,
     run_session_masks,
 )
+from repro.sim.trace import SessionTracer
 
 __all__ = [
     "Bitmap",
@@ -32,10 +45,17 @@ __all__ = [
     "CCMConfig",
     "RoundStats",
     "SessionResult",
+    "SessionTracer",
     "default_checking_frame_length",
-    "picks_to_masks",
     "run_session",
     "run_session_masks",
+    "SessionEngine",
+    "BigintSessionEngine",
+    "PackedSessionEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "resolve_engine",
     "RobustCollectResult",
     "robust_collect",
     "MultiReaderResult",

@@ -1,0 +1,866 @@
+"""Session engines: interchangeable implementations of Algorithm 1.
+
+:func:`repro.core.session.run_session` delegates the per-round mechanics
+(data frame, knowledge update, indicator-vector silencing, checking frame,
+energy accounting) to a :class:`SessionEngine`.  Two implementations are
+registered:
+
+* ``"bigint"`` — the original engine: each tag's frame is an f-bit Python
+  integer, and propagation is one big-int OR per edge.  Works with any
+  :class:`~repro.net.channel.Channel` implementation.
+* ``"packed"`` — the vectorized engine: frames are bit-packed uint64
+  arrays and every per-tag loop (propagation, knowledge update, popcount
+  energy accounting, checking-frame wave) is a NumPy kernel.  Under the
+  exact :class:`~repro.net.channel.PerfectChannel` it runs *slot-major*:
+  round state is ``(f, ceil(n/64))`` per-slot tag bitsets, slot s's
+  audience is the OR of its transmitters' cached
+  :meth:`~repro.net.topology.Network.packed_adjacency` rows (computed
+  only for slots that survive the round's indicator vector), and one
+  :func:`bit_transpose` per round recovers the ``(n, ceil(f/64))``
+  tag-major view the energy ledger needs.  Other packed-capable channels
+  (``propagate_packed``/``reader_senses_packed``, implemented by
+  :class:`~repro.net.channel.LossyChannel`) take a tag-major path driven
+  through the channel interface.
+
+Under :class:`~repro.net.channel.PerfectChannel` the two engines are
+bit-identical — same bitmap, rounds, slot tally, round statistics, and
+per-tag ledger floats — which ``tests/test_engine.py`` asserts across a
+deployment/frame-size/mask grid.  Under :class:`LossyChannel` the packed
+engine draws its Bernoulli sensing failures per edge *word* instead of per
+set bit, so it consumes the RNG stream differently from bigint; the
+default ``engine="auto"`` therefore selects packed only for perfect
+channels, bigint otherwise, until lossy parity lands.
+
+The registry is open: :func:`register_engine` accepts any object
+satisfying the :class:`SessionEngine` protocol, so experimental engines
+(GPU kernels, approximate models) can be selected by name through the
+same ``engine=`` keyword.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - always present on 3.8+
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    from typing_extensions import Protocol, runtime_checkable
+
+from repro.core.bitmap import Bitmap
+from repro.core.session import (
+    CCMConfig,
+    RoundStats,
+    SessionResult,
+    default_checking_frame_length,
+)
+from repro.net.channel import Channel, PerfectChannel, or_reduce_segments
+from repro.net.energy import EnergyLedger
+from repro.net.timing import SlotCount, indicator_vector_slots
+from repro.net.topology import Network
+from repro.sim.trace import SessionTracer
+
+#: The engine name ``run_session`` resolves per call: packed for perfect
+#: channels, bigint otherwise.
+AUTO_ENGINE = "auto"
+
+
+@runtime_checkable
+class SessionEngine(Protocol):
+    """One implementation of Algorithm 1 over pre-validated inputs.
+
+    ``masks`` is the per-tag list of f-bit integers (slots each tag
+    initially sets busy); :func:`repro.core.session.run_session` has
+    already validated lengths and bit ranges before dispatching here.
+    """
+
+    name: str
+
+    def run(
+        self,
+        network: Network,
+        masks: Sequence[int],
+        config: CCMConfig,
+        *,
+        channel: Optional[Channel] = None,
+        rng: Optional[np.random.Generator] = None,
+        ledger: Optional[EnergyLedger] = None,
+        tracer: Optional[SessionTracer] = None,
+    ) -> SessionResult:
+        """Execute one CCM session and account time and energy."""
+        ...  # pragma: no cover - protocol body
+
+
+_REGISTRY: Dict[str, Callable[[], SessionEngine]] = {}
+
+
+def register_engine(name: str, factory: Callable[[], SessionEngine]) -> None:
+    """Register (or replace) a session engine under ``name``.
+
+    ``factory`` is called lazily, once per :func:`get_engine` call, so
+    registration stays import-cheap.
+    """
+    if not name or name == AUTO_ENGINE:
+        raise ValueError(f"invalid engine name {name!r}")
+    _REGISTRY[name] = factory
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Registered engine names, sorted (``"auto"`` is a resolution rule,
+    not an engine, and is not listed)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_engine(name: str) -> SessionEngine:
+    """Instantiate the engine registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown session engine {name!r}; available: "
+            f"{', '.join(available_engines())} (or 'auto')"
+        ) from None
+    return factory()
+
+
+def resolve_engine(name: str, channel: Optional[Channel]) -> SessionEngine:
+    """Resolve an ``engine=`` argument to a concrete engine.
+
+    ``"auto"`` selects the packed engine when the channel is the paper's
+    perfect busy/idle sensing (the common case and the hot path), and the
+    bigint engine for anything else — lossy channels consume the RNG
+    stream differently under the packed kernels, and third-party channels
+    may not implement the packed-word interface at all.
+    """
+    if name != AUTO_ENGINE:
+        return get_engine(name)
+    if channel is None or type(channel) is PerfectChannel:
+        return get_engine("packed")
+    return get_engine("bigint")
+
+
+# -- shared helpers -----------------------------------------------------------
+
+if hasattr(np, "bitwise_count"):
+
+    def _word_counts(words: np.ndarray) -> np.ndarray:
+        """Per-word popcount of a uint64 array (same shape)."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - NumPy < 2.0 fallback
+    _POP8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
+
+    def _word_counts(words: np.ndarray) -> np.ndarray:
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        return _POP8[as_bytes].reshape(*words.shape, 8).sum(axis=-1)
+
+
+def masks_to_words(masks: Sequence[int], frame_size: int) -> np.ndarray:
+    """Pack per-tag f-bit integers into an ``(n, ceil(f/64))`` uint64 array.
+
+    Word w of row i holds bits ``64w .. 64w+63`` of ``masks[i]`` (slot s is
+    bit ``s % 64`` of word ``s // 64``).
+    """
+    n = len(masks)
+    n_words = max(1, (frame_size + 63) // 64)
+    n_bytes = n_words * 8
+    buf = b"".join(int(m).to_bytes(n_bytes, "little") for m in masks)
+    packed = np.frombuffer(buf, dtype="<u8").reshape(n, n_words)
+    return packed.astype(np.uint64)
+
+
+def words_to_int(words: np.ndarray) -> int:
+    """Inverse of :func:`masks_to_words` for one row (or any 1-D word run)."""
+    return int.from_bytes(
+        np.ascontiguousarray(words, dtype="<u8").tobytes(), "little"
+    )
+
+
+def _any_neighbor(
+    flags: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+) -> np.ndarray:
+    """``out[t]`` — does any CSR neighbour of ``t`` have ``flags`` set?"""
+    if indices.size == 0:
+        return np.zeros(indptr.shape[0] - 1, dtype=bool)
+    hits = np.concatenate(
+        ([0], np.cumsum(flags[indices], dtype=np.int64))
+    )
+    return (hits[indptr[1:]] - hits[indptr[:-1]]) > 0
+
+
+def _pack_bool_mask(mask: np.ndarray, n_words: int) -> np.ndarray:
+    """Pack a boolean vector into ``n_words`` little-endian uint64 words."""
+    out = np.zeros(n_words * 8, dtype=np.uint8)
+    packed = np.packbits(mask, bitorder="little")
+    out[: packed.size] = packed
+    return out.view(np.uint64)
+
+
+_T8_M1 = np.uint64(0x00AA00AA00AA00AA)
+_T8_M2 = np.uint64(0x0000CCCC0000CCCC)
+_T8_M3 = np.uint64(0x00000000F0F0F0F0)
+_T8_S1, _T8_S2, _T8_S3 = np.uint64(7), np.uint64(14), np.uint64(28)
+
+
+def _transpose8x8(x: np.ndarray) -> np.ndarray:
+    """Transpose each uint64 viewed as an 8x8 bit matrix (delta swaps)."""
+    t = (x ^ (x >> _T8_S1)) & _T8_M1
+    x = x ^ t ^ (t << _T8_S1)
+    t = (x ^ (x >> _T8_S2)) & _T8_M2
+    x = x ^ t ^ (t << _T8_S2)
+    t = (x ^ (x >> _T8_S3)) & _T8_M3
+    return x ^ t ^ (t << _T8_S3)
+
+
+def bit_transpose(words: np.ndarray, n_rows: int, n_cols: int) -> np.ndarray:
+    """Transpose a packed bit matrix: ``(n_rows, ceil(n_cols/64))`` uint64
+    in, ``(n_cols, ceil(n_rows/64))`` uint64 out (little-endian bit order
+    both ways, matching :func:`masks_to_words`).
+
+    The kernel is byte-shuffle + an 8x8 bit-block delta-swap, so a
+    session-sized matrix (10,000 x 1,671 bits) transposes in a few
+    milliseconds; the packed engine uses one transpose per round to move
+    between slot-major propagation and per-tag energy popcounts.
+    """
+    if words.shape[0] != n_rows:
+        raise ValueError(
+            f"words has {words.shape[0]} rows, expected {n_rows}"
+        )
+    n_words_out = max(1, (n_rows + 63) // 64)
+    rows_padded = n_words_out * 64
+    if n_rows < rows_padded:
+        padded = np.zeros((rows_padded, words.shape[1]), dtype=np.uint64)
+        padded[:n_rows] = words
+        words = padded
+    row_bytes = rows_padded // 8
+    wc = words.shape[1]
+    # (wc, rows) -> bytes [wc, row-group g, row-in-group i, col-byte k]
+    blocks = (
+        np.ascontiguousarray(words.T)
+        .view(np.uint8)
+        .reshape(wc, row_bytes, 8, 8)
+    )
+    # -> [wc, k, g, i]: each trailing 8-byte run is an 8x8 bit block.
+    blocks = np.ascontiguousarray(blocks.transpose(0, 3, 1, 2))
+    swapped = _transpose8x8(blocks.view(np.uint64).reshape(wc, 8, row_bytes))
+    # [wc, k, g, c] -> [wc, k, c, g]: rows of the output ordered by column
+    # index 64*wc + 8*k + c, each holding row_bytes bytes of row bits.
+    out = np.ascontiguousarray(
+        swapped.view(np.uint8).reshape(wc, 8, row_bytes, 8).transpose(0, 1, 3, 2)
+    )
+    return out.reshape(wc * 64, row_bytes).view(np.uint64)[:n_cols]
+
+
+def run_checking_frame(
+    network: Network,
+    has_pending: np.ndarray,
+    l_c: int,
+    ledger: EnergyLedger,
+) -> Tuple[int, bool]:
+    """Run the checking frame (Alg. 1 lines 14–24); shared by all engines.
+
+    Tags with pending data respond in slot 1; a tag that detects a response
+    in slot j-1 responds (once) in slot j; the reader stops the frame at the
+    first slot in which it hears a tier-1 response.  Returns the number of
+    slots actually executed and whether the reader heard anything.
+
+    Energy: each response is one sent bit; every tag that has not yet
+    responded listens in each executed slot (one received bit per slot).
+    """
+    n = network.n_tags
+    tier1 = network.tier1_mask
+    indptr, indices = network.indptr, network.indices
+
+    responded = np.zeros(n, dtype=bool)
+    frontier = has_pending.copy()
+    executed = 0
+    for _slot in range(1, l_c + 1):
+        executed += 1
+        responders = frontier & ~responded
+        any_responder = bool(responders.any())
+        # Listening cost: everyone not transmitting this slot listens.
+        listen = np.ones(n)
+        listen[responders] = 0.0
+        ledger.add_received_bulk(listen)
+        if any_responder:
+            ledger.add_sent_bulk(responders.astype(np.float64))
+        responded |= responders
+        if bool(np.any(responders & tier1)):
+            return executed, True
+        if not any_responder:
+            # Nothing transmitted; the wave is dead, but per Alg. 1 the
+            # reader keeps listening through the rest of the frame (it
+            # cannot know the wave died).  Account the remaining idle
+            # listening and stop simulating.
+            remaining = l_c - executed
+            if remaining > 0:
+                ledger.add_received_bulk(np.full(n, float(remaining)))
+            return l_c, False
+        # Propagate: neighbours of this slot's responders hear the pulse.
+        frontier = _any_neighbor(responders, indptr, indices)
+    return executed, False
+
+
+# -- the big-int engine -------------------------------------------------------
+
+
+class BigintSessionEngine:
+    """The original engine: f-bit Python integers, one OR per edge.
+
+    Channel-agnostic — it drives the abstract
+    :meth:`~repro.net.channel.Channel.propagate` /
+    :meth:`~repro.net.channel.Channel.reader_senses` interface, so any
+    custom channel model works here.
+    """
+
+    name = "bigint"
+
+    def run(
+        self,
+        network: Network,
+        masks: Sequence[int],
+        config: CCMConfig,
+        *,
+        channel: Optional[Channel] = None,
+        rng: Optional[np.random.Generator] = None,
+        ledger: Optional[EnergyLedger] = None,
+        tracer: Optional[SessionTracer] = None,
+    ) -> SessionResult:
+        n = network.n_tags
+        f = config.frame_size
+        channel = channel or PerfectChannel()
+        ledger = ledger if ledger is not None else EnergyLedger(n)
+        l_c = config.checking_frame_length or default_checking_frame_length(
+            network
+        )
+        max_rounds = config.max_rounds if config.max_rounds is not None else l_c
+
+        tier1 = network.tier1_mask
+        indptr, indices = network.indptr, network.indices
+        frame_mask = (1 << f) - 1
+        # Tags with no path to the reader can hold pending bits forever
+        # (they relay among themselves); only pending data on *reachable*
+        # tags means the session lost information.
+        reachable_idx = np.flatnonzero(network.reachable_mask).tolist()
+
+        def _lost_data(pending_masks: List[int]) -> bool:
+            return any(pending_masks[t] for t in reachable_idx)
+
+        # Per-tag session state (exists only for the session; tags stay
+        # state-free across sessions).
+        pending = list(masks)  # to transmit next data frame
+        known = list(pending)  # ever picked/heard/transmitted
+        done = [0] * n  # transmitted already -> sleep in those slots
+        silenced = 0  # indicator vector accumulated at the reader
+        reader_bitmap = 0  # B
+        iv_slots = indicator_vector_slots(f)
+
+        slots = SlotCount()
+        round_stats: List[RoundStats] = []
+        terminated_cleanly = False
+        rounds_run = 0
+
+        for round_index in range(1, max_rounds + 1):
+            rounds_run = round_index
+            if tracer is not None:
+                tracer.emit("round_start", round_index)
+            # --- data frame ---------------------------------------------
+            transmit = [0] * n
+            transmitting = 0
+            for t in range(n):
+                mask = pending[t] & ~silenced & frame_mask
+                transmit[t] = mask
+                if mask:
+                    transmitting += 1
+            heard = channel.propagate(transmit, indptr, indices, rng)
+            reader_busy = channel.reader_senses(transmit, tier1, rng)
+
+            # Energy for the frame: 1 bit per transmitted slot; 1 bit per
+            # carrier-sensed slot (tags monitor every slot not silenced,
+            # not already relayed by them, and not currently transmitted).
+            sent = np.zeros(n)
+            listened = np.zeros(n)
+            for t in range(n):
+                tx = transmit[t]
+                sent[t] = tx.bit_count()
+                listened[t] = f - (silenced | done[t] | tx).bit_count()
+            ledger.add_sent_bulk(sent)
+            ledger.add_received_bulk(listened)
+            slots += SlotCount(short_slots=f)
+
+            # Knowledge update: a tag learns a slot it heard, unless it was
+            # transmitting in it (half duplex), already knew it, or the
+            # reader had silenced it.
+            new_pending = [0] * n
+            for t in range(n):
+                learned = heard[t] & ~known[t] & ~transmit[t] & ~silenced
+                known[t] |= learned | transmit[t]
+                done[t] |= transmit[t]
+                new_pending[t] = learned
+
+            # --- indicator vector ---------------------------------------
+            bits_new = (reader_busy & ~reader_bitmap).bit_count()
+            reader_bitmap |= reader_busy
+            if tracer is not None:
+                tracer.emit(
+                    "frame",
+                    round_index,
+                    transmitters=transmitting,
+                    bits_new_at_reader=bits_new,
+                    reader_busy_total=reader_bitmap.bit_count(),
+                )
+            if config.use_indicator_vector:
+                silenced = reader_bitmap
+                # The reader ships V in ceil(f/96) 96-bit slots; every tag
+                # receives the full f bits.
+                slots += SlotCount(id_slots=iv_slots)
+                ledger.add_received_to_all(float(f))
+                for t in range(n):
+                    new_pending[t] &= ~silenced
+                if tracer is not None:
+                    tracer.emit(
+                        "indicator",
+                        round_index,
+                        silenced_total=silenced.bit_count(),
+                    )
+            pending = new_pending
+
+            # --- checking frame -----------------------------------------
+            has_pending = np.array([bool(pending[t]) for t in range(n)])
+            executed, reader_heard = run_checking_frame(
+                network, has_pending, l_c, ledger
+            )
+            slots += SlotCount(short_slots=executed)
+            if tracer is not None:
+                tracer.emit(
+                    "checking",
+                    round_index,
+                    slots_executed=executed,
+                    reader_heard=reader_heard,
+                    pending_tags=int(has_pending.sum()),
+                )
+            round_stats.append(
+                RoundStats(
+                    round_index=round_index,
+                    transmitting_tags=transmitting,
+                    bits_new_at_reader=bits_new,
+                    checking_slots_executed=executed,
+                    reader_heard_checking=reader_heard,
+                )
+            )
+            if not reader_heard:
+                terminated_cleanly = not _lost_data(pending)
+                break
+        else:
+            # Round bound exhausted with the checking frame still reporting
+            # pending data (can only happen with a non-default max_rounds or
+            # a pathological L_c — surfaced to the caller, not swallowed).
+            terminated_cleanly = not _lost_data(pending)
+
+        if tracer is not None:
+            tracer.emit(
+                "session_end",
+                rounds_run,
+                rounds=rounds_run,
+                clean=terminated_cleanly,
+                busy_slots=reader_bitmap.bit_count(),
+            )
+        return SessionResult(
+            bitmap=Bitmap(f, reader_bitmap),
+            rounds=rounds_run,
+            slots=slots,
+            ledger=ledger,
+            round_stats=round_stats,
+            terminated_cleanly=terminated_cleanly,
+        )
+
+
+# -- the bit-packed vectorized engine ----------------------------------------
+
+
+#: Upper bound on the cached neighbour-bitset size for the slot-major fast
+#: path; bigger networks fall back to the edge-wise tag-major path, whose
+#: memory is proportional to the edge count rather than n^2/8.
+_SLOT_MAJOR_MAX_ADJ_BYTES = 1 << 27
+
+
+class PackedSessionEngine:
+    """Bit-packed uint64 engine: every per-tag loop becomes a NumPy kernel.
+
+    Two internal paths, both bit-identical to
+    :class:`BigintSessionEngine` under
+    :class:`~repro.net.channel.PerfectChannel`:
+
+    * **slot-major** (perfect channel, moderate n): round state lives as
+      ``(f, ceil(n/64))`` per-slot tag bitsets; slot s's audience is the OR
+      of the cached :meth:`~repro.net.topology.Network.packed_adjacency`
+      rows of its transmitters — the bitsets stay cache-resident, where
+      the edge-wise gather is DRAM-bound.  One :func:`bit_transpose` per
+      round recovers the per-tag popcounts the energy ledger needs.
+    * **tag-major** (lossy or custom packed channels, or very large n):
+      ``(n, ceil(f/64))`` per-tag frames, propagation through the
+      channel's ``propagate_packed`` over the CSR adjacency.
+    """
+
+    name = "packed"
+
+    def run(
+        self,
+        network: Network,
+        masks: Sequence[int],
+        config: CCMConfig,
+        *,
+        channel: Optional[Channel] = None,
+        rng: Optional[np.random.Generator] = None,
+        ledger: Optional[EnergyLedger] = None,
+        tracer: Optional[SessionTracer] = None,
+    ) -> SessionResult:
+        channel = channel or PerfectChannel()
+        if not getattr(channel, "supports_packed", False):
+            raise ValueError(
+                f"channel {type(channel).__name__} does not implement the "
+                "packed-word interface; use engine='bigint'"
+            )
+        n = network.n_tags
+        n_tag_words = max(1, (n + 63) // 64)
+        # The strict type check keeps subclasses that override propagation
+        # on the channel-driven path.
+        if (
+            type(channel) is PerfectChannel
+            and n * n_tag_words * 8 <= _SLOT_MAJOR_MAX_ADJ_BYTES
+        ):
+            return self._run_slot_major(
+                network, masks, config, ledger=ledger, tracer=tracer
+            )
+        return self._run_tag_major(
+            network,
+            masks,
+            config,
+            channel=channel,
+            rng=rng,
+            ledger=ledger,
+            tracer=tracer,
+        )
+
+    def _run_slot_major(
+        self,
+        network: Network,
+        masks: Sequence[int],
+        config: CCMConfig,
+        *,
+        ledger: Optional[EnergyLedger],
+        tracer: Optional[SessionTracer],
+    ) -> SessionResult:
+        n = network.n_tags
+        f = config.frame_size
+        ledger = ledger if ledger is not None else EnergyLedger(n)
+        l_c = config.checking_frame_length or default_checking_frame_length(
+            network
+        )
+        max_rounds = config.max_rounds if config.max_rounds is not None else l_c
+
+        n_frame_words = max(1, (f + 63) // 64)
+        n_tag_words = max(1, (n + 63) // 64)
+        adjacency = network.packed_adjacency()
+        tier1_words = _pack_bool_mask(network.tier1_mask, n_tag_words)
+        reachable_words = _pack_bool_mask(
+            network.reachable_mask, n_tag_words
+        )
+
+        # Slot-major state: row s is the tag bitset of slot s.  pending
+        # always excludes silenced slots (initially V is empty; each
+        # round's learned bits are masked with the updated V before they
+        # become pending), so pending IS the transmit schedule.
+        pending = bit_transpose(masks_to_words(masks, f), n, f)
+        known = pending.copy()
+        done_tm = np.zeros((n, n_frame_words), dtype=np.uint64)
+        silenced_words = np.zeros(n_frame_words, dtype=np.uint64)
+        bitmap = np.zeros(f, dtype=bool)  # B, one bool per slot
+        iv_slots = indicator_vector_slots(f)
+
+        slots = SlotCount()
+        round_stats: List[RoundStats] = []
+        terminated_cleanly = False
+        rounds_run = 0
+        pending_any = np.bitwise_or.reduce(pending, axis=0)
+
+        reduce_or = np.bitwise_or.reduce
+        flatnonzero = np.flatnonzero
+
+        for round_index in range(1, max_rounds + 1):
+            rounds_run = round_index
+            if tracer is not None:
+                tracer.emit("round_start", round_index)
+            # --- data frame ---------------------------------------------
+            transmit = pending
+            tx_any_tag = reduce_or(transmit, axis=0)
+            transmitting = int(_word_counts(tx_any_tag).sum())
+            reader_busy = (transmit & tier1_words).any(axis=1)
+
+            transmit_tm = bit_transpose(transmit, f, n)
+            sent = _word_counts(transmit_tm).sum(axis=1)
+            done_tm |= transmit_tm
+            monitored = _word_counts(silenced_words | done_tm).sum(axis=1)
+            ledger.add_sent_bulk(sent.astype(np.float64))
+            ledger.add_received_bulk((f - monitored).astype(np.float64))
+            slots += SlotCount(short_slots=f)
+
+            # --- indicator vector ---------------------------------------
+            bits_new = int(np.count_nonzero(reader_busy & ~bitmap))
+            bitmap |= reader_busy
+            if tracer is not None:
+                tracer.emit(
+                    "frame",
+                    round_index,
+                    transmitters=transmitting,
+                    bits_new_at_reader=bits_new,
+                    reader_busy_total=int(np.count_nonzero(bitmap)),
+                )
+            if config.use_indicator_vector:
+                silenced_words = _pack_bool_mask(bitmap, n_frame_words)
+                slots += SlotCount(id_slots=iv_slots)
+                ledger.add_received_to_all(float(f))
+                if tracer is not None:
+                    tracer.emit(
+                        "indicator",
+                        round_index,
+                        silenced_total=int(np.count_nonzero(bitmap)),
+                    )
+
+            # --- propagation + knowledge update -------------------------
+            # Slot s's audience is the OR of its transmitters' neighbour
+            # bitsets.  heard feeds only ``learned``, and learned is
+            # zeroed for every slot in the (updated) indicator vector —
+            # so V is applied *first* and the neighbourhood ORs run only
+            # for slots that survive silencing.  (The bigint engine also
+            # grows ``known`` on freshly-silenced slots, but that state is
+            # dead: such slots never transmit or learn again, so skipping
+            # them is observationally identical.)  Three further bigint
+            # terms are free here: silenced slots have no transmitters,
+            # transmit ⊆ known, and survivor rows are never in V.
+            surviving = transmit.any(axis=1)
+            if config.use_indicator_vector:
+                surviving &= ~bitmap
+            survivors = flatnonzero(surviving)
+            learned = np.zeros_like(transmit)
+            if survivors.size:
+                tx_bool = np.unpackbits(
+                    transmit[survivors].view(np.uint8),
+                    axis=1,
+                    bitorder="little",
+                    count=n,
+                ).view(bool)
+                for j, s in enumerate(survivors.tolist()):
+                    learned[s] = (
+                        reduce_or(
+                            adjacency[flatnonzero(tx_bool[j])], axis=0
+                        )
+                        & ~known[s]
+                    )
+                known |= learned
+            pending = learned
+
+            # --- checking frame -----------------------------------------
+            pending_any = reduce_or(pending, axis=0)
+            has_pending = np.unpackbits(
+                pending_any.view(np.uint8), bitorder="little", count=n
+            ).view(bool)
+            executed, reader_heard = run_checking_frame(
+                network, has_pending, l_c, ledger
+            )
+            slots += SlotCount(short_slots=executed)
+            if tracer is not None:
+                tracer.emit(
+                    "checking",
+                    round_index,
+                    slots_executed=executed,
+                    reader_heard=reader_heard,
+                    pending_tags=int(np.count_nonzero(has_pending)),
+                )
+            round_stats.append(
+                RoundStats(
+                    round_index=round_index,
+                    transmitting_tags=transmitting,
+                    bits_new_at_reader=bits_new,
+                    checking_slots_executed=executed,
+                    reader_heard_checking=reader_heard,
+                )
+            )
+            if not reader_heard:
+                break
+        terminated_cleanly = not bool((pending_any & reachable_words).any())
+
+        if tracer is not None:
+            tracer.emit(
+                "session_end",
+                rounds_run,
+                rounds=rounds_run,
+                clean=terminated_cleanly,
+                busy_slots=int(np.count_nonzero(bitmap)),
+            )
+        return SessionResult(
+            bitmap=Bitmap(
+                f, words_to_int(_pack_bool_mask(bitmap, n_frame_words))
+            ),
+            rounds=rounds_run,
+            slots=slots,
+            ledger=ledger,
+            round_stats=round_stats,
+            terminated_cleanly=terminated_cleanly,
+        )
+
+    def _run_tag_major(
+        self,
+        network: Network,
+        masks: Sequence[int],
+        config: CCMConfig,
+        *,
+        channel: Channel,
+        rng: Optional[np.random.Generator],
+        ledger: Optional[EnergyLedger],
+        tracer: Optional[SessionTracer],
+    ) -> SessionResult:
+        n = network.n_tags
+        f = config.frame_size
+        ledger = ledger if ledger is not None else EnergyLedger(n)
+        l_c = config.checking_frame_length or default_checking_frame_length(
+            network
+        )
+        max_rounds = config.max_rounds if config.max_rounds is not None else l_c
+
+        tier1 = network.tier1_mask
+        indptr, indices = network.indptr, network.indices
+        reachable = network.reachable_mask
+        n_words = max(1, (f + 63) // 64)
+
+        pending = masks_to_words(masks, f)
+        known = pending.copy()
+        done = np.zeros((n, n_words), dtype=np.uint64)
+        silenced = np.zeros(n_words, dtype=np.uint64)
+        reader_bitmap = np.zeros(n_words, dtype=np.uint64)
+        iv_slots = indicator_vector_slots(f)
+
+        slots = SlotCount()
+        round_stats: List[RoundStats] = []
+        terminated_cleanly = False
+        rounds_run = 0
+
+        for round_index in range(1, max_rounds + 1):
+            rounds_run = round_index
+            if tracer is not None:
+                tracer.emit("round_start", round_index)
+            # --- data frame ---------------------------------------------
+            # pending bits are within the frame by construction (validated
+            # initial masks; learned bits come from transmissions), so no
+            # frame-mask clip is needed.
+            transmit = pending & ~silenced
+            tx_rows = transmit.any(axis=1)
+            transmitting = int(np.count_nonzero(tx_rows))
+            heard = channel.propagate_packed(transmit, indptr, indices, rng)
+            reader_busy = channel.reader_senses_packed(transmit, tier1, rng)
+
+            sent = _word_counts(transmit).sum(axis=1)
+            monitored = _word_counts(silenced | done | transmit).sum(axis=1)
+            ledger.add_sent_bulk(sent.astype(np.float64))
+            ledger.add_received_bulk((f - monitored).astype(np.float64))
+            slots += SlotCount(short_slots=f)
+
+            # Knowledge update (half duplex + silencing), all word-parallel.
+            learned = heard & ~known & ~transmit & ~silenced
+            known |= learned | transmit
+            done |= transmit
+            new_pending = learned
+
+            # --- indicator vector ---------------------------------------
+            bits_new = int(
+                _word_counts(reader_busy & ~reader_bitmap).sum()
+            )
+            reader_bitmap |= reader_busy
+            if tracer is not None:
+                tracer.emit(
+                    "frame",
+                    round_index,
+                    transmitters=transmitting,
+                    bits_new_at_reader=bits_new,
+                    reader_busy_total=int(_word_counts(reader_bitmap).sum()),
+                )
+            if config.use_indicator_vector:
+                silenced = reader_bitmap.copy()
+                slots += SlotCount(id_slots=iv_slots)
+                ledger.add_received_to_all(float(f))
+                new_pending &= ~silenced
+                if tracer is not None:
+                    tracer.emit(
+                        "indicator",
+                        round_index,
+                        silenced_total=int(_word_counts(silenced).sum()),
+                    )
+            pending = new_pending
+
+            # --- checking frame -----------------------------------------
+            has_pending = pending.any(axis=1)
+            executed, reader_heard = run_checking_frame(
+                network, has_pending, l_c, ledger
+            )
+            slots += SlotCount(short_slots=executed)
+            if tracer is not None:
+                tracer.emit(
+                    "checking",
+                    round_index,
+                    slots_executed=executed,
+                    reader_heard=reader_heard,
+                    pending_tags=int(has_pending.sum()),
+                )
+            round_stats.append(
+                RoundStats(
+                    round_index=round_index,
+                    transmitting_tags=transmitting,
+                    bits_new_at_reader=bits_new,
+                    checking_slots_executed=executed,
+                    reader_heard_checking=reader_heard,
+                )
+            )
+            if not reader_heard:
+                terminated_cleanly = not bool(pending[reachable].any())
+                break
+        else:
+            terminated_cleanly = not bool(pending[reachable].any())
+
+        if tracer is not None:
+            tracer.emit(
+                "session_end",
+                rounds_run,
+                rounds=rounds_run,
+                clean=terminated_cleanly,
+                busy_slots=int(_word_counts(reader_bitmap).sum()),
+            )
+        return SessionResult(
+            bitmap=Bitmap(f, words_to_int(reader_bitmap)),
+            rounds=rounds_run,
+            slots=slots,
+            ledger=ledger,
+            round_stats=round_stats,
+            terminated_cleanly=terminated_cleanly,
+        )
+
+
+register_engine("bigint", BigintSessionEngine)
+register_engine("packed", PackedSessionEngine)
+
+# Re-exported for callers that want the propagation kernel directly.
+__all__ = [
+    "AUTO_ENGINE",
+    "SessionEngine",
+    "BigintSessionEngine",
+    "PackedSessionEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "resolve_engine",
+    "run_checking_frame",
+    "masks_to_words",
+    "words_to_int",
+    "bit_transpose",
+    "or_reduce_segments",
+]

@@ -16,7 +16,7 @@ same busy slots, which the OR absorbs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -54,12 +54,14 @@ def run_multireader_session(
     tag_ids: Optional[Sequence[int]] = None,
     channel: Optional[Channel] = None,
     rng: Optional[np.random.Generator] = None,
+    engine: str = "auto",
 ) -> MultiReaderResult:
     """Round-robin the readers, each collecting a bitmap via Algorithm 1.
 
     ``picks`` and ``tag_ids`` are indexed by the global tag population; the
     combined ledger is too, so energy per physical tag aggregates across
-    every window it participates in.
+    every window it participates in.  ``engine`` selects the per-window
+    session engine (see :mod:`repro.core.engine`).
     """
     positions = np.asarray(positions, dtype=np.float64)
     n = positions.shape[0]
@@ -103,7 +105,12 @@ def run_multireader_session(
         )
         window_picks = picks_arr[window_idx]
         result = run_session(
-            window_net, window_picks.tolist(), config, channel=channel, rng=rng
+            window_net,
+            window_picks.tolist(),
+            config=config,
+            channel=channel,
+            rng=rng,
+            engine=engine,
         )
         per_reader.append(result)
         combined_bits |= result.bitmap.bits

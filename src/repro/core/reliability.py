@@ -17,13 +17,12 @@ budget runs out, and accounts the cumulative cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.core.bitmap import Bitmap
-from repro.core.session import CCMConfig, SessionResult, run_session_masks
-from repro.core.session import picks_to_masks
+from repro.core.session import CCMConfig, SessionResult, run_session
 from repro.net.channel import Channel
 from repro.net.energy import EnergyLedger
 from repro.net.timing import SlotCount
@@ -51,6 +50,7 @@ def robust_collect(
     rng: np.random.Generator,
     max_sessions: int = 8,
     quiet_sessions: int = 2,
+    engine: str = "auto",
 ) -> RobustCollectResult:
     """OR-merge repeated sessions until the bitmap stops growing.
 
@@ -63,7 +63,6 @@ def robust_collect(
         raise ValueError("max_sessions must be positive")
     if quiet_sessions <= 0:
         raise ValueError("quiet_sessions must be positive")
-    masks = picks_to_masks(picks, config.frame_size)
 
     ledger = EnergyLedger(network.n_tags)
     combined = 0
@@ -72,8 +71,14 @@ def robust_collect(
     sessions: List[SessionResult] = []
     quiet = 0
     for _ in range(max_sessions):
-        result = run_session_masks(
-            network, masks, config, channel=channel, rng=rng, ledger=ledger
+        result = run_session(
+            network,
+            picks,
+            config=config,
+            channel=channel,
+            rng=rng,
+            ledger=ledger,
+            engine=engine,
         )
         sessions.append(result)
         slots += result.slots

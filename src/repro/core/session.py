@@ -1,4 +1,4 @@
-"""The CCM session engine — Algorithm 1 of the paper.
+"""The CCM session API — Algorithm 1 of the paper.
 
 One *session* collects an f-bit bitmap from every tag in a multi-hop,
 state-free tag network.  It proceeds in *rounds*; each round is:
@@ -26,25 +26,31 @@ check directly.
 
 Implementation notes
 --------------------
-Frames are carried as f-bit Python integers (one per tag): an OR per edge
-propagates a whole round, which is what makes n = 10,000-tag simulation
-practical in pure Python.  Tags are *state-free*: the per-tag state used
-here (pending/known/done masks) exists only *within* one session, exactly
-as in the protocol, and nothing survives between sessions.
+This module is the *API*: parameter objects, result objects, validation,
+and the single entry point :func:`run_session`.  The per-round mechanics
+live in interchangeable :class:`~repro.core.engine.SessionEngine`
+implementations (``"bigint"`` big-int masks, ``"packed"`` bit-packed
+uint64 kernels) selected by the keyword-only ``engine=`` argument; the
+default ``"auto"`` picks the fast packed engine for the paper's perfect
+channel and the channel-agnostic bigint engine otherwise.  Tags are
+*state-free*: the per-tag state the engines carry (pending/known/done
+masks) exists only *within* one session, exactly as in the protocol, and
+nothing survives between sessions.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.bitmap import Bitmap
-from repro.net.channel import Channel, PerfectChannel
+from repro.net.channel import Channel
 from repro.net.energy import EnergyLedger
-from repro.net.timing import SlotCount, indicator_vector_slots
+from repro.net.timing import SlotCount
 from repro.net.topology import Network
 from repro.sim.trace import SessionTracer
 
@@ -56,10 +62,19 @@ def default_checking_frame_length(network: Network) -> int:
     ranges alone — the reader cannot know the true K because the tags are
     state-free.  The factor 2 is safety margin: the checking-frame response
     wave may need up to K−1 hops to reach tier 1.
+
+    With several readers the estimate is taken per reader and the maximum
+    wins: a checking frame sized for the shallowest reader would terminate
+    sessions early on the reader whose coverage reaches deepest.
     """
-    reader = network.readers[0]
-    spread = reader.reader_to_tag_range - reader.tag_to_reader_range
-    return 2 * (1 + math.ceil(max(spread, 0.0) / network.tag_range))
+    tier_estimate = 0
+    for reader in network.readers:
+        spread = reader.reader_to_tag_range - reader.tag_to_reader_range
+        tier_estimate = max(
+            tier_estimate,
+            1 + math.ceil(max(spread, 0.0) / network.tag_range),
+        )
+    return 2 * tier_estimate
 
 
 @dataclass(frozen=True)
@@ -132,7 +147,7 @@ class SessionResult:
         return self.slots.total_slots
 
 
-def picks_to_masks(picks: Sequence[int], frame_size: int) -> List[int]:
+def _picks_to_masks(picks: Sequence[int], frame_size: int) -> List[int]:
     """Convert per-tag slot picks (-1 = not participating) to bit masks."""
     masks = []
     for slot in picks:
@@ -141,20 +156,28 @@ def picks_to_masks(picks: Sequence[int], frame_size: int) -> List[int]:
         elif slot < frame_size:
             masks.append(1 << int(slot))
         else:
-            raise ValueError(f"pick {slot} out of range for frame {frame_size}")
+            raise ValueError(
+                f"pick {slot} out of range for frame {frame_size}"
+            )
     return masks
 
 
 def run_session(
     network: Network,
-    picks: Sequence[int],
+    picks: Optional[Sequence[int]] = None,
+    *,
+    masks: Optional[Sequence[int]] = None,
     config: CCMConfig,
     channel: Optional[Channel] = None,
     rng: Optional[np.random.Generator] = None,
     ledger: Optional[EnergyLedger] = None,
     tracer: Optional[SessionTracer] = None,
+    engine: str = "auto",
 ) -> SessionResult:
     """Execute one CCM session (Algorithm 1) and account time and energy.
+
+    Exactly one of ``picks`` and ``masks`` describes the tags' initial
+    slots; everything else is keyword-only.
 
     Parameters
     ----------
@@ -164,9 +187,12 @@ def run_session(
         Per-tag initial slot choice: ``picks[i]`` is the frame slot tag i
         transmits in, or -1 if it does not participate (e.g. not sampled by
         GMLE).  Applications derive these deterministically from
-        (tag ID, seed) via :class:`repro.sim.rng.TagHasher`.  For tags
-        that set *multiple* bits (the tag-search information model of
-        Sec. III-B), use :func:`run_session_masks` instead.
+        (tag ID, seed) via :class:`repro.sim.rng.TagHasher`.
+    masks:
+        Per-tag slot *sets* instead of single picks: ``masks[i]`` is the
+        f-bit integer of slots tag i sets to busy (Sec. III-B: "Each tag
+        chooses one or multiple bits and sets those bits to 1") — one bit
+        for estimation/detection, several for tag search.
     config:
         Session parameters.
     channel:
@@ -177,14 +203,53 @@ def run_session(
     ledger:
         Optional pre-existing ledger to accumulate into (multi-session
         protocols pass the same ledger to every session).
+    tracer:
+        Optional :class:`~repro.sim.trace.SessionTracer` receiving one
+        structured event per protocol step.
+    engine:
+        Which :class:`~repro.core.engine.SessionEngine` runs the session:
+        ``"packed"`` (bit-packed uint64 kernels), ``"bigint"`` (f-bit
+        Python integers), any :func:`~repro.core.engine.register_engine`'d
+        name, or ``"auto"`` (packed for the perfect channel, bigint
+        otherwise).  Engines are bit-identical under the perfect channel.
     """
-    if len(picks) != network.n_tags:
+    from repro.core import engine as _engine_mod
+
+    n = network.n_tags
+    if (picks is None) == (masks is None):
         raise ValueError(
-            f"picks has {len(picks)} entries for {network.n_tags} tags"
+            "run_session takes exactly one of picks= and masks="
         )
-    masks = picks_to_masks(picks, config.frame_size)
-    return run_session_masks(
-        network, masks, config, channel=channel, rng=rng, ledger=ledger,
+    if picks is not None:
+        if len(picks) != n:
+            raise ValueError(
+                f"picks has {len(picks)} entries for {n} tags"
+            )
+        masks = _picks_to_masks(picks, config.frame_size)
+    else:
+        if len(masks) != n:
+            raise ValueError(
+                f"masks has {len(masks)} entries for {n} tags"
+            )
+        # Normalise to Python ints: callers may hand numpy integers, whose
+        # fixed width cannot carry an f-bit mask for f > 63.
+        masks = [int(m) for m in masks]
+        out_of_range = [
+            m for m in masks if m < 0 or m >> config.frame_size
+        ]
+        if out_of_range:
+            raise ValueError(
+                f"initial mask {out_of_range[0]:#x} has bits outside the "
+                f"{config.frame_size}-slot frame"
+            )
+    impl = _engine_mod.resolve_engine(engine, channel)
+    return impl.run(
+        network,
+        masks,
+        config,
+        channel=channel,
+        rng=rng,
+        ledger=ledger,
         tracer=tracer,
     )
 
@@ -197,218 +262,26 @@ def run_session_masks(
     rng: Optional[np.random.Generator] = None,
     ledger: Optional[EnergyLedger] = None,
     tracer: Optional[SessionTracer] = None,
+    engine: str = "auto",
 ) -> SessionResult:
-    """Algorithm 1 with arbitrary per-tag slot *sets*.
+    """Deprecated alias for ``run_session(network, masks=..., ...)``.
 
-    ``initial_masks[i]`` is the f-bit integer of slots tag i sets to busy
-    (Sec. III-B: "Each tag chooses one or multiple bits and sets those
-    bits to 1") — one bit for estimation/detection, several for tag
-    search.  All other semantics match :func:`run_session`.
+    Kept for one release so external callers keep working; in-repo code
+    has migrated to the unified entry point.
     """
-    n = network.n_tags
-    if len(initial_masks) != n:
-        raise ValueError(
-            f"initial_masks has {len(initial_masks)} entries for {n} tags"
-        )
-    f = config.frame_size
-    channel = channel or PerfectChannel()
-    ledger = ledger if ledger is not None else EnergyLedger(n)
-    l_c = config.checking_frame_length or default_checking_frame_length(network)
-    max_rounds = config.max_rounds if config.max_rounds is not None else l_c
-
-    tier1 = network.tier1_mask
-    indptr, indices = network.indptr, network.indices
-    frame_mask = (1 << f) - 1
-    # Tags with no path to the reader can hold pending bits forever (they
-    # relay among themselves); only pending data on *reachable* tags means
-    # the session lost information.
-    reachable_idx = np.flatnonzero(network.reachable_mask).tolist()
-
-    def _lost_data(pending_masks: List[int]) -> bool:
-        return any(pending_masks[t] for t in reachable_idx)
-
-    # Per-tag session state (exists only for the session; tags stay
-    # state-free across sessions).
-    out_of_range = [m for m in initial_masks if m < 0 or m >> f]
-    if out_of_range:
-        raise ValueError(
-            f"initial mask {out_of_range[0]:#x} has bits outside the "
-            f"{f}-slot frame"
-        )
-    pending = list(initial_masks)  # to transmit next data frame
-    known = list(pending)  # ever picked/heard/transmitted
-    done = [0] * n  # transmitted already -> sleep in those slots
-    silenced = 0  # indicator vector accumulated at the reader
-    reader_bitmap = 0  # B
-    iv_slots = indicator_vector_slots(f)
-
-    slots = SlotCount()
-    round_stats: List[RoundStats] = []
-    terminated_cleanly = False
-    rounds_run = 0
-
-    for round_index in range(1, max_rounds + 1):
-        rounds_run = round_index
-        if tracer is not None:
-            tracer.emit("round_start", round_index)
-        # --- data frame ---------------------------------------------------
-        transmit = [0] * n
-        transmitting = 0
-        for t in range(n):
-            mask = pending[t] & ~silenced & frame_mask
-            transmit[t] = mask
-            if mask:
-                transmitting += 1
-        heard = channel.propagate(transmit, indptr, indices, rng)
-        reader_busy = channel.reader_senses(transmit, tier1, rng)
-
-        # Energy for the frame: 1 bit per transmitted slot; 1 bit per
-        # carrier-sensed slot (tags monitor every slot not silenced, not
-        # already relayed by them, and not currently being transmitted).
-        sent = np.zeros(n)
-        listened = np.zeros(n)
-        for t in range(n):
-            tx = transmit[t]
-            sent[t] = tx.bit_count()
-            listened[t] = f - (silenced | done[t] | tx).bit_count()
-        ledger.add_sent_bulk(sent)
-        ledger.add_received_bulk(listened)
-        slots += SlotCount(short_slots=f)
-
-        # Knowledge update: a tag learns a slot it heard, unless it was
-        # transmitting in it (half duplex), already knew it, or the reader
-        # had silenced it.
-        new_pending = [0] * n
-        for t in range(n):
-            learned = heard[t] & ~known[t] & ~transmit[t] & ~silenced
-            known[t] |= learned | transmit[t]
-            done[t] |= transmit[t]
-            new_pending[t] = learned
-
-        # --- indicator vector ----------------------------------------------
-        bits_new = (reader_busy & ~reader_bitmap).bit_count()
-        reader_bitmap |= reader_busy
-        if tracer is not None:
-            tracer.emit(
-                "frame",
-                round_index,
-                transmitters=transmitting,
-                bits_new_at_reader=bits_new,
-                reader_busy_total=reader_bitmap.bit_count(),
-            )
-        if config.use_indicator_vector:
-            silenced = reader_bitmap
-            # The reader ships V in ceil(f/96) 96-bit slots; every tag
-            # receives the full f bits.
-            slots += SlotCount(id_slots=iv_slots)
-            ledger.add_received_to_all(float(f))
-            for t in range(n):
-                new_pending[t] &= ~silenced
-            if tracer is not None:
-                tracer.emit(
-                    "indicator",
-                    round_index,
-                    silenced_total=silenced.bit_count(),
-                )
-        pending = new_pending
-
-        # --- checking frame -------------------------------------------------
-        has_pending = np.array([bool(pending[t]) for t in range(n)])
-        executed, reader_heard = _run_checking_frame(
-            network, has_pending, l_c, ledger
-        )
-        slots += SlotCount(short_slots=executed)
-        if tracer is not None:
-            tracer.emit(
-                "checking",
-                round_index,
-                slots_executed=executed,
-                reader_heard=reader_heard,
-                pending_tags=int(has_pending.sum()),
-            )
-        round_stats.append(
-            RoundStats(
-                round_index=round_index,
-                transmitting_tags=transmitting,
-                bits_new_at_reader=bits_new,
-                checking_slots_executed=executed,
-                reader_heard_checking=reader_heard,
-            )
-        )
-        if not reader_heard:
-            terminated_cleanly = not _lost_data(pending)
-            break
-    else:
-        # Round bound exhausted with the checking frame still reporting
-        # pending data (can only happen with a non-default max_rounds or a
-        # pathological L_c — surfaced to the caller, not swallowed).
-        terminated_cleanly = not _lost_data(pending)
-
-    if tracer is not None:
-        tracer.emit(
-            "session_end",
-            rounds_run,
-            rounds=rounds_run,
-            clean=terminated_cleanly,
-            busy_slots=reader_bitmap.bit_count(),
-        )
-    return SessionResult(
-        bitmap=Bitmap(f, reader_bitmap),
-        rounds=rounds_run,
-        slots=slots,
-        ledger=ledger,
-        round_stats=round_stats,
-        terminated_cleanly=terminated_cleanly,
+    warnings.warn(
+        "run_session_masks is deprecated; call "
+        "run_session(network, masks=..., config=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-
-
-def _run_checking_frame(
-    network: Network,
-    has_pending: np.ndarray,
-    l_c: int,
-    ledger: EnergyLedger,
-) -> "tuple[int, bool]":
-    """Run the checking frame (Alg. 1 lines 14–24).
-
-    Tags with pending data respond in slot 1; a tag that detects a response
-    in slot j-1 responds (once) in slot j; the reader stops the frame at the
-    first slot in which it hears a tier-1 response.  Returns the number of
-    slots actually executed and whether the reader heard anything.
-
-    Energy: each response is one sent bit; every tag that has not yet
-    responded listens in each executed slot (one received bit per slot).
-    """
-    n = network.n_tags
-    tier1 = network.tier1_mask
-    indptr, indices = network.indptr, network.indices
-
-    responded = np.zeros(n, dtype=bool)
-    frontier = has_pending.copy()
-    executed = 0
-    for _slot in range(1, l_c + 1):
-        executed += 1
-        responders = frontier & ~responded
-        # Listening cost: everyone not transmitting this slot listens.
-        listen = np.ones(n)
-        listen[responders] = 0.0
-        ledger.add_received_bulk(listen)
-        if responders.any():
-            ledger.add_sent_bulk(responders.astype(np.float64))
-        responded |= responders
-        if bool(np.any(responders & tier1)):
-            return executed, True
-        if not responders.any():
-            # Nothing transmitted; the wave is dead, but per Alg. 1 the
-            # reader keeps listening through the rest of the frame (it
-            # cannot know the wave died).  Account the remaining idle
-            # listening and stop simulating.
-            remaining = l_c - executed
-            if remaining > 0:
-                ledger.add_received_bulk(np.full(n, float(remaining)))
-            return l_c, False
-        # Propagate: neighbours of this slot's responders hear the pulse.
-        heard = np.zeros(n, dtype=bool)
-        for u in np.flatnonzero(responders).tolist():
-            heard[indices[indptr[u] : indptr[u + 1]]] = True
-        frontier = heard
-    return executed, False
+    return run_session(
+        network,
+        masks=initial_masks,
+        config=config,
+        channel=channel,
+        rng=rng,
+        ledger=ledger,
+        tracer=tracer,
+        engine=engine,
+    )

@@ -58,7 +58,9 @@ def run_indicator_ablation(
                 session = run_session(
                     network,
                     picks,
-                    CCMConfig(frame_size=frame_size, use_indicator_vector=use_iv),
+                    config=CCMConfig(
+                        frame_size=frame_size, use_indicator_vector=use_iv
+                    ),
                 )
                 acc[use_iv].append(
                     {
@@ -145,7 +147,7 @@ def run_checking_ablation(
             session = run_session(
                 network,
                 picks,
-                CCMConfig(
+                config=CCMConfig(
                     frame_size=frame_size,
                     checking_frame_length=l_c,
                     max_rounds=4 * default_lc,

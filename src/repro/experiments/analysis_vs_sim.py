@@ -11,7 +11,7 @@ a tight upper bound on measured slots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.analysis.cost_model import CCMCostModel
 from repro.experiments import paperconfig as cfg
@@ -117,7 +117,7 @@ def run_per_tier(
     from repro.protocols.transport import frame_picks
 
     picks = frame_picks(network.tag_ids, frame_size, participation, seed)
-    session = run_session(network, picks, CCMConfig(frame_size=frame_size))
+    session = run_session(network, picks, config=CCMConfig(frame_size=frame_size))
     measured = session.ledger.grouped_means(network.tiers)
     rows = []
     for tier in range(1, min(model.n_tiers, network.num_tiers) + 1):

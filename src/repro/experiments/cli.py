@@ -31,6 +31,7 @@ import time
 from dataclasses import replace
 from typing import List, Optional
 
+from repro.core.engine import available_engines
 from repro.sim.parallel import BACKENDS, ExecutorConfig, stderr_ticker
 
 from repro.experiments import (
@@ -109,6 +110,7 @@ def cmd_tables(args: argparse.Namespace) -> None:
         tag_ranges=ranges,
         executor=_resolve_executor(args),
         on_trial_done=_resolve_progress(args),
+        engine=args.engine,
     )
     _emit(master.report(result), args.out)
     if args.json:
@@ -265,6 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--progress", action="store_true",
         help="print a live trial counter to stderr",
+    )
+    common.add_argument(
+        "--engine", choices=("auto", *sorted(available_engines())),
+        default="auto",
+        help="CCM session engine (tables command; default: auto = packed "
+             "kernels on the perfect channel)",
     )
     common.add_argument(
         "--out", type=str, default=None, help="append reports to this file"

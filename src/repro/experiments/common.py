@@ -32,10 +32,13 @@ def run_ccm_application(
     frame_size: int,
     participation: float,
     seed: int,
+    engine: str = "auto",
 ) -> Dict[str, float]:
     """One CCM session (the per-table unit of cost for GMLE/TRP) -> metrics."""
     picks = frame_picks(network.tag_ids, frame_size, participation, seed)
-    result = run_session(network, picks, CCMConfig(frame_size=frame_size))
+    result = run_session(
+        network, picks, config=CCMConfig(frame_size=frame_size), engine=engine
+    )
     metrics = {"slots": float(result.total_slots), "rounds": float(result.rounds)}
     metrics.update(result.ledger.summary())
     return metrics
@@ -58,6 +61,7 @@ def paper_trial_metrics(
     n_tags: int,
     seed: int,
     protocols: Sequence[str] = PROTOCOLS,
+    engine: str = "auto",
 ) -> Dict[str, float]:
     """Deploy one network and run the selected protocols on it.
 
@@ -81,10 +85,12 @@ def paper_trial_metrics(
                 cfg.GMLE_FRAME_SIZE,
                 cfg.gmle_participation(n_tags),
                 seed=seed + 22,
+                engine=engine,
             )
         elif name == "trp_ccm":
             sub = run_ccm_application(
-                network, cfg.trp_frame_for(n_tags), 1.0, seed=seed + 33
+                network, cfg.trp_frame_for(n_tags), 1.0, seed=seed + 33,
+                engine=engine,
             )
         else:
             raise ValueError(f"unknown protocol {name!r}")
@@ -106,18 +112,22 @@ class PaperTrial:
     tag_range: float
     n_tags: int
     protocols: Tuple[str, ...] = PROTOCOLS
+    engine: str = "auto"
 
     def __call__(self, trial_index: int, seed: int) -> Dict[str, float]:
         return paper_trial_metrics(
-            self.tag_range, self.n_tags, seed, self.protocols
+            self.tag_range, self.n_tags, seed, self.protocols, self.engine
         )
 
 
 def make_trial(
-    tag_range: float, n_tags: int, protocols: Sequence[str] = PROTOCOLS
+    tag_range: float,
+    n_tags: int,
+    protocols: Sequence[str] = PROTOCOLS,
+    engine: str = "auto",
 ) -> TrialFn:
     """Build a :mod:`repro.sim.runner` trial function for one range."""
-    return PaperTrial(tag_range, n_tags, tuple(protocols))
+    return PaperTrial(tag_range, n_tags, tuple(protocols), engine)
 
 
 def sweep_tag_range(
@@ -127,6 +137,7 @@ def sweep_tag_range(
     *,
     executor: Optional[ExecutorConfig] = None,
     on_trial_done: Optional[ProgressFn] = None,
+    engine: str = "auto",
 ) -> SweepResult:
     """The paper's master sweep: every metric at every inter-tag range.
 
@@ -138,7 +149,7 @@ def sweep_tag_range(
     return sweep(
         parameter="tag_range_m",
         values=ranges,
-        trial_factory=lambda r: make_trial(r, scale.n_tags, protocols),
+        trial_factory=lambda r: make_trial(r, scale.n_tags, protocols, engine),
         n_trials=scale.n_trials,
         base_seed=scale.base_seed,
         executor=executor,

@@ -58,6 +58,7 @@ def run(
     *,
     executor: Optional[ExecutorConfig] = None,
     on_trial_done: Optional[ProgressFn] = None,
+    engine: str = "auto",
 ) -> MasterResult:
     return MasterResult(
         sweep=sweep_tag_range(
@@ -65,6 +66,7 @@ def run(
             tag_ranges=tag_ranges,
             executor=executor,
             on_trial_done=on_trial_done,
+            engine=engine,
         )
     )
 

@@ -16,7 +16,7 @@ Two deliberate pins, documented here and in DESIGN.md:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.net.geometry import density_for

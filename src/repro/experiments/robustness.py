@@ -72,7 +72,7 @@ def run(
             channel = LossyChannel(loss=loss)
 
             single = run_session(
-                network, picks, CCMConfig(frame_size=frame_size),
+                network, picks, config=CCMConfig(frame_size=frame_size),
                 channel=channel, rng=rng,
             )
             missed = truth.difference(single.bitmap).popcount()
@@ -80,7 +80,7 @@ def run(
             phantom += single.bitmap.difference(truth).popcount()
 
             robust = robust_collect(
-                network, picks, CCMConfig(frame_size=frame_size),
+                network, picks, config=CCMConfig(frame_size=frame_size),
                 channel=channel, rng=rng, max_sessions=6,
             )
             missed_r = truth.difference(robust.bitmap).popcount()

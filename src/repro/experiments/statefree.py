@@ -112,7 +112,7 @@ def run(
             # CCM is state-free: a fresh session just works.
             picks = frame_picks(after.tag_ids, frame_size, 1.0, seed)
             session = run_session(
-                after, picks, CCMConfig(frame_size=frame_size)
+                after, picks, config=CCMConfig(frame_size=frame_size)
             )
             reachable_ids = after.tag_ids[after.reachable_mask]
             reference = ideal_bitmap(reachable_ids, frame_size, 1.0, seed)

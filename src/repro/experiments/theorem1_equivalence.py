@@ -65,7 +65,7 @@ def run(
             )
             picks = frame_picks(network.tag_ids, frame_size, probability, seed)
             session = run_session(
-                network, picks, CCMConfig(frame_size=frame_size)
+                network, picks, config=CCMConfig(frame_size=frame_size)
             )
             # The reference: what a one-hop reader over the *reachable*
             # tags would see (tags with no path are not in the system).

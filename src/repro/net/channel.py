@@ -9,24 +9,114 @@ therefore reduces, per slot, to an OR over each listener's neighbourhood.
 Two implementations are provided:
 
 * :class:`PerfectChannel` — every transmission within range is sensed.
-  This is the paper's model, and the fast path: frames are carried as
-  f-bit integers, so a whole round's propagation is one OR per edge.
+  This is the paper's model.
 * :class:`LossyChannel` — each (transmitter, listener, slot) sensing fails
   independently with probability ``loss``.  Used by robustness experiments
   to study CCM under unreliable channels (a paper-adjacent extension; the
   paper assumes reliable sensing).
+
+Each channel speaks two frame representations, matching the two session
+engines in :mod:`repro.core.engine`:
+
+* the **big-int** interface (:meth:`Channel.propagate` /
+  :meth:`Channel.reader_senses`): ``transmit[u]`` is an f-bit Python
+  integer, and propagation is one OR per edge;
+* the **packed-word** interface (:meth:`Channel.propagate_packed` /
+  :meth:`Channel.reader_senses_packed`): ``transmit`` is an
+  ``(n, ceil(f/64))`` uint64 array, and propagation is a segment-wise
+  ``np.bitwise_or.reduceat`` over the CSR adjacency
+  (:func:`or_reduce_segments`).
+
+Third-party channels only have to implement the big-int interface; the
+packed methods default to "unsupported" and the packed engine refuses such
+channels with a clear error.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 
+def or_reduce_segments(
+    rows: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    row_filter: Optional[np.ndarray] = None,
+    edge_transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    chunk_words: int = 1 << 22,
+) -> np.ndarray:
+    """Segment-wise OR over a CSR adjacency: ``out[t] = OR rows[u]`` for
+    every neighbour ``u`` of ``t``.
+
+    This is one CCM data frame's physical layer as a word-parallel kernel:
+    ``rows`` is the ``(n, W)`` uint64 transmit array and the result is what
+    every tag hears (before half-duplex masking).
+
+    ``row_filter`` (a boolean per-row mask, typically "row transmits
+    anything") drops edges whose source row is all-zero before gathering —
+    in late rounds only a handful of tags still transmit, so this turns an
+    O(edges) gather into an O(active edges) one.  ``edge_transform`` is
+    applied to each gathered edge block before reduction (the lossy
+    channel's Bernoulli thinning).  ``chunk_words`` bounds the temporary
+    gather buffer (in 8-byte words), keeping peak memory flat regardless
+    of edge count.
+    """
+    n = int(indptr.shape[0]) - 1
+    n_words = int(rows.shape[1])
+    out = np.zeros((n, n_words), dtype=rows.dtype)
+    if n == 0 or indices.size == 0:
+        return out
+    if row_filter is not None:
+        keep = row_filter[indices]
+        if not keep.any():
+            return out
+        kept_before = np.concatenate(
+            ([0], np.cumsum(keep, dtype=np.int64))
+        )
+        indices = indices[keep]
+        indptr = kept_before[indptr]
+    if indices.size == 0:
+        return out
+
+    max_edges = max(1, chunk_words // max(n_words, 1))
+    sentinel = np.zeros((1, n_words), dtype=rows.dtype)
+    start = 0
+    while start < n:
+        # Grow the row block until its edge count hits the buffer budget
+        # (always at least one row, however large its neighbourhood).
+        end = int(
+            np.searchsorted(indptr, indptr[start] + max_edges, side="right")
+        ) - 1
+        end = min(max(end, start + 1), n)
+        lo, hi = int(indptr[start]), int(indptr[end])
+        if lo == hi:
+            start = end
+            continue
+        gathered = rows[indices[lo:hi]]
+        if edge_transform is not None:
+            gathered = edge_transform(gathered)
+        # The sentinel zero row makes every reduceat start index valid
+        # (rows whose segment is empty land on it) and pads the final
+        # segment with an OR-identity.
+        gathered = np.concatenate([gathered, sentinel], axis=0)
+        starts = np.asarray(indptr[start:end] - lo, dtype=np.intp)
+        segment = np.bitwise_or.reduceat(gathered, starts, axis=0)
+        degree = np.diff(indptr[start : end + 1])
+        segment[degree == 0] = 0
+        out[start:end] = segment
+        start = end
+    return out
+
+
 class Channel(abc.ABC):
     """Propagation semantics for one frame (all f slots of one round)."""
+
+    #: True when the packed-word interface below is implemented; the
+    #: packed session engine checks this before dispatching.
+    supports_packed = False
 
     @abc.abstractmethod
     def propagate(
@@ -64,9 +154,38 @@ class Channel(abc.ABC):
     ) -> int:
         """Slots the reader senses busy, given tier-1 transmissions."""
 
+    # -- packed-word interface (optional) -----------------------------------
+
+    def propagate_packed(
+        self,
+        transmit: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """:meth:`propagate` over an ``(n, ceil(f/64))`` uint64 array."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the packed-word "
+            "channel interface; run sessions with engine='bigint'"
+        )
+
+    def reader_senses_packed(
+        self,
+        transmit: np.ndarray,
+        tier1: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """:meth:`reader_senses` over packed words -> a ``(W,)`` word run."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the packed-word "
+            "channel interface; run sessions with engine='bigint'"
+        )
+
 
 class PerfectChannel(Channel):
     """Reliable busy/idle sensing — the model evaluated in the paper."""
+
+    supports_packed = True
 
     def propagate(
         self,
@@ -96,6 +215,28 @@ class PerfectChannel(Channel):
             busy |= transmit[u]
         return busy
 
+    def propagate_packed(
+        self,
+        transmit: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        return or_reduce_segments(
+            transmit, indptr, indices, row_filter=transmit.any(axis=1)
+        )
+
+    def reader_senses_packed(
+        self,
+        transmit: np.ndarray,
+        tier1: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        rows = transmit[tier1]
+        if rows.shape[0] == 0:
+            return np.zeros(transmit.shape[1], dtype=transmit.dtype)
+        return np.bitwise_or.reduce(rows, axis=0)
+
 
 class LossyChannel(Channel):
     """Independent per-link, per-slot sensing failures.
@@ -104,7 +245,15 @@ class LossyChannel(Channel):
     transmitter in a given slot.  Multiple simultaneous transmitters in one
     slot each get an independent chance to be sensed, so collisions *help*
     reliability under this model — another benign-collision effect.
+
+    The packed-word interface draws its Bernoulli failures as per-edge
+    64-bit keep masks, so for a fixed seed it consumes the RNG stream
+    differently from the big-int interface (same distribution, different
+    draws); ``engine="auto"`` keeps lossy sessions on the bigint engine
+    for that reason.
     """
+
+    supports_packed = True
 
     def __init__(self, loss: float, frame_size_hint: Optional[int] = None):
         if not 0.0 <= loss < 1.0:
@@ -123,6 +272,27 @@ class LossyChannel(Channel):
             if rng.random() >= self.loss:
                 out |= low
             bits ^= low
+        return out
+
+    def _thin_words(
+        self, gathered: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Clear each bit of a ``(k, W)`` word block w.p. ``loss``,
+        independently, drawing in bounded-memory chunks."""
+        if self.loss == 0.0 or gathered.size == 0:
+            return gathered
+        k, n_words = gathered.shape
+        out = np.empty_like(gathered)
+        step = max(1, (1 << 16) // max(n_words, 1))
+        for lo in range(0, k, step):
+            block = gathered[lo : lo + step]
+            draws = rng.random((block.shape[0], n_words, 64)) >= self.loss
+            keep = (
+                np.packbits(draws, axis=-1, bitorder="little")
+                .reshape(block.shape[0], n_words * 8)
+                .view(np.uint64)
+            )
+            out[lo : lo + step] = block & keep
         return out
 
     def propagate(
@@ -154,3 +324,41 @@ class LossyChannel(Channel):
         for u in np.flatnonzero(tier1).tolist():
             busy |= self._thin(transmit[u], rng)
         return busy
+
+    def propagate_packed(
+        self,
+        transmit: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        if rng is None:
+            raise ValueError("LossyChannel.propagate_packed requires an rng")
+        transform = (
+            None
+            if self.loss == 0.0
+            else (lambda block: self._thin_words(block, rng))
+        )
+        return or_reduce_segments(
+            transmit,
+            indptr,
+            indices,
+            row_filter=transmit.any(axis=1),
+            edge_transform=transform,
+        )
+
+    def reader_senses_packed(
+        self,
+        transmit: np.ndarray,
+        tier1: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        if rng is None:
+            raise ValueError(
+                "LossyChannel.reader_senses_packed requires an rng"
+            )
+        rows = transmit[tier1]
+        rows = rows[rows.any(axis=1)]
+        if rows.shape[0] == 0:
+            return np.zeros(transmit.shape[1], dtype=transmit.dtype)
+        return np.bitwise_or.reduce(self._thin_words(rows, rng), axis=0)

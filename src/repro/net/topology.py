@@ -197,6 +197,41 @@ class Network:
             return 0.0
         return density_for(self.n_tags, radius)
 
+    def packed_adjacency(self) -> np.ndarray:
+        """Per-tag neighbour bitsets: ``(n, ceil(n/64))`` uint64.
+
+        Bit ``u % 64`` of word ``u // 64`` in row ``t`` is set iff tags
+        ``t`` and ``u`` are within ``tag_range`` (the CSR adjacency is
+        symmetric, so rows double as columns).  Built lazily and cached on
+        the network — the packed session engine ORs these rows to compute
+        which tags hear each slot, so sessions on the same network reuse
+        one build.  Little-endian bit order throughout, matching
+        :func:`repro.core.engine.masks_to_words`.
+        """
+        cached = getattr(self, "_packed_adjacency", None)
+        if cached is not None:
+            return cached
+        n = self.n_tags
+        n_words = max(1, (n + 63) // 64)
+        out = np.zeros((n, n_words), dtype=np.uint64)
+        # Materialise the dense boolean adjacency a block of rows at a time
+        # (a full n x n bool matrix would be n^2 bytes).
+        block_rows = 512
+        for start in range(0, n, block_rows):
+            stop = min(start + block_rows, n)
+            block = np.zeros((stop - start, n_words * 64), dtype=np.uint8)
+            lo, hi = self.indptr[start], self.indptr[stop]
+            rows = np.repeat(
+                np.arange(stop - start),
+                np.diff(self.indptr[start : stop + 1]),
+            )
+            block[rows, self.indices[lo:hi]] = 1
+            out[start:stop] = np.packbits(
+                block, axis=1, bitorder="little"
+            ).view(np.uint64)
+        self._packed_adjacency = out
+        return out
+
     def subset(self, keep_mask: np.ndarray) -> "Network":
         """A new network containing only the tags where ``keep_mask`` is
         True (used to model missing/removed tags).  Tiers are recomputed

@@ -30,7 +30,7 @@ from repro.core.bitmap import Bitmap
 from repro.net.timing import SlotCount
 from repro.protocols.gmle import normal_quantile
 from repro.protocols.transport import FrameTransport
-from repro.sim.rng import TagHasher, derive_seed, hash2
+from repro.sim.rng import derive_seed, hash2
 
 #: Flajolet–Martin bias constant: E[2^R] ≈ φ·n.
 PHI = 0.77351

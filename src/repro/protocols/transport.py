@@ -28,12 +28,7 @@ import numpy as np
 
 from repro.core.bitmap import Bitmap, union
 from repro.core.multireader import run_multireader_session
-from repro.core.session import (
-    CCMConfig,
-    SessionResult,
-    run_session,
-    run_session_masks,
-)
+from repro.core.session import CCMConfig, SessionResult, run_session
 from repro.net.channel import Channel
 from repro.net.energy import EnergyLedger
 from repro.net.timing import SlotCount
@@ -213,6 +208,7 @@ class CCMTransport(FrameTransport):
         use_indicator_vector: bool = True,
         channel: Optional[Channel] = None,
         rng: Optional[np.random.Generator] = None,
+        engine: str = "auto",
     ):
         super().__init__(network.n_tags)
         self.network = network
@@ -220,6 +216,7 @@ class CCMTransport(FrameTransport):
         self.use_indicator_vector = use_indicator_vector
         self.channel = channel
         self.rng = rng
+        self.engine = engine
         self.sessions: List[SessionResult] = []
 
     @property
@@ -238,10 +235,11 @@ class CCMTransport(FrameTransport):
         result = run_session(
             self.network,
             picks,
-            config,
+            config=config,
             channel=self.channel,
             rng=self.rng,
             ledger=self._ledger,
+            engine=self.engine,
         )
         self.sessions.append(result)
         return self._record(
@@ -262,13 +260,14 @@ class CCMTransport(FrameTransport):
             checking_frame_length=self.checking_frame_length,
             use_indicator_vector=self.use_indicator_vector,
         )
-        result = run_session_masks(
+        result = run_session(
             self.network,
-            masks,
-            config,
+            masks=masks,
+            config=config,
             channel=self.channel,
             rng=self.rng,
             ledger=self._ledger,
+            engine=self.engine,
         )
         self.sessions.append(result)
         return self._record(
@@ -291,10 +290,11 @@ class CCMTransport(FrameTransport):
         result = run_session(
             self.network,
             list(picks),
-            config,
+            config=config,
             channel=self.channel,
             rng=self.rng,
             ledger=self._ledger,
+            engine=self.engine,
         )
         self.sessions.append(result)
         return self._record(
@@ -319,6 +319,7 @@ class MultiReaderCCMTransport(FrameTransport):
         checking_frame_length: Optional[int] = None,
         channel: Optional[Channel] = None,
         rng: Optional[np.random.Generator] = None,
+        engine: str = "auto",
     ):
         positions = np.asarray(positions, dtype=np.float64)
         n = positions.shape[0]
@@ -334,6 +335,7 @@ class MultiReaderCCMTransport(FrameTransport):
         self.checking_frame_length = checking_frame_length
         self.channel = channel
         self.rng = rng
+        self.engine = engine
 
     @property
     def tag_ids(self) -> np.ndarray:
@@ -356,6 +358,7 @@ class MultiReaderCCMTransport(FrameTransport):
             tag_ids=self._tag_ids,
             channel=self.channel,
             rng=self.rng,
+            engine=self.engine,
         )
         self._ledger.merge(result.ledger)
         return self._record(

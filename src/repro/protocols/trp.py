@@ -22,7 +22,7 @@ Like GMLE, the protocol is transport-agnostic: over
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.bitmap import Bitmap

@@ -14,7 +14,7 @@ import csv
 import io
 import json
 import pathlib
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.sim.runner import SweepResult, TrialAggregate
 

@@ -1,6 +1,5 @@
 """Tests for repro.protocols.cicp — contention-based collection."""
 
-import numpy as np
 import pytest
 
 from repro.protocols.cicp import run_cicp

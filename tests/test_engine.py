@@ -1,0 +1,397 @@
+"""Tests for repro.core.engine — the interchangeable session engines.
+
+The contract under test is the strongest one the redesign makes: for any
+network, initial masks and config, the bit-packed engine must produce a
+*bit-identical* :class:`~repro.core.session.SessionResult` to the big-int
+engine under the perfect channel — same bitmap, rounds, slots,
+round-by-round stats and per-tag energy ledger, down to float equality
+(both engines add the same float64 values in the same order).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    AUTO_ENGINE,
+    BigintSessionEngine,
+    PackedSessionEngine,
+    SessionEngine,
+    available_engines,
+    bit_transpose,
+    get_engine,
+    masks_to_words,
+    register_engine,
+    resolve_engine,
+    words_to_int,
+)
+from repro.core.session import (
+    CCMConfig,
+    default_checking_frame_length,
+    run_session,
+    run_session_masks,
+)
+from repro.net.channel import (
+    Channel,
+    LossyChannel,
+    PerfectChannel,
+    or_reduce_segments,
+)
+from repro.net.geometry import Point, clustered_disk, uniform_annulus, uniform_disk
+from repro.net.topology import Network, Reader
+from repro.sim.rng import TagHasher
+
+
+def _build_network(deployment: str, n_tags: int, seed: int) -> Network:
+    """A reachable multi-tier network for each supported geometry."""
+    if deployment == "disk":
+        positions = uniform_disk(n_tags, radius=20.0, seed=seed)
+    elif deployment == "annulus":
+        positions = uniform_annulus(
+            n_tags, inner_radius=6.0, outer_radius=20.0, seed=seed
+        )
+    elif deployment == "clustered":
+        positions = clustered_disk(
+            n_tags, radius=20.0, n_clusters=8, cluster_sigma=2.0, seed=seed
+        )
+    else:  # pragma: no cover - guard against typos in parametrize lists
+        raise ValueError(deployment)
+    reader = Reader(
+        position=Point(0.0, 0.0),
+        reader_to_tag_range=25.0,
+        tag_to_reader_range=8.0,
+    )
+    return Network.build(positions, [reader], tag_range=6.0)
+
+
+def _masks_for(network: Network, frame_size: int, seed: int, multibit: bool):
+    """Deterministic per-tag initial masks (one or several slots each)."""
+    hasher = TagHasher(seed=seed)
+    masks = []
+    for tid in network.tag_ids:
+        slot = hasher.slot_of(int(tid), frame_size)
+        mask = 1 << slot
+        if multibit:
+            mask |= 1 << hasher.slot_of(int(tid) ^ 0x5A5A, frame_size)
+        masks.append(mask)
+    return masks
+
+
+def _assert_results_identical(a, b) -> None:
+    assert a.bitmap.size == b.bitmap.size
+    assert a.bitmap.bits == b.bitmap.bits
+    assert a.rounds == b.rounds
+    assert a.slots == b.slots
+    assert a.terminated_cleanly == b.terminated_cleanly
+    assert a.round_stats == b.round_stats
+    np.testing.assert_array_equal(a.ledger.bits_sent, b.ledger.bits_sent)
+    np.testing.assert_array_equal(a.ledger.bits_received, b.ledger.bits_received)
+
+
+class TestPackedPrimitives:
+    @pytest.mark.parametrize("frame_size", [1, 5, 63, 64, 65, 128, 200])
+    def test_masks_words_roundtrip(self, frame_size):
+        rng = np.random.default_rng(frame_size)
+        masks = [
+            int(rng.integers(0, 2**min(frame_size, 62))) for _ in range(17)
+        ] + [0, (1 << frame_size) - 1, 1 << (frame_size - 1)]
+        words = masks_to_words(masks, frame_size)
+        assert words.shape == (len(masks), (frame_size + 63) // 64)
+        assert words.dtype == np.uint64
+        assert [words_to_int(row) for row in words] == masks
+
+    def test_or_reduce_matches_bigint_or(self):
+        rng = np.random.default_rng(7)
+        n, n_words = 50, 3
+        rows = rng.integers(0, 2**64, size=(n, n_words), dtype=np.uint64)
+        # Random sparse adjacency, including rows with no neighbours.
+        degree = rng.integers(0, 6, size=n)
+        degree[::7] = 0
+        indices = np.concatenate(
+            [rng.integers(0, n, size=d) for d in degree]
+        ).astype(np.int64)
+        indptr = np.concatenate(([0], np.cumsum(degree))).astype(np.int64)
+        got = or_reduce_segments(rows, indptr, indices, chunk_words=16)
+        expected = np.zeros_like(got)
+        for t in range(n):
+            for u in indices[indptr[t] : indptr[t + 1]]:
+                expected[t] |= rows[u]
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize(
+        "n_rows,n_cols",
+        [(1, 1), (5, 1), (64, 64), (100, 130), (3, 200), (400, 512), (130, 100)],
+    )
+    def test_bit_transpose_matches_unpackbits_oracle(self, n_rows, n_cols):
+        rng = np.random.default_rng(n_rows * 1000 + n_cols)
+        n_words = (n_cols + 63) // 64
+        words = rng.integers(0, 2**64, size=(n_rows, n_words), dtype=np.uint64)
+        pad = n_words * 64 - n_cols
+        if pad:
+            words[:, -1] &= np.uint64((1 << (64 - pad)) - 1)
+
+        got = bit_transpose(words, n_rows, n_cols)
+        bits = np.unpackbits(
+            words.view(np.uint8), axis=1, bitorder="little", count=n_cols
+        )
+        padded = np.zeros(
+            (n_cols, max(1, (n_rows + 63) // 64) * 64), dtype=np.uint8
+        )
+        padded[:, :n_rows] = bits.T
+        expected = np.packbits(padded, axis=1, bitorder="little").view(
+            np.uint64
+        )
+        np.testing.assert_array_equal(got, expected)
+        # Transposing back recovers the original packed matrix.
+        np.testing.assert_array_equal(
+            bit_transpose(got, n_cols, n_rows), words
+        )
+
+    def test_packed_adjacency_matches_csr(self):
+        network = _build_network("disk", 60, seed=5)
+        adj = network.packed_adjacency()
+        assert adj.shape == (60, 1)
+        for t in range(network.n_tags):
+            expected = 0
+            for u in network.neighbors(t):
+                expected |= 1 << int(u)
+            assert words_to_int(adj[t]) == expected
+        # Cached: same object on repeat calls.
+        assert network.packed_adjacency() is adj
+
+    def test_or_reduce_row_filter_drops_silent_sources(self):
+        rows = np.array([[3], [0], [12]], dtype=np.uint64)
+        indptr = np.array([0, 2, 3, 4])
+        indices = np.array([1, 2, 0, 1])
+        got = or_reduce_segments(
+            rows, indptr, indices, row_filter=rows.any(axis=1)
+        )
+        np.testing.assert_array_equal(
+            got, np.array([[12], [3], [0]], dtype=np.uint64)
+        )
+
+
+class TestEngineRegistry:
+    def test_available_engines(self):
+        assert {"bigint", "packed"} <= set(available_engines())
+
+    def test_get_engine_instances(self):
+        assert isinstance(get_engine("bigint"), BigintSessionEngine)
+        assert isinstance(get_engine("packed"), PackedSessionEngine)
+        assert isinstance(get_engine("packed"), SessionEngine)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown session engine"):
+            get_engine("quantum")
+
+    def test_auto_resolution(self):
+        assert resolve_engine(AUTO_ENGINE, None).name == "packed"
+        assert resolve_engine("auto", PerfectChannel()).name == "packed"
+        # Lossy channels draw their randomness differently per engine, so
+        # auto keeps them on the reference bigint path.
+        assert resolve_engine("auto", LossyChannel(0.1)).name == "bigint"
+
+    def test_auto_is_conservative_for_subclasses(self):
+        class TracingChannel(PerfectChannel):
+            pass
+
+        assert resolve_engine("auto", TracingChannel()).name == "bigint"
+
+    def test_register_custom_engine(self):
+        class NullEngine:
+            name = "null"
+
+            def run(self, network, masks, config, **kwargs):
+                raise NotImplementedError
+
+        register_engine("null-test", NullEngine)
+        try:
+            assert "null-test" in available_engines()
+            assert get_engine("null-test").name == "null"
+        finally:
+            from repro.core.engine import _REGISTRY
+
+            _REGISTRY.pop("null-test", None)
+
+    def test_packed_refuses_bigint_only_channel(self, star_network):
+        class BigintOnly(Channel):
+            def propagate(self, transmit, indptr, indices, rng=None):
+                return PerfectChannel().propagate(
+                    transmit, indptr, indices, rng
+                )
+
+            def reader_senses(self, transmit, tier1, rng=None):
+                return PerfectChannel().reader_senses(transmit, tier1, rng)
+
+        config = CCMConfig(frame_size=8)
+        with pytest.raises(ValueError, match="packed"):
+            run_session(
+                star_network,
+                [0, 1, 2, 3, 4],
+                config=config,
+                channel=BigintOnly(),
+                engine="packed",
+            )
+        # The same channel runs fine on the bigint engine — and auto picks it.
+        for engine in ("bigint", "auto"):
+            result = run_session(
+                star_network,
+                [0, 1, 2, 3, 4],
+                config=config,
+                channel=BigintOnly(),
+                engine=engine,
+            )
+            assert result.bitmap.popcount() == 5
+
+
+class TestCrossEngineEquivalence:
+    """packed ≡ bigint, bit for bit, across the deployment/frame grid."""
+
+    @pytest.mark.parametrize("deployment", ["disk", "annulus", "clustered"])
+    @pytest.mark.parametrize(
+        "frame_size", [1, 37, 64, 257]
+    )  # f < 64, f % 64 != 0, f == 64, multi-word
+    @pytest.mark.parametrize("multibit", [False, True])
+    def test_grid(self, deployment, frame_size, multibit):
+        seed = {"disk": 101, "annulus": 202, "clustered": 303}[deployment]
+        network = _build_network(deployment, n_tags=300, seed=seed)
+        masks = _masks_for(network, frame_size, seed=11, multibit=multibit)
+        config = CCMConfig(frame_size=frame_size)
+        a = run_session(network, masks=masks, config=config, engine="bigint")
+        b = run_session(network, masks=masks, config=config, engine="packed")
+        _assert_results_identical(a, b)
+
+    def test_no_indicator_vector_ablation(self):
+        network = _build_network("disk", n_tags=250, seed=5)
+        masks = _masks_for(network, 96, seed=3, multibit=True)
+        config = CCMConfig(frame_size=96, use_indicator_vector=False)
+        a = run_session(network, masks=masks, config=config, engine="bigint")
+        b = run_session(network, masks=masks, config=config, engine="packed")
+        _assert_results_identical(a, b)
+
+    def test_max_rounds_truncation(self, line_network):
+        config = CCMConfig(frame_size=8, max_rounds=2)
+        picks = [0, 1, 2, 3, 4]
+        a = run_session(line_network, picks, config=config, engine="bigint")
+        b = run_session(line_network, picks, config=config, engine="packed")
+        assert not a.terminated_cleanly
+        _assert_results_identical(a, b)
+
+    def test_tracer_events_identical(self, star_network):
+        from repro.sim.trace import SessionTracer
+
+        config = CCMConfig(frame_size=8)
+        events = {}
+        for engine in ("bigint", "packed"):
+            tracer = SessionTracer()
+            run_session(
+                star_network,
+                [0, 1, 2, 3, 4],
+                config=config,
+                tracer=tracer,
+                engine=engine,
+            )
+            events[engine] = tracer.events
+        assert events["bigint"] == events["packed"]
+
+    def test_empty_participation(self, star_network):
+        config = CCMConfig(frame_size=8)
+        a = run_session(star_network, [-1] * 5, config=config, engine="bigint")
+        b = run_session(star_network, [-1] * 5, config=config, engine="packed")
+        _assert_results_identical(a, b)
+        assert a.bitmap.popcount() == 0
+
+    def test_packed_lossy_channel_statistics(self):
+        """The packed lossy path is a different RNG stream, not a different
+        model: no phantom bits, and loss=0 degenerates to perfect."""
+        network = _build_network("disk", n_tags=200, seed=9)
+        masks = _masks_for(network, 64, seed=2, multibit=False)
+        config = CCMConfig(frame_size=64)
+        truth = run_session(network, masks=masks, config=config)
+        lossy = run_session(
+            network,
+            masks=masks,
+            config=config,
+            channel=LossyChannel(0.3),
+            rng=np.random.default_rng(17),
+            engine="packed",
+        )
+        assert lossy.bitmap.difference(truth.bitmap).popcount() == 0
+        lossless = run_session(
+            network,
+            masks=masks,
+            config=config,
+            channel=LossyChannel(0.0),
+            rng=np.random.default_rng(17),
+            engine="packed",
+        )
+        assert lossless.bitmap.bits == truth.bitmap.bits
+
+
+class TestUnifiedAPI:
+    def test_exactly_one_of_picks_and_masks(self, star_network):
+        config = CCMConfig(frame_size=8)
+        with pytest.raises(ValueError, match="exactly one"):
+            run_session(star_network, config=config)
+        with pytest.raises(ValueError, match="exactly one"):
+            run_session(
+                star_network, [0] * 5, masks=[1] * 5, config=config
+            )
+
+    def test_numpy_masks_accepted(self, star_network):
+        """numpy integer masks must not overflow at large frame sizes."""
+        masks = np.array([1, 2, 4, 8, 16], dtype=np.int64)
+        result = run_session(
+            star_network, masks=masks, config=CCMConfig(frame_size=100)
+        )
+        assert result.bitmap.popcount() == 5
+
+    def test_run_session_masks_deprecated(self, star_network):
+        config = CCMConfig(frame_size=8)
+        with pytest.warns(DeprecationWarning, match="run_session_masks"):
+            legacy = run_session_masks(star_network, [1, 2, 4, 8, 16], config)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            current = run_session(
+                star_network, masks=[1, 2, 4, 8, 16], config=config
+            )
+        _assert_results_identical(legacy, current)
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in (
+            "SessionEngine",
+            "SessionTracer",
+            "RoundStats",
+            "available_engines",
+            "get_engine",
+            "register_engine",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+        assert not hasattr(repro, "picks_to_masks")
+
+
+class TestMultiReaderCheckingLength:
+    def test_deepest_reader_wins(self):
+        positions = np.array([[1.0, 0.0], [30.0, 0.0]])
+        shallow = Reader(
+            position=Point(0.0, 0.0),
+            reader_to_tag_range=5.0,
+            tag_to_reader_range=5.0,
+        )
+        deep = Reader(
+            position=Point(29.0, 0.0),
+            reader_to_tag_range=20.0,
+            tag_to_reader_range=2.0,
+        )
+        net = Network.build(positions, [shallow, deep], tag_range=3.0)
+        # shallow estimates 1 tier -> L_c 2; deep estimates 1+ceil(18/3)=7
+        # tiers -> L_c 14.  The max must win or deep sessions die early.
+        assert default_checking_frame_length(net) == 14
+        net_shallow_only = Network.build(positions, [shallow], tag_range=3.0)
+        assert default_checking_frame_length(net_shallow_only) == 2

@@ -1,6 +1,5 @@
 """Tests for the experiments package (small scales, shape assertions)."""
 
-import math
 
 import pytest
 
@@ -18,7 +17,6 @@ from repro.experiments.common import (
     format_table,
     make_trial,
     paper_trial_metrics,
-    sweep_tag_range,
 )
 
 

@@ -95,8 +95,7 @@ class TestCostShapes:
                 cfg.gmle_participation(2000), seed=7,
             )
             ccm = run_session(
-                net, picks, CCMConfig(frame_size=cfg.GMLE_FRAME_SIZE)
-            )
+                net, picks, config=CCMConfig(frame_size=cfg.GMLE_FRAME_SIZE))
             sicp = run_sicp(net, seed=7)
             out[r] = (net, ccm, sicp)
         return out
@@ -139,8 +138,8 @@ class TestMultiSessionStateFreedom:
         """State-free tags: running a session twice with the same seed
         yields identical results (no state carries over)."""
         picks = frame_picks(warehouse.tag_ids, 512, 1.0, seed=3)
-        a = run_session(warehouse, picks, CCMConfig(frame_size=512))
-        b = run_session(warehouse, picks, CCMConfig(frame_size=512))
+        a = run_session(warehouse, picks, config=CCMConfig(frame_size=512))
+        b = run_session(warehouse, picks, config=CCMConfig(frame_size=512))
         assert a.bitmap == b.bitmap
         assert a.rounds == b.rounds
         assert a.total_slots == b.total_slots
@@ -149,8 +148,8 @@ class TestMultiSessionStateFreedom:
     def test_different_seeds_different_bitmaps(self, warehouse):
         p1 = frame_picks(warehouse.tag_ids, 512, 1.0, seed=3)
         p2 = frame_picks(warehouse.tag_ids, 512, 1.0, seed=4)
-        a = run_session(warehouse, p1, CCMConfig(frame_size=512))
-        b = run_session(warehouse, p2, CCMConfig(frame_size=512))
+        a = run_session(warehouse, p1, config=CCMConfig(frame_size=512))
+        b = run_session(warehouse, p2, config=CCMConfig(frame_size=512))
         assert a.bitmap != b.bitmap
 
 
@@ -161,7 +160,7 @@ class TestTheorem1AtScale:
             r, n_tags=2000, seed=31, deployment=PaperDeployment(n_tags=2000)
         )
         picks = frame_picks(net.tag_ids, 1024, 0.6, seed=31)
-        result = run_session(net, picks, CCMConfig(frame_size=1024))
+        result = run_session(net, picks, config=CCMConfig(frame_size=1024))
         reachable = net.tag_ids[net.reachable_mask]
         assert result.bitmap == ideal_bitmap(reachable, 1024, 0.6, 31)
 

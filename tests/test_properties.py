@@ -9,7 +9,7 @@ from hypothesis import given, settings, strategies as st
 from repro.analysis.geometry import lens_area
 from repro.core.bitmap import Bitmap, union
 from repro.core.session import CCMConfig, run_session
-from repro.net.geometry import GridIndex, Point, uniform_disk
+from repro.net.geometry import Point, uniform_disk
 from repro.net.topology import Network, Reader
 from repro.protocols.gmle import FrameObservation, mle_estimate
 from repro.protocols.transport import frame_picks, ideal_bitmap
@@ -211,7 +211,7 @@ class TestSessionProperties:
         result = run_session(
             net,
             picks,
-            CCMConfig(frame_size=frame_size, checking_frame_length=l_c,
+            config=CCMConfig(frame_size=frame_size, checking_frame_length=l_c,
                       max_rounds=net.n_tags + 1),
         )
         reachable = net.tag_ids[net.reachable_mask]
@@ -227,7 +227,7 @@ class TestSessionProperties:
         was dropped — even when L_c came from the paper's heuristic."""
         net, seed = built
         picks = frame_picks(net.tag_ids, 64, 1.0, seed)
-        result = run_session(net, picks, CCMConfig(frame_size=64))
+        result = run_session(net, picks, config=CCMConfig(frame_size=64))
         if result.terminated_cleanly:
             reachable = net.tag_ids[net.reachable_mask]
             reference = ideal_bitmap(reachable, 64, 1.0, seed)
@@ -238,7 +238,7 @@ class TestSessionProperties:
     def test_rounds_bounded_by_tiers_plus_one(self, built):
         net, seed = built
         picks = frame_picks(net.tag_ids, 64, 1.0, seed)
-        result = run_session(net, picks, CCMConfig(frame_size=64))
+        result = run_session(net, picks, config=CCMConfig(frame_size=64))
         if result.terminated_cleanly and net.num_tiers > 0:
             assert result.rounds <= max(net.num_tiers, 1) + 1
 
@@ -248,7 +248,7 @@ class TestSessionProperties:
         net, seed = built
         f = 64
         picks = frame_picks(net.tag_ids, f, 1.0, seed)
-        result = run_session(net, picks, CCMConfig(frame_size=f))
+        result = run_session(net, picks, config=CCMConfig(frame_size=f))
         assert np.all(result.ledger.bits_sent >= 0)
         # A tag cannot transmit more than one bit per slot of any frame.
         max_possible = result.rounds * f + sum(

@@ -37,7 +37,7 @@ class TestHandBuiltTopologies:
         picks = [-1, -1, -1, -1, 0]
         config = CCMConfig(frame_size=8)
         assert_identical(
-            run_session(line_network, picks, config),
+            run_session(line_network, picks, config=config),
             run_session_reference(line_network, picks, config),
         )
 
@@ -45,7 +45,7 @@ class TestHandBuiltTopologies:
         picks = [0, 1, 2, 1, 0]
         config = CCMConfig(frame_size=4)
         assert_identical(
-            run_session(line_network, picks, config),
+            run_session(line_network, picks, config=config),
             run_session_reference(line_network, picks, config),
         )
 
@@ -53,14 +53,14 @@ class TestHandBuiltTopologies:
         picks = [0, 1, 2, 3, 4]
         config = CCMConfig(frame_size=8)
         assert_identical(
-            run_session(star_network, picks, config),
+            run_session(star_network, picks, config=config),
             run_session_reference(star_network, picks, config),
         )
 
     def test_no_participants(self, star_network):
         config = CCMConfig(frame_size=8)
         assert_identical(
-            run_session(star_network, [-1] * 5, config),
+            run_session(star_network, [-1] * 5, config=config),
             run_session_reference(star_network, [-1] * 5, config),
         )
 
@@ -70,7 +70,7 @@ class TestHandBuiltTopologies:
             frame_size=8, use_indicator_vector=False, max_rounds=6
         )
         assert_identical(
-            run_session(star_network, picks, config),
+            run_session(star_network, picks, config=config),
             run_session_reference(star_network, picks, config),
         )
 
@@ -79,7 +79,7 @@ class TestHandBuiltTopologies:
         config = CCMConfig(frame_size=8, checking_frame_length=2,
                            max_rounds=10)
         assert_identical(
-            run_session(line_network, picks, config),
+            run_session(line_network, picks, config=config),
             run_session_reference(line_network, picks, config),
         )
 
@@ -93,7 +93,7 @@ class TestHandBuiltTopologies:
         picks = [0, 1, 2, 2]
         config = CCMConfig(frame_size=4)
         assert_identical(
-            run_session(net, picks, config),
+            run_session(net, picks, config=config),
             run_session_reference(net, picks, config),
         )
 
@@ -108,7 +108,7 @@ class TestRandomTopologies:
         picks = frame_picks(net.tag_ids, 64, 0.7, seed)
         config = CCMConfig(frame_size=64)
         assert_identical(
-            run_session(net, picks, config),
+            run_session(net, picks, config=config),
             run_session_reference(net, picks, config),
         )
 
@@ -129,7 +129,7 @@ class TestRandomTopologies:
         picks = frame_picks(net.tag_ids, frame, prob, seed)
         config = CCMConfig(frame_size=frame)
         assert_identical(
-            run_session(net, picks, config),
+            run_session(net, picks, config=config),
             run_session_reference(net, picks, config),
         )
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim.runner import (
-    SweepResult,
     TrialAggregate,
     aggregate_metrics,
     run_trials,

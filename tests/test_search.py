@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.session import CCMConfig, run_session_masks
+from repro.core.session import CCMConfig, run_session
 from repro.protocols.search import (
     TagSearchProtocol,
     false_positive_probability,
@@ -162,16 +162,14 @@ class TestSearchOverCCM:
         """The engine relays multi-bit picks: a 2-slot outer-tag mask
         arrives intact."""
         masks = [0, 0, 0, 0, 0b101]  # tier-2 tag sets slots 0 and 2
-        result = run_session_masks(
-            star_network, masks, CCMConfig(frame_size=8)
-        )
+        result = run_session(
+            star_network, masks=masks, config=CCMConfig(frame_size=8))
         assert list(result.bitmap.indices()) == [0, 2]
         assert result.rounds == 2
 
     def test_mask_validation(self, star_network):
         with pytest.raises(ValueError):
-            run_session_masks(
-                star_network, [0, 0, 0, 0, 1 << 9], CCMConfig(frame_size=8)
-            )
+            run_session(
+                star_network, masks=[0, 0, 0, 0, 1 << 9], config=CCMConfig(frame_size=8))
         with pytest.raises(ValueError):
-            run_session_masks(star_network, [0], CCMConfig(frame_size=8))
+            run_session(star_network, masks=[0], config=CCMConfig(frame_size=8))

@@ -12,8 +12,8 @@ import pytest
 from repro.core.bitmap import Bitmap
 from repro.core.session import (
     CCMConfig,
+    _picks_to_masks,
     default_checking_frame_length,
-    picks_to_masks,
     run_session,
 )
 from repro.net.channel import LossyChannel
@@ -37,20 +37,20 @@ class TestConfigValidation:
 
     def test_picks_length_check(self, line_network):
         with pytest.raises(ValueError):
-            run_session(line_network, [0, 1], CCMConfig(frame_size=8))
+            run_session(line_network, [0, 1], config=CCMConfig(frame_size=8))
 
     def test_pick_out_of_frame(self, line_network):
         with pytest.raises(ValueError):
-            run_session(line_network, [9, -1, -1, -1, -1], CCMConfig(frame_size=8))
+            run_session(line_network, [9, -1, -1, -1, -1], config=CCMConfig(frame_size=8))
 
 
 class TestPicksToMasks:
     def test_conversion(self):
-        assert picks_to_masks([0, 2, -1], 4) == [1, 4, 0]
+        assert _picks_to_masks([0, 2, -1], 4) == [1, 4, 0]
 
     def test_out_of_range(self):
         with pytest.raises(ValueError):
-            picks_to_masks([4], 4)
+            _picks_to_masks([4], 4)
 
 
 class TestDefaultCheckingLength:
@@ -71,8 +71,7 @@ class TestChainPropagation:
     def _run(self, line_network, **config_kwargs):
         picks = [-1, -1, -1, -1, 0]
         return run_session(
-            line_network, picks, CCMConfig(frame_size=8, **config_kwargs)
-        )
+            line_network, picks, config=CCMConfig(frame_size=8, **config_kwargs))
 
     def test_k_rounds_for_k_tiers(self, line_network):
         result = self._run(line_network)
@@ -137,20 +136,19 @@ class TestStarScenarios:
     def test_colliding_outer_pick_absorbed(self, star_network):
         """Tier-2 tag picks the same slot as a tier-1 tag: one round."""
         picks = [0, 1, 2, 3, 0]
-        result = run_session(star_network, picks, CCMConfig(frame_size=8))
+        result = run_session(star_network, picks, config=CCMConfig(frame_size=8))
         assert result.rounds == 1
         assert result.bitmap == Bitmap.from_indices(8, [0, 1, 2, 3])
 
     def test_unique_outer_pick_takes_two_rounds(self, star_network):
         picks = [0, 1, 2, 3, 4]
-        result = run_session(star_network, picks, CCMConfig(frame_size=8))
+        result = run_session(star_network, picks, config=CCMConfig(frame_size=8))
         assert result.rounds == 2
         assert result.bitmap == Bitmap.from_indices(8, [0, 1, 2, 3, 4])
 
     def test_no_participants(self, star_network):
         result = run_session(
-            star_network, [-1] * 5, CCMConfig(frame_size=8)
-        )
+            star_network, [-1] * 5, config=CCMConfig(frame_size=8))
         assert result.rounds == 1
         assert result.bitmap.is_empty()
         assert result.terminated_cleanly
@@ -161,11 +159,11 @@ class TestStarScenarios:
         """With the indicator vector, tier-1 picks never reach round 2;
         without it, the tier-2 tag re-transmits what it overheard."""
         picks = [0, 1, 2, 3, -1]
-        with_iv = run_session(star_network, picks, CCMConfig(frame_size=8))
+        with_iv = run_session(star_network, picks, config=CCMConfig(frame_size=8))
         without_iv = run_session(
             star_network,
             picks,
-            CCMConfig(frame_size=8, use_indicator_vector=False, max_rounds=6),
+            config=CCMConfig(frame_size=8, use_indicator_vector=False, max_rounds=6),
         )
         assert with_iv.rounds == 1
         assert with_iv.bitmap == without_iv.bitmap
@@ -180,7 +178,7 @@ class TestHalfDuplex:
         neither hears the other, and neither re-relays in round 2 (they are
         already done with that slot)."""
         picks = [-1, 0, 0, -1, -1]
-        result = run_session(line_network, picks, CCMConfig(frame_size=8))
+        result = run_session(line_network, picks, config=CCMConfig(frame_size=8))
         # Round 1: tags 1 & 2 transmit; round 2: tags 0 (inward) and 3
         # (outward) relay; reader hears in round 2 and silences; tag 4
         # learns slot 0 in round 2 but it is silenced before round 3.
@@ -194,7 +192,7 @@ class TestHalfDuplex:
 class TestEnergyAccounting:
     def test_listen_bounded_by_frame(self, star_network):
         picks = [0, 1, 2, 3, 4]
-        result = run_session(star_network, picks, CCMConfig(frame_size=8))
+        result = run_session(star_network, picks, config=CCMConfig(frame_size=8))
         f = 8
         rounds = result.rounds
         checking = sum(s.checking_slots_executed for s in result.round_stats)
@@ -202,7 +200,7 @@ class TestEnergyAccounting:
         assert np.all(result.ledger.bits_received <= upper)
 
     def test_indicator_broadcast_counted_for_all(self, star_network):
-        result = run_session(star_network, [-1] * 5, CCMConfig(frame_size=8))
+        result = run_session(star_network, [-1] * 5, config=CCMConfig(frame_size=8))
         # One round: every tag monitored 8 slots, received the 8-bit
         # indicator vector, and listened through the silent checking frame.
         l_c = default_checking_frame_length(star_network)
@@ -212,10 +210,10 @@ class TestEnergyAccounting:
     def test_external_ledger_accumulates(self, star_network):
         ledger = EnergyLedger(5)
         run_session(star_network, [0, 1, 2, 3, 4],
-                    CCMConfig(frame_size=8), ledger=ledger)
+                    config=CCMConfig(frame_size=8), ledger=ledger)
         first = ledger.bits_received.copy()
         run_session(star_network, [0, 1, 2, 3, 4],
-                    CCMConfig(frame_size=8), ledger=ledger)
+                    config=CCMConfig(frame_size=8), ledger=ledger)
         assert np.all(ledger.bits_received >= 2 * first * 0.99)
 
 
@@ -226,7 +224,7 @@ class TestRandomNetworkEquivalence:
     def test_bitmap_matches_traditional(self, small_network, probability):
         frame = 257
         picks = frame_picks(small_network.tag_ids, frame, probability, seed=5)
-        result = run_session(small_network, picks, CCMConfig(frame_size=frame))
+        result = run_session(small_network, picks, config=CCMConfig(frame_size=frame))
         reachable_ids = small_network.tag_ids[small_network.reachable_mask]
         reference = ideal_bitmap(reachable_ids, frame, probability, seed=5)
         assert result.bitmap == reference
@@ -234,7 +232,7 @@ class TestRandomNetworkEquivalence:
 
     def test_rounds_bounded_by_tiers(self, small_network):
         picks = frame_picks(small_network.tag_ids, 128, 1.0, seed=6)
-        result = run_session(small_network, picks, CCMConfig(frame_size=128))
+        result = run_session(small_network, picks, config=CCMConfig(frame_size=128))
         assert result.rounds <= small_network.num_tiers + 1
 
 
@@ -245,7 +243,7 @@ class TestLossyChannelSession:
         result = run_session(
             star_network,
             picks,
-            CCMConfig(frame_size=8),
+            config=CCMConfig(frame_size=8),
             channel=LossyChannel(loss=0.3),
             rng=rng,
         )
@@ -256,9 +254,9 @@ class TestLossyChannelSession:
         picks = [0, 1, 2, 3, 4]
         rng = np.random.default_rng(17)
         lossy = run_session(
-            star_network, picks, CCMConfig(frame_size=8),
+            star_network, picks, config=CCMConfig(frame_size=8),
             channel=LossyChannel(loss=0.0), rng=rng,
         )
-        perfect = run_session(star_network, picks, CCMConfig(frame_size=8))
+        perfect = run_session(star_network, picks, config=CCMConfig(frame_size=8))
         assert lossy.bitmap == perfect.bitmap
         assert lossy.rounds == perfect.rounds

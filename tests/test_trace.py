@@ -1,6 +1,5 @@
 """Tests for repro.sim.trace — session event tracing."""
 
-import pytest
 
 from repro.core.session import CCMConfig, run_session
 from repro.protocols.transport import frame_picks
@@ -66,7 +65,7 @@ class TestSessionIntegration:
         tracer = SessionTracer()
         picks = [-1, -1, -1, -1, 0]  # tier-5 tag only
         result = run_session(
-            line_network, picks, CCMConfig(frame_size=8), tracer=tracer
+            line_network, picks, config=CCMConfig(frame_size=8), tracer=tracer
         )
         assert tracer.rounds() == result.rounds == 5
         # The lone bit arrives in round 5.
@@ -78,7 +77,7 @@ class TestSessionIntegration:
     def test_summary_renders(self, star_network):
         tracer = SessionTracer()
         run_session(
-            star_network, [0, 1, 2, 3, 4], CCMConfig(frame_size=8),
+            star_network, [0, 1, 2, 3, 4], config=CCMConfig(frame_size=8),
             tracer=tracer,
         )
         text = tracer.summary()
@@ -88,7 +87,7 @@ class TestSessionIntegration:
     def test_indicator_events_track_silencing(self, star_network):
         tracer = SessionTracer()
         run_session(
-            star_network, [0, 1, 2, 3, 4], CCMConfig(frame_size=8),
+            star_network, [0, 1, 2, 3, 4], config=CCMConfig(frame_size=8),
             tracer=tracer,
         )
         silenced = [
@@ -99,9 +98,9 @@ class TestSessionIntegration:
 
     def test_untraced_session_identical(self, small_network):
         picks = frame_picks(small_network.tag_ids, 64, 1.0, seed=1)
-        a = run_session(small_network, picks, CCMConfig(frame_size=64))
+        a = run_session(small_network, picks, config=CCMConfig(frame_size=64))
         b = run_session(
-            small_network, picks, CCMConfig(frame_size=64),
+            small_network, picks, config=CCMConfig(frame_size=64),
             tracer=SessionTracer(),
         )
         assert a.bitmap == b.bitmap

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.session import CCMConfig
 from repro.net.geometry import Point
 from repro.net.topology import Reader
 from repro.protocols.transport import (
