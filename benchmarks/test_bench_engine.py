@@ -7,17 +7,23 @@ least 5× faster than the big-int reference; CI runs a reduced-n smoke
 version via ``REPRO_BENCH_ENGINE_NTAGS`` where only the equivalence is
 asserted (small sessions don't amortise the vectorisation overhead).
 
-The rendered comparison is committed as ``benchmarks/output/engine.txt``.
+The rendered comparison is committed as ``benchmarks/output/engine.txt``;
+a machine-readable run manifest (engine wall seconds and speedup under
+``extra``) is written alongside as ``benchmarks/output/BENCH_engine.json``
+— the committed baseline that observability-overhead checks compare
+against.
 """
 
 from __future__ import annotations
 
 import os
+import pathlib
 import time
 
 from repro.core.session import CCMConfig, run_session
 from repro.experiments import paperconfig as cfg
 from repro.net.topology import PaperDeployment, paper_network
+from repro.obs import RunManifest
 from repro.protocols.transport import frame_picks
 
 PAPER_N_TAGS = 10_000
@@ -75,6 +81,24 @@ def test_engine_speedup(emit):
         f"speedup: {speedup:.1f}x  (bit-identical results)",
     ]
     emit("engine", "\n".join(lines))
+    RunManifest.capture(
+        seed=99,
+        config={
+            "n_tags": N_TAGS,
+            "frame_size": FRAME_SIZE,
+            "tag_range_m": TAG_RANGE_M,
+            "participation": cfg.gmle_participation(N_TAGS),
+        },
+        engine="packed-vs-bigint",
+        elapsed_s=t_bigint + t_packed,
+        extra={
+            "bigint_seconds": t_bigint,
+            "packed_seconds": t_packed,
+            "speedup": speedup,
+            "rounds": packed.rounds,
+            "busy_slots": packed.bitmap.popcount(),
+        },
+    ).write(pathlib.Path(__file__).parent / "output" / "BENCH_engine.json")
 
     if N_TAGS >= PAPER_N_TAGS:
         assert speedup >= MIN_SPEEDUP, (

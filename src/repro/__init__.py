@@ -63,6 +63,16 @@ from repro.protocols import (
     run_sicp,
     trp_frame_size,
 )
+from repro.obs import (
+    EventBus,
+    MetricsRegistry,
+    RunManifest,
+    metrics_to_ndjson,
+    render_profile,
+    render_prometheus,
+    use_registry,
+    write_manifest_alongside,
+)
 from repro.sim import (
     Campaign,
     ExecutorConfig,
@@ -114,6 +124,14 @@ __all__ = [
     "run_cicp",
     "run_sicp",
     "trp_frame_size",
+    "EventBus",
+    "MetricsRegistry",
+    "RunManifest",
+    "metrics_to_ndjson",
+    "render_profile",
+    "render_prometheus",
+    "use_registry",
+    "write_manifest_alongside",
     "TagHasher",
     "Campaign",
     "ExecutorConfig",

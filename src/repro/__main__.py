@@ -1,0 +1,8 @@
+"""``python -m repro`` — the same CLI as the ``repro``/``repro-ccm`` scripts."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,7 @@ from repro.net.channel import Channel, PerfectChannel, or_reduce_segments
 from repro.net.energy import EnergyLedger
 from repro.net.timing import SlotCount, indicator_vector_slots
 from repro.net.topology import Network
+from repro.obs import metrics as obs_metrics
 from repro.sim.trace import SessionTracer
 
 #: The engine name ``run_session`` resolves per call: packed for perfect
@@ -327,6 +328,7 @@ class BigintSessionEngine:
         ledger: Optional[EnergyLedger] = None,
         tracer: Optional[SessionTracer] = None,
     ) -> SessionResult:
+        obs = obs_metrics.OBS
         n = network.n_tags
         f = config.frame_size
         channel = channel or PerfectChannel()
@@ -336,25 +338,26 @@ class BigintSessionEngine:
         )
         max_rounds = config.max_rounds if config.max_rounds is not None else l_c
 
-        tier1 = network.tier1_mask
-        indptr, indices = network.indptr, network.indices
-        frame_mask = (1 << f) - 1
-        # Tags with no path to the reader can hold pending bits forever
-        # (they relay among themselves); only pending data on *reachable*
-        # tags means the session lost information.
-        reachable_idx = np.flatnonzero(network.reachable_mask).tolist()
+        with obs.span("setup"):
+            tier1 = network.tier1_mask
+            indptr, indices = network.indptr, network.indices
+            frame_mask = (1 << f) - 1
+            # Tags with no path to the reader can hold pending bits forever
+            # (they relay among themselves); only pending data on *reachable*
+            # tags means the session lost information.
+            reachable_idx = np.flatnonzero(network.reachable_mask).tolist()
+
+            # Per-tag session state (exists only for the session; tags stay
+            # state-free across sessions).
+            pending = list(masks)  # to transmit next data frame
+            known = list(pending)  # ever picked/heard/transmitted
+            done = [0] * n  # transmitted already -> sleep in those slots
+            silenced = 0  # indicator vector accumulated at the reader
+            reader_bitmap = 0  # B
+            iv_slots = indicator_vector_slots(f)
 
         def _lost_data(pending_masks: List[int]) -> bool:
             return any(pending_masks[t] for t in reachable_idx)
-
-        # Per-tag session state (exists only for the session; tags stay
-        # state-free across sessions).
-        pending = list(masks)  # to transmit next data frame
-        known = list(pending)  # ever picked/heard/transmitted
-        done = [0] * n  # transmitted already -> sleep in those slots
-        silenced = 0  # indicator vector accumulated at the reader
-        reader_bitmap = 0  # B
-        iv_slots = indicator_vector_slots(f)
 
         slots = SlotCount()
         round_stats: List[RoundStats] = []
@@ -363,75 +366,93 @@ class BigintSessionEngine:
 
         for round_index in range(1, max_rounds + 1):
             rounds_run = round_index
+            obs.inc("ccm_rounds_total")
             if tracer is not None:
                 tracer.emit("round_start", round_index)
-            # --- data frame ---------------------------------------------
-            transmit = [0] * n
-            transmitting = 0
-            for t in range(n):
-                mask = pending[t] & ~silenced & frame_mask
-                transmit[t] = mask
-                if mask:
-                    transmitting += 1
-            heard = channel.propagate(transmit, indptr, indices, rng)
-            reader_busy = channel.reader_senses(transmit, tier1, rng)
+            with obs.span("round"):
+                # --- data frame -----------------------------------------
+                with obs.span("data_frame"):
+                    transmit = [0] * n
+                    transmitting = 0
+                    for t in range(n):
+                        mask = pending[t] & ~silenced & frame_mask
+                        transmit[t] = mask
+                        if mask:
+                            transmitting += 1
+                    with obs.span("propagate"):
+                        heard = channel.propagate(
+                            transmit, indptr, indices, rng
+                        )
+                    reader_busy = channel.reader_senses(transmit, tier1, rng)
 
-            # Energy for the frame: 1 bit per transmitted slot; 1 bit per
-            # carrier-sensed slot (tags monitor every slot not silenced,
-            # not already relayed by them, and not currently transmitted).
-            sent = np.zeros(n)
-            listened = np.zeros(n)
-            for t in range(n):
-                tx = transmit[t]
-                sent[t] = tx.bit_count()
-                listened[t] = f - (silenced | done[t] | tx).bit_count()
-            ledger.add_sent_bulk(sent)
-            ledger.add_received_bulk(listened)
-            slots += SlotCount(short_slots=f)
+                    # Energy for the frame: 1 bit per transmitted slot; 1
+                    # bit per carrier-sensed slot (tags monitor every slot
+                    # not silenced, not already relayed by them, and not
+                    # currently transmitted).
+                    sent = np.zeros(n)
+                    listened = np.zeros(n)
+                    for t in range(n):
+                        tx = transmit[t]
+                        sent[t] = tx.bit_count()
+                        listened[t] = (
+                            f - (silenced | done[t] | tx).bit_count()
+                        )
+                    ledger.add_sent_bulk(sent)
+                    ledger.add_received_bulk(listened)
+                    slots += SlotCount(short_slots=f)
+                    obs.inc("ccm_data_frame_slots_total", f)
 
-            # Knowledge update: a tag learns a slot it heard, unless it was
-            # transmitting in it (half duplex), already knew it, or the
-            # reader had silenced it.
-            new_pending = [0] * n
-            for t in range(n):
-                learned = heard[t] & ~known[t] & ~transmit[t] & ~silenced
-                known[t] |= learned | transmit[t]
-                done[t] |= transmit[t]
-                new_pending[t] = learned
+                    # Knowledge update: a tag learns a slot it heard,
+                    # unless it was transmitting in it (half duplex),
+                    # already knew it, or the reader had silenced it.
+                    new_pending = [0] * n
+                    for t in range(n):
+                        learned = (
+                            heard[t] & ~known[t] & ~transmit[t] & ~silenced
+                        )
+                        known[t] |= learned | transmit[t]
+                        done[t] |= transmit[t]
+                        new_pending[t] = learned
 
-            # --- indicator vector ---------------------------------------
-            bits_new = (reader_busy & ~reader_bitmap).bit_count()
-            reader_bitmap |= reader_busy
-            if tracer is not None:
-                tracer.emit(
-                    "frame",
-                    round_index,
-                    transmitters=transmitting,
-                    bits_new_at_reader=bits_new,
-                    reader_busy_total=reader_bitmap.bit_count(),
-                )
-            if config.use_indicator_vector:
-                silenced = reader_bitmap
-                # The reader ships V in ceil(f/96) 96-bit slots; every tag
-                # receives the full f bits.
-                slots += SlotCount(id_slots=iv_slots)
-                ledger.add_received_to_all(float(f))
-                for t in range(n):
-                    new_pending[t] &= ~silenced
+                # --- indicator vector -----------------------------------
+                bits_new = (reader_busy & ~reader_bitmap).bit_count()
+                reader_bitmap |= reader_busy
                 if tracer is not None:
                     tracer.emit(
-                        "indicator",
+                        "frame",
                         round_index,
-                        silenced_total=silenced.bit_count(),
+                        transmitters=transmitting,
+                        bits_new_at_reader=bits_new,
+                        reader_busy_total=reader_bitmap.bit_count(),
                     )
-            pending = new_pending
+                if config.use_indicator_vector:
+                    with obs.span("indicator"):
+                        silenced = reader_bitmap
+                        # The reader ships V in ceil(f/96) 96-bit slots;
+                        # every tag receives the full f bits.
+                        slots += SlotCount(id_slots=iv_slots)
+                        ledger.add_received_to_all(float(f))
+                        for t in range(n):
+                            new_pending[t] &= ~silenced
+                        obs.inc("ccm_indicator_slots_total", iv_slots)
+                    if tracer is not None:
+                        tracer.emit(
+                            "indicator",
+                            round_index,
+                            silenced_total=silenced.bit_count(),
+                        )
+                pending = new_pending
 
-            # --- checking frame -----------------------------------------
-            has_pending = np.array([bool(pending[t]) for t in range(n)])
-            executed, reader_heard = run_checking_frame(
-                network, has_pending, l_c, ledger
-            )
-            slots += SlotCount(short_slots=executed)
+                # --- checking frame -------------------------------------
+                with obs.span("checking"):
+                    has_pending = np.array(
+                        [bool(pending[t]) for t in range(n)]
+                    )
+                    executed, reader_heard = run_checking_frame(
+                        network, has_pending, l_c, ledger
+                    )
+                    slots += SlotCount(short_slots=executed)
+                    obs.inc("ccm_checking_slots_total", executed)
             if tracer is not None:
                 tracer.emit(
                     "checking",
@@ -552,6 +573,7 @@ class PackedSessionEngine:
         ledger: Optional[EnergyLedger],
         tracer: Optional[SessionTracer],
     ) -> SessionResult:
+        obs = obs_metrics.OBS
         n = network.n_tags
         f = config.frame_size
         ledger = ledger if ledger is not None else EnergyLedger(n)
@@ -560,24 +582,25 @@ class PackedSessionEngine:
         )
         max_rounds = config.max_rounds if config.max_rounds is not None else l_c
 
-        n_frame_words = max(1, (f + 63) // 64)
-        n_tag_words = max(1, (n + 63) // 64)
-        adjacency = network.packed_adjacency()
-        tier1_words = _pack_bool_mask(network.tier1_mask, n_tag_words)
-        reachable_words = _pack_bool_mask(
-            network.reachable_mask, n_tag_words
-        )
+        with obs.span("setup"):
+            n_frame_words = max(1, (f + 63) // 64)
+            n_tag_words = max(1, (n + 63) // 64)
+            adjacency = network.packed_adjacency()
+            tier1_words = _pack_bool_mask(network.tier1_mask, n_tag_words)
+            reachable_words = _pack_bool_mask(
+                network.reachable_mask, n_tag_words
+            )
 
-        # Slot-major state: row s is the tag bitset of slot s.  pending
-        # always excludes silenced slots (initially V is empty; each
-        # round's learned bits are masked with the updated V before they
-        # become pending), so pending IS the transmit schedule.
-        pending = bit_transpose(masks_to_words(masks, f), n, f)
-        known = pending.copy()
-        done_tm = np.zeros((n, n_frame_words), dtype=np.uint64)
-        silenced_words = np.zeros(n_frame_words, dtype=np.uint64)
-        bitmap = np.zeros(f, dtype=bool)  # B, one bool per slot
-        iv_slots = indicator_vector_slots(f)
+            # Slot-major state: row s is the tag bitset of slot s.  pending
+            # always excludes silenced slots (initially V is empty; each
+            # round's learned bits are masked with the updated V before they
+            # become pending), so pending IS the transmit schedule.
+            pending = bit_transpose(masks_to_words(masks, f), n, f)
+            known = pending.copy()
+            done_tm = np.zeros((n, n_frame_words), dtype=np.uint64)
+            silenced_words = np.zeros(n_frame_words, dtype=np.uint64)
+            bitmap = np.zeros(f, dtype=bool)  # B, one bool per slot
+            iv_slots = indicator_vector_slots(f)
 
         slots = SlotCount()
         round_stats: List[RoundStats] = []
@@ -590,21 +613,29 @@ class PackedSessionEngine:
 
         for round_index in range(1, max_rounds + 1):
             rounds_run = round_index
+            obs.inc("ccm_rounds_total")
             if tracer is not None:
                 tracer.emit("round_start", round_index)
+            round_span = obs.span("round")
+            round_span.__enter__()
             # --- data frame ---------------------------------------------
-            transmit = pending
-            tx_any_tag = reduce_or(transmit, axis=0)
-            transmitting = int(_word_counts(tx_any_tag).sum())
-            reader_busy = (transmit & tier1_words).any(axis=1)
+            with obs.span("data_frame"):
+                transmit = pending
+                tx_any_tag = reduce_or(transmit, axis=0)
+                transmitting = int(_word_counts(tx_any_tag).sum())
+                reader_busy = (transmit & tier1_words).any(axis=1)
 
-            transmit_tm = bit_transpose(transmit, f, n)
-            sent = _word_counts(transmit_tm).sum(axis=1)
-            done_tm |= transmit_tm
-            monitored = _word_counts(silenced_words | done_tm).sum(axis=1)
-            ledger.add_sent_bulk(sent.astype(np.float64))
-            ledger.add_received_bulk((f - monitored).astype(np.float64))
-            slots += SlotCount(short_slots=f)
+                with obs.span("transpose_popcount"):
+                    transmit_tm = bit_transpose(transmit, f, n)
+                    sent = _word_counts(transmit_tm).sum(axis=1)
+                    done_tm |= transmit_tm
+                    monitored = _word_counts(
+                        silenced_words | done_tm
+                    ).sum(axis=1)
+                ledger.add_sent_bulk(sent.astype(np.float64))
+                ledger.add_received_bulk((f - monitored).astype(np.float64))
+                slots += SlotCount(short_slots=f)
+                obs.inc("ccm_data_frame_slots_total", f)
 
             # --- indicator vector ---------------------------------------
             bits_new = int(np.count_nonzero(reader_busy & ~bitmap))
@@ -618,9 +649,11 @@ class PackedSessionEngine:
                     reader_busy_total=int(np.count_nonzero(bitmap)),
                 )
             if config.use_indicator_vector:
-                silenced_words = _pack_bool_mask(bitmap, n_frame_words)
-                slots += SlotCount(id_slots=iv_slots)
-                ledger.add_received_to_all(float(f))
+                with obs.span("indicator"):
+                    silenced_words = _pack_bool_mask(bitmap, n_frame_words)
+                    slots += SlotCount(id_slots=iv_slots)
+                    ledger.add_received_to_all(float(f))
+                    obs.inc("ccm_indicator_slots_total", iv_slots)
                 if tracer is not None:
                     tracer.emit(
                         "indicator",
@@ -639,37 +672,41 @@ class PackedSessionEngine:
             # them is observationally identical.)  Three further bigint
             # terms are free here: silenced slots have no transmitters,
             # transmit ⊆ known, and survivor rows are never in V.
-            surviving = transmit.any(axis=1)
-            if config.use_indicator_vector:
-                surviving &= ~bitmap
-            survivors = flatnonzero(surviving)
-            learned = np.zeros_like(transmit)
-            if survivors.size:
-                tx_bool = np.unpackbits(
-                    transmit[survivors].view(np.uint8),
-                    axis=1,
-                    bitorder="little",
-                    count=n,
-                ).view(bool)
-                for j, s in enumerate(survivors.tolist()):
-                    learned[s] = (
-                        reduce_or(
-                            adjacency[flatnonzero(tx_bool[j])], axis=0
+            with obs.span("propagate"):
+                surviving = transmit.any(axis=1)
+                if config.use_indicator_vector:
+                    surviving &= ~bitmap
+                survivors = flatnonzero(surviving)
+                learned = np.zeros_like(transmit)
+                if survivors.size:
+                    tx_bool = np.unpackbits(
+                        transmit[survivors].view(np.uint8),
+                        axis=1,
+                        bitorder="little",
+                        count=n,
+                    ).view(bool)
+                    for j, s in enumerate(survivors.tolist()):
+                        learned[s] = (
+                            reduce_or(
+                                adjacency[flatnonzero(tx_bool[j])], axis=0
+                            )
+                            & ~known[s]
                         )
-                        & ~known[s]
-                    )
-                known |= learned
-            pending = learned
+                    known |= learned
+                pending = learned
 
             # --- checking frame -----------------------------------------
-            pending_any = reduce_or(pending, axis=0)
-            has_pending = np.unpackbits(
-                pending_any.view(np.uint8), bitorder="little", count=n
-            ).view(bool)
-            executed, reader_heard = run_checking_frame(
-                network, has_pending, l_c, ledger
-            )
-            slots += SlotCount(short_slots=executed)
+            with obs.span("checking"):
+                pending_any = reduce_or(pending, axis=0)
+                has_pending = np.unpackbits(
+                    pending_any.view(np.uint8), bitorder="little", count=n
+                ).view(bool)
+                executed, reader_heard = run_checking_frame(
+                    network, has_pending, l_c, ledger
+                )
+                slots += SlotCount(short_slots=executed)
+                obs.inc("ccm_checking_slots_total", executed)
+            round_span.__exit__(None, None, None)
             if tracer is not None:
                 tracer.emit(
                     "checking",
@@ -721,6 +758,7 @@ class PackedSessionEngine:
         ledger: Optional[EnergyLedger],
         tracer: Optional[SessionTracer],
     ) -> SessionResult:
+        obs = obs_metrics.OBS
         n = network.n_tags
         f = config.frame_size
         ledger = ledger if ledger is not None else EnergyLedger(n)
@@ -729,17 +767,18 @@ class PackedSessionEngine:
         )
         max_rounds = config.max_rounds if config.max_rounds is not None else l_c
 
-        tier1 = network.tier1_mask
-        indptr, indices = network.indptr, network.indices
-        reachable = network.reachable_mask
-        n_words = max(1, (f + 63) // 64)
+        with obs.span("setup"):
+            tier1 = network.tier1_mask
+            indptr, indices = network.indptr, network.indices
+            reachable = network.reachable_mask
+            n_words = max(1, (f + 63) // 64)
 
-        pending = masks_to_words(masks, f)
-        known = pending.copy()
-        done = np.zeros((n, n_words), dtype=np.uint64)
-        silenced = np.zeros(n_words, dtype=np.uint64)
-        reader_bitmap = np.zeros(n_words, dtype=np.uint64)
-        iv_slots = indicator_vector_slots(f)
+            pending = masks_to_words(masks, f)
+            known = pending.copy()
+            done = np.zeros((n, n_words), dtype=np.uint64)
+            silenced = np.zeros(n_words, dtype=np.uint64)
+            reader_bitmap = np.zeros(n_words, dtype=np.uint64)
+            iv_slots = indicator_vector_slots(f)
 
         slots = SlotCount()
         round_stats: List[RoundStats] = []
@@ -748,29 +787,42 @@ class PackedSessionEngine:
 
         for round_index in range(1, max_rounds + 1):
             rounds_run = round_index
+            obs.inc("ccm_rounds_total")
             if tracer is not None:
                 tracer.emit("round_start", round_index)
+            round_span = obs.span("round")
+            round_span.__enter__()
             # --- data frame ---------------------------------------------
-            # pending bits are within the frame by construction (validated
-            # initial masks; learned bits come from transmissions), so no
-            # frame-mask clip is needed.
-            transmit = pending & ~silenced
-            tx_rows = transmit.any(axis=1)
-            transmitting = int(np.count_nonzero(tx_rows))
-            heard = channel.propagate_packed(transmit, indptr, indices, rng)
-            reader_busy = channel.reader_senses_packed(transmit, tier1, rng)
+            with obs.span("data_frame"):
+                # pending bits are within the frame by construction
+                # (validated initial masks; learned bits come from
+                # transmissions), so no frame-mask clip is needed.
+                transmit = pending & ~silenced
+                tx_rows = transmit.any(axis=1)
+                transmitting = int(np.count_nonzero(tx_rows))
+                with obs.span("propagate"):
+                    heard = channel.propagate_packed(
+                        transmit, indptr, indices, rng
+                    )
+                reader_busy = channel.reader_senses_packed(
+                    transmit, tier1, rng
+                )
 
-            sent = _word_counts(transmit).sum(axis=1)
-            monitored = _word_counts(silenced | done | transmit).sum(axis=1)
-            ledger.add_sent_bulk(sent.astype(np.float64))
-            ledger.add_received_bulk((f - monitored).astype(np.float64))
-            slots += SlotCount(short_slots=f)
+                with obs.span("transpose_popcount"):
+                    sent = _word_counts(transmit).sum(axis=1)
+                    monitored = _word_counts(
+                        silenced | done | transmit
+                    ).sum(axis=1)
+                ledger.add_sent_bulk(sent.astype(np.float64))
+                ledger.add_received_bulk((f - monitored).astype(np.float64))
+                slots += SlotCount(short_slots=f)
+                obs.inc("ccm_data_frame_slots_total", f)
 
-            # Knowledge update (half duplex + silencing), all word-parallel.
-            learned = heard & ~known & ~transmit & ~silenced
-            known |= learned | transmit
-            done |= transmit
-            new_pending = learned
+                # Knowledge update (half duplex + silencing), word-parallel.
+                learned = heard & ~known & ~transmit & ~silenced
+                known |= learned | transmit
+                done |= transmit
+                new_pending = learned
 
             # --- indicator vector ---------------------------------------
             bits_new = int(
@@ -786,10 +838,12 @@ class PackedSessionEngine:
                     reader_busy_total=int(_word_counts(reader_bitmap).sum()),
                 )
             if config.use_indicator_vector:
-                silenced = reader_bitmap.copy()
-                slots += SlotCount(id_slots=iv_slots)
-                ledger.add_received_to_all(float(f))
-                new_pending &= ~silenced
+                with obs.span("indicator"):
+                    silenced = reader_bitmap.copy()
+                    slots += SlotCount(id_slots=iv_slots)
+                    ledger.add_received_to_all(float(f))
+                    new_pending &= ~silenced
+                    obs.inc("ccm_indicator_slots_total", iv_slots)
                 if tracer is not None:
                     tracer.emit(
                         "indicator",
@@ -799,11 +853,14 @@ class PackedSessionEngine:
             pending = new_pending
 
             # --- checking frame -----------------------------------------
-            has_pending = pending.any(axis=1)
-            executed, reader_heard = run_checking_frame(
-                network, has_pending, l_c, ledger
-            )
-            slots += SlotCount(short_slots=executed)
+            with obs.span("checking"):
+                has_pending = pending.any(axis=1)
+                executed, reader_heard = run_checking_frame(
+                    network, has_pending, l_c, ledger
+                )
+                slots += SlotCount(short_slots=executed)
+                obs.inc("ccm_checking_slots_total", executed)
+            round_span.__exit__(None, None, None)
             if tracer is not None:
                 tracer.emit(
                     "checking",

@@ -41,6 +41,7 @@ nothing survives between sessions.
 from __future__ import annotations
 
 import math
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
@@ -52,6 +53,7 @@ from repro.net.channel import Channel
 from repro.net.energy import EnergyLedger
 from repro.net.timing import SlotCount
 from repro.net.topology import Network
+from repro.obs import metrics as obs_metrics
 from repro.sim.trace import SessionTracer
 
 
@@ -215,43 +217,58 @@ def run_session(
     """
     from repro.core import engine as _engine_mod
 
-    n = network.n_tags
-    if (picks is None) == (masks is None):
-        raise ValueError(
-            "run_session takes exactly one of picks= and masks="
+    obs = obs_metrics.OBS
+    # The session span covers the whole entry point (validation, engine
+    # resolution, the run, metric recording), so its cumulative time is
+    # the session wall time a caller measures around this call.
+    with obs.span("session"):
+        n = network.n_tags
+        if (picks is None) == (masks is None):
+            raise ValueError(
+                "run_session takes exactly one of picks= and masks="
+            )
+        if picks is not None:
+            if len(picks) != n:
+                raise ValueError(
+                    f"picks has {len(picks)} entries for {n} tags"
+                )
+            masks = _picks_to_masks(picks, config.frame_size)
+        else:
+            if len(masks) != n:
+                raise ValueError(
+                    f"masks has {len(masks)} entries for {n} tags"
+                )
+            # Normalise to Python ints: callers may hand numpy integers,
+            # whose fixed width cannot carry an f-bit mask for f > 63.
+            masks = [int(m) for m in masks]
+            out_of_range = [
+                m for m in masks if m < 0 or m >> config.frame_size
+            ]
+            if out_of_range:
+                raise ValueError(
+                    f"initial mask {out_of_range[0]:#x} has bits outside the "
+                    f"{config.frame_size}-slot frame"
+                )
+        impl = _engine_mod.resolve_engine(engine, channel)
+        started = time.perf_counter()
+        result = impl.run(
+            network,
+            masks,
+            config,
+            channel=channel,
+            rng=rng,
+            ledger=ledger,
+            tracer=tracer,
         )
-    if picks is not None:
-        if len(picks) != n:
-            raise ValueError(
-                f"picks has {len(picks)} entries for {n} tags"
+        if obs.enabled:
+            obs.inc("ccm_sessions_total")
+            obs.inc("ccm_session_slots_total", result.total_slots)
+            obs.observe("ccm_session_seconds", time.perf_counter() - started)
+            obs.set_gauge("ccm_last_session_rounds", result.rounds)
+            obs.set_gauge(
+                "ccm_last_session_busy_slots", result.bitmap.popcount()
             )
-        masks = _picks_to_masks(picks, config.frame_size)
-    else:
-        if len(masks) != n:
-            raise ValueError(
-                f"masks has {len(masks)} entries for {n} tags"
-            )
-        # Normalise to Python ints: callers may hand numpy integers, whose
-        # fixed width cannot carry an f-bit mask for f > 63.
-        masks = [int(m) for m in masks]
-        out_of_range = [
-            m for m in masks if m < 0 or m >> config.frame_size
-        ]
-        if out_of_range:
-            raise ValueError(
-                f"initial mask {out_of_range[0]:#x} has bits outside the "
-                f"{config.frame_size}-slot frame"
-            )
-    impl = _engine_mod.resolve_engine(engine, channel)
-    return impl.run(
-        network,
-        masks,
-        config,
-        channel=channel,
-        rng=rng,
-        ledger=ledger,
-        tracer=tracer,
-    )
+    return result
 
 
 def run_session_masks(

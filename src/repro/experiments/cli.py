@@ -21,6 +21,16 @@ the ``full`` scale practical::
     repro-ccm tables --scale full --workers 8 --progress
 
 ``--progress`` prints a live trial counter to stderr.
+
+Observability (see docs/observability.md): ``--metrics-out FILE`` records
+counters/histograms/span timings for the whole command and writes them as
+NDJSON; ``repro-ccm profile`` runs one instrumented CCM session and prints
+a sorted per-phase self/cumulative time table::
+
+    repro-ccm profile --n 2000 --frame 333
+
+``--json``/``--csv`` artifacts get a ``*.manifest.json`` provenance record
+(seed, config, git revision, host, versions, peak RSS) written alongside.
 """
 
 from __future__ import annotations
@@ -105,6 +115,7 @@ def cmd_fig3(args: argparse.Namespace) -> None:
 def cmd_tables(args: argparse.Namespace) -> None:
     scale = _resolve_scale(args)
     ranges = scale.tag_ranges
+    started = time.perf_counter()
     result = master.run(
         scale,
         tag_ranges=ranges,
@@ -112,17 +123,32 @@ def cmd_tables(args: argparse.Namespace) -> None:
         on_trial_done=_resolve_progress(args),
         engine=args.engine,
     )
+    elapsed = time.perf_counter() - started
     _emit(master.report(result), args.out)
+    manifest_kwargs = dict(
+        seed=scale.base_seed,
+        config={
+            "n_tags": scale.n_tags,
+            "n_trials": scale.n_trials,
+            "tag_ranges": list(ranges),
+        },
+        engine=args.engine,
+        elapsed_s=elapsed,
+    )
     if args.json:
+        from repro.obs import write_manifest_alongside
         from repro.sim.results import save_sweep
 
         save_sweep(result.sweep, args.json)
-        print(f"[sweep saved to {args.json}]")
+        manifest = write_manifest_alongside(args.json, **manifest_kwargs)
+        print(f"[sweep saved to {args.json}; manifest {manifest}]")
     if args.csv:
+        from repro.obs import write_manifest_alongside
         from repro.sim.results import sweep_to_csv
 
         sweep_to_csv(result.sweep, path=args.csv)
-        print(f"[sweep flattened to {args.csv}]")
+        manifest = write_manifest_alongside(args.csv, **manifest_kwargs)
+        print(f"[sweep flattened to {args.csv}; manifest {manifest}]")
 
 
 def cmd_theorem1(args: argparse.Namespace) -> None:
@@ -219,6 +245,83 @@ def cmd_map(args: argparse.Namespace) -> None:
         _emit(render_topology(network), args.out)
 
 
+def cmd_profile(args: argparse.Namespace) -> None:
+    """One instrumented CCM session -> per-phase time table + artifacts."""
+    from repro.core.session import CCMConfig, run_session
+    from repro.net.topology import PaperDeployment, paper_network
+    from repro.obs import (
+        MetricsRegistry,
+        RunManifest,
+        get_registry,
+        metrics_to_ndjson,
+        render_profile,
+        set_registry,
+    )
+    from repro.protocols.transport import frame_picks
+    from repro.sim.trace import SessionTracer
+
+    n, f, r = args.n, args.frame, args.range
+    seed = args.seed if args.seed is not None else 7
+    # Record into the already-installed registry when one is live (e.g.
+    # main() installed one for --metrics-out); otherwise own a fresh one.
+    registry = get_registry()
+    owns_registry = not registry.enabled
+    if owns_registry:
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+    tracer = SessionTracer() if args.trace_out else None
+    try:
+        network = paper_network(
+            r, n_tags=n, seed=seed, deployment=PaperDeployment(n_tags=n)
+        )
+        picks = frame_picks(network.tag_ids, f, args.participation, seed)
+        started = time.perf_counter()
+        result = run_session(
+            network,
+            picks,
+            config=CCMConfig(frame_size=f),
+            engine=args.engine,
+            tracer=tracer,
+        )
+        wall_s = time.perf_counter() - started
+    finally:
+        if owns_registry:
+            set_registry(previous)
+    print(
+        f"profile: n={n} f={f} r={r:g} participation={args.participation:g} "
+        f"engine={args.engine} seed={seed}"
+    )
+    print(
+        f"session: {result.rounds} rounds, {result.total_slots} slots, "
+        f"wall {wall_s:.4f}s"
+    )
+    print()
+    print(render_profile(registry, wall_s=wall_s, sort=args.sort))
+    metrics_path = args.metrics_out or "results/profile.metrics.ndjson"
+    metrics_to_ndjson(registry, metrics_path)
+    print(f"[metrics written to {metrics_path}]")
+    manifest_path = args.manifest_out or "results/profile.manifest.json"
+    RunManifest.capture(
+        seed=seed,
+        config={
+            "n_tags": n,
+            "frame_size": f,
+            "tag_range_m": r,
+            "participation": args.participation,
+        },
+        engine=args.engine,
+        elapsed_s=wall_s,
+        extra={"rounds": result.rounds, "total_slots": result.total_slots},
+    ).write(manifest_path)
+    print(f"[manifest written to {manifest_path}]")
+    if args.trace_out:
+        import pathlib
+
+        pathlib.Path(args.trace_out).parent.mkdir(parents=True, exist_ok=True)
+        tracer.to_ndjson(args.trace_out)
+        print(f"[trace written to {args.trace_out}]")
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     for fn in (
         cmd_fig3,
@@ -285,6 +388,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", type=str, default=None,
         help="flatten the raw sweep (tables command) to CSV",
     )
+    common.add_argument(
+        "--metrics-out", type=str, default=None,
+        help="record observability metrics for this command and write "
+             "them as NDJSON to this file",
+    )
+    common.add_argument(
+        "--trace-out", type=str, default=None,
+        help="write the per-session protocol event trace as NDJSON "
+             "(profile command)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     for name, fn, doc in (
         ("fig3", cmd_fig3, "Fig. 3: tiers vs inter-tag range"),
@@ -304,12 +417,59 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=doc, parents=[common])
         p.set_defaults(func=fn)
+    prof = sub.add_parser(
+        "profile",
+        help="profile one CCM session: per-phase self/cumulative times",
+    )
+    prof.add_argument("--n", type=int, default=2000, help="number of tags")
+    prof.add_argument(
+        "--frame", type=int, default=333, help="frame size f (slots)"
+    )
+    prof.add_argument(
+        "--range", type=float, default=6.0, dest="range",
+        help="inter-tag range r (m)",
+    )
+    prof.add_argument(
+        "--participation", type=float, default=1.0,
+        help="fraction of tags picking a slot",
+    )
+    prof.add_argument("--seed", type=int, default=None)
+    prof.add_argument(
+        "--engine", choices=("auto", *sorted(available_engines())),
+        default="auto",
+    )
+    prof.add_argument(
+        "--sort", choices=("self", "cum", "tree"), default="self",
+        help="profile table order (default: self time)",
+    )
+    prof.add_argument(
+        "--metrics-out", type=str, default=None,
+        help="metrics NDJSON path (default: results/profile.metrics.ndjson)",
+    )
+    prof.add_argument(
+        "--manifest-out", type=str, default=None,
+        help="run manifest path (default: results/profile.manifest.json)",
+    )
+    prof.add_argument(
+        "--trace-out", type=str, default=None,
+        help="write the session's protocol event trace as NDJSON",
+    )
+    prof.set_defaults(func=cmd_profile, handles_metrics=True)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out and not getattr(args, "handles_metrics", False):
+        from repro.obs import MetricsRegistry, metrics_to_ndjson, use_registry
+
+        with use_registry(MetricsRegistry()) as registry:
+            args.func(args)
+        metrics_to_ndjson(registry, metrics_out)
+        print(f"[metrics written to {metrics_out}]")
+    else:
+        args.func(args)
     return 0
 
 

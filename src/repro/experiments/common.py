@@ -14,6 +14,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core.session import CCMConfig, run_session
 from repro.net.topology import Network, PaperDeployment, paper_network
+from repro.obs import metrics as obs_metrics
 from repro.protocols.sicp import SICPParams, run_sicp
 from repro.protocols.transport import frame_picks
 from repro.sim.parallel import ExecutorConfig, ProgressFn
@@ -68,32 +69,35 @@ def paper_trial_metrics(
     Metric keys are ``<protocol>_<metric>`` plus topology facts
     (``tiers``, ``reachable``).
     """
-    network = paper_network(
-        tag_range, n_tags=n_tags, seed=seed,
-        deployment=PaperDeployment(n_tags=n_tags),
-    )
+    obs = obs_metrics.OBS
+    with obs.span("deploy"):
+        network = paper_network(
+            tag_range, n_tags=n_tags, seed=seed,
+            deployment=PaperDeployment(n_tags=n_tags),
+        )
     metrics: Dict[str, float] = {
         "tiers": float(network.num_tiers),
         "reachable": float(network.reachable_mask.sum()),
     }
     for name in protocols:
-        if name == "sicp":
-            sub = run_sicp_application(network, seed=seed + 11)
-        elif name == "gmle_ccm":
-            sub = run_ccm_application(
-                network,
-                cfg.GMLE_FRAME_SIZE,
-                cfg.gmle_participation(n_tags),
-                seed=seed + 22,
-                engine=engine,
-            )
-        elif name == "trp_ccm":
-            sub = run_ccm_application(
-                network, cfg.trp_frame_for(n_tags), 1.0, seed=seed + 33,
-                engine=engine,
-            )
-        else:
-            raise ValueError(f"unknown protocol {name!r}")
+        with obs.span(f"protocol:{name}"):
+            if name == "sicp":
+                sub = run_sicp_application(network, seed=seed + 11)
+            elif name == "gmle_ccm":
+                sub = run_ccm_application(
+                    network,
+                    cfg.GMLE_FRAME_SIZE,
+                    cfg.gmle_participation(n_tags),
+                    seed=seed + 22,
+                    engine=engine,
+                )
+            elif name == "trp_ccm":
+                sub = run_ccm_application(
+                    network, cfg.trp_frame_for(n_tags), 1.0, seed=seed + 33,
+                    engine=engine,
+                )
+            else:
+                raise ValueError(f"unknown protocol {name!r}")
         for key, value in sub.items():
             metrics[f"{name}_{key}"] = value
     return metrics

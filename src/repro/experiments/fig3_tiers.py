@@ -41,9 +41,12 @@ def run(
     on_trial_done: Optional[ProgressFn] = None,
 ) -> Fig3Result:
     """Measure tier counts across the r sweep (topology only — cheap)."""
-    result: SweepResult = sweep_tag_range(
-        scale, protocols=(), executor=executor, on_trial_done=on_trial_done
-    )
+    from repro.obs import metrics as obs_metrics
+
+    with obs_metrics.OBS.span("experiment:fig3"):
+        result: SweepResult = sweep_tag_range(
+            scale, protocols=(), executor=executor, on_trial_done=on_trial_done
+        )
     measured = result.series("tiers")
     geometric = [
         geometric_num_tiers(

@@ -60,15 +60,18 @@ def run(
     on_trial_done: Optional[ProgressFn] = None,
     engine: str = "auto",
 ) -> MasterResult:
-    return MasterResult(
-        sweep=sweep_tag_range(
-            scale,
-            tag_ranges=tag_ranges,
-            executor=executor,
-            on_trial_done=on_trial_done,
-            engine=engine,
+    from repro.obs import metrics as obs_metrics
+
+    with obs_metrics.OBS.span("experiment:master"):
+        return MasterResult(
+            sweep=sweep_tag_range(
+                scale,
+                tag_ranges=tag_ranges,
+                executor=executor,
+                on_trial_done=on_trial_done,
+                engine=engine,
+            )
         )
-    )
 
 
 def _paper_rows_if_comparable(

@@ -1,0 +1,162 @@
+"""Event bus and exporters: NDJSON streams and Prometheus text.
+
+Three output shapes, all zero-dependency:
+
+* :class:`EventBus` — a tiny synchronous publish/subscribe fan-out for
+  protocol events.  The session engines publish through
+  :class:`~repro.sim.trace.SessionTracer` (whose ``emit`` is now a thin
+  ``publish``); any number of extra consumers — metric recorders, live
+  NDJSON writers — can subscribe to the same stream without the engines
+  knowing.
+* :func:`metrics_to_ndjson` — one JSON object per line, one line per
+  metric (``{"type": "counter", "name": ..., "value": ...}``; histograms
+  carry buckets/counts/sum/count; spans carry path/count/seconds).
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` headers, ``_bucket{le="..."}``/``_sum``/``_count`` series
+  for histograms, span aggregates as ``span_seconds_total{path="..."}``),
+  so a scrape endpoint or textfile collector can serve the numbers
+  without this repo growing a client-library dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+PathLike = Union[str, pathlib.Path]
+
+#: Subscriber signature: ``(kind, round_index, data)``; ``data`` is the
+#: event payload dict (shared, not copied — treat as read-only).
+EventFn = Callable[[str, int, Dict[str, Any]], None]
+
+__all__ = [
+    "EventBus",
+    "EventFn",
+    "metrics_to_ndjson",
+    "render_prometheus",
+]
+
+
+class EventBus:
+    """Synchronous fan-out of ``(kind, round_index, payload)`` events.
+
+    Subscribers are called in subscription order, in the publisher's
+    thread; a subscriber exception propagates to the publisher (protocol
+    code treats event consumers as part of the run, not best-effort).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: List[EventFn] = []
+
+    def subscribe(self, fn: EventFn) -> EventFn:
+        """Register ``fn``; returns it so the call can be inline."""
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: EventFn) -> None:
+        self._subscribers.remove(fn)
+
+    def publish(self, kind: str, round_index: int, **data: Any) -> None:
+        for fn in tuple(self._subscribers):
+            fn(kind, round_index, data)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+
+# -- NDJSON --------------------------------------------------------------------
+
+
+def metrics_to_ndjson(
+    registry: MetricsRegistry, path: Optional[PathLike] = None
+) -> str:
+    """Serialise every metric and span aggregate as NDJSON.
+
+    One JSON object per line; also written to ``path`` when given.  Lines
+    are sorted by (type, name) so exports diff cleanly.
+    """
+    snapshot = registry.snapshot()
+    records: List[dict] = []
+    for name in sorted(snapshot["counters"]):
+        records.append(
+            {"type": "counter", "name": name,
+             "value": snapshot["counters"][name]}
+        )
+    for name in sorted(snapshot["gauges"]):
+        records.append(
+            {"type": "gauge", "name": name, "value": snapshot["gauges"][name]}
+        )
+    for name in sorted(snapshot["histograms"]):
+        records.append(
+            {"type": "histogram", "name": name, **snapshot["histograms"][name]}
+        )
+    for path_key in sorted(snapshot["spans"]):
+        records.append(
+            {"type": "span", "path": path_key, **snapshot["spans"][path_key]}
+        )
+    text = "\n".join(json.dumps(r, sort_keys=True) for r in records)
+    if text:
+        text += "\n"
+    if path is not None:
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+    return text
+
+
+# -- Prometheus text format ----------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a metric name to the Prometheus charset."""
+    return "".join(
+        c if (c.isalnum() or c in "_:") else "_" for c in name
+    )
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, counter in sorted(registry.counters().items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(counter.value)}")
+    for name, gauge in sorted(registry.gauges().items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(gauge.value)}")
+    for name, hist in sorted(registry.histograms().items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for upper, count in zip(hist.uppers, hist.counts):
+            cumulative += count
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_value(upper)}"}} {cumulative}'
+            )
+        cumulative += hist.counts[-1]
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{prom}_sum {_prom_value(hist.sum)}")
+        lines.append(f"{prom}_count {hist.count}")
+    span_stats = registry.span_stats()
+    if span_stats:
+        lines.append("# TYPE span_seconds_total counter")
+        lines.append("# TYPE span_calls_total counter")
+        for path, (count, seconds) in sorted(span_stats.items()):
+            label = "/".join(path)
+            lines.append(
+                f'span_seconds_total{{path="{label}"}} {_prom_value(seconds)}'
+            )
+            lines.append(f'span_calls_total{{path="{label}"}} {count}')
+    return "\n".join(lines) + ("\n" if lines else "")

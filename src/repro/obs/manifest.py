@@ -1,0 +1,180 @@
+"""Run manifests: the provenance record written beside every artifact.
+
+A results file without its provenance (seed, config, engine, code
+revision, host, library versions, resource use) cannot be compared
+against a later run — which is exactly what a reproduction repo does all
+day.  :class:`RunManifest` captures that record; ``capture()`` fills in
+the environment half automatically and the caller supplies the
+experiment half (seed/config/engine/elapsed).
+
+The manifest is plain JSON.  Schema (all fields always present; ``null``
+where unavailable)::
+
+    {
+      "format": "repro-run-manifest-v1",
+      "created_utc": "2026-02-11T09:30:14Z",
+      "seed": 99,
+      "config": {...},               # caller-provided parameter dict
+      "engine": "packed",
+      "git_rev": "cdd77c4...",       # null outside a git checkout
+      "host": "machine-name",
+      "platform": "Linux-6.8...",
+      "python_version": "3.11.8",
+      "numpy_version": "2.1.0",
+      "argv": ["repro-ccm", "profile", ...],
+      "elapsed_s": 1.84,
+      "peak_rss_bytes": 221249536,   # via resource.getrusage; null on
+                                     # platforms without the module
+      "extra": {...}                 # free-form caller additions
+    }
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import platform as _platform
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+FORMAT = "repro-run-manifest-v1"
+
+__all__ = [
+    "FORMAT",
+    "RunManifest",
+    "git_revision",
+    "peak_rss_bytes",
+    "manifest_path_for",
+    "write_manifest_alongside",
+]
+
+
+def git_revision(cwd: Optional[PathLike] = None) -> Optional[str]:
+    """The current git commit hash, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, or ``None`` if unknown.
+
+    ``resource.getrusage`` reports ``ru_maxrss`` in KiB on Linux and in
+    bytes on macOS; normalised to bytes here.  The module is POSIX-only,
+    so Windows gets ``None`` rather than an import error.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return int(peak)
+    return int(peak) * 1024
+
+
+@dataclass
+class RunManifest:
+    """Provenance of one run; see the module docstring for the schema."""
+
+    seed: Optional[int] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+    engine: Optional[str] = None
+    git_rev: Optional[str] = None
+    host: str = ""
+    platform: str = ""
+    python_version: str = ""
+    numpy_version: Optional[str] = None
+    argv: list = field(default_factory=list)
+    created_utc: str = ""
+    elapsed_s: Optional[float] = None
+    peak_rss_bytes: Optional[int] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def capture(
+        cls,
+        *,
+        seed: Optional[int] = None,
+        config: Optional[Dict[str, Any]] = None,
+        engine: Optional[str] = None,
+        elapsed_s: Optional[float] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> "RunManifest":
+        """A manifest with the environment fields filled in now."""
+        try:
+            import numpy as np
+
+            numpy_version: Optional[str] = np.__version__
+        except ImportError:  # pragma: no cover - numpy is a hard dep today
+            numpy_version = None
+        return cls(
+            seed=seed,
+            config=dict(config or {}),
+            engine=engine,
+            git_rev=git_revision(),
+            host=_platform.node(),
+            platform=_platform.platform(),
+            python_version=_platform.python_version(),
+            numpy_version=numpy_version,
+            argv=list(sys.argv),
+            created_utc=datetime.datetime.now(datetime.timezone.utc)
+            .replace(microsecond=0)
+            .isoformat()
+            .replace("+00:00", "Z"),
+            elapsed_s=elapsed_s,
+            peak_rss_bytes=peak_rss_bytes(),
+            extra=dict(extra or {}),
+        )
+
+    def to_dict(self) -> dict:
+        return {"format": FORMAT, **asdict(self)}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def write(self, path: PathLike) -> pathlib.Path:
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json(), encoding="utf-8")
+        return target
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        data = json.loads(text)
+        if data.pop("format", FORMAT) != FORMAT:
+            raise ValueError("not a repro run manifest")
+        return cls(**data)
+
+
+def manifest_path_for(artifact_path: PathLike) -> pathlib.Path:
+    """Where the manifest for ``artifact_path`` lives.
+
+    ``results/sweep.json`` -> ``results/sweep.manifest.json`` (the
+    artifact's own extension is dropped so re-renders of the same run
+    share one manifest namespace).
+    """
+    artifact = pathlib.Path(artifact_path)
+    return artifact.with_name(artifact.stem + ".manifest.json")
+
+
+def write_manifest_alongside(
+    artifact_path: PathLike, **capture_kwargs: Any
+) -> pathlib.Path:
+    """Capture a manifest and write it next to ``artifact_path``."""
+    manifest = RunManifest.capture(**capture_kwargs)
+    return manifest.write(manifest_path_for(artifact_path))

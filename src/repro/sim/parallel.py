@@ -38,6 +38,7 @@ from concurrent import futures
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.sim.runner import (
     MetricDict,
     TrialAggregate,
@@ -188,6 +189,14 @@ class CampaignResult:
     ``per_trial`` is index-ordered with ``None`` holes where trials
     failed; ``aggregates`` covers the successful trials only and is
     empty if none succeeded.
+
+    The observability fields: ``total_trial_wall_s`` sums the wall time
+    every trial spent executing (all attempts, measured in the worker);
+    ``retries`` counts re-attempts beyond each trial's first;
+    ``worker_utilization`` is ``total_trial_wall_s / (elapsed_s ×
+    workers)`` — the fraction of the worker pool's capacity the campaign
+    actually kept busy (low values mean IPC/queueing dominate and fewer
+    workers or bigger chunks would do as well).
     """
 
     aggregates: Dict[str, TrialAggregate]
@@ -195,6 +204,9 @@ class CampaignResult:
     n_trials: int
     elapsed_s: float
     per_trial: List[Optional[MetricDict]] = field(default_factory=list)
+    total_trial_wall_s: float = 0.0
+    retries: int = 0
+    worker_utilization: Optional[float] = None
 
     @property
     def n_ok(self) -> int:
@@ -206,27 +218,62 @@ class CampaignResult:
 
 
 def stderr_ticker(
-    n_trials: int, label: str = "campaign", stream: Optional[TextIO] = None
+    n_trials: int,
+    label: str = "campaign",
+    stream: Optional[TextIO] = None,
+    *,
+    min_interval_s: float = 0.1,
+    force: bool = False,
 ) -> ProgressFn:
     """A default progress callback: a one-line stderr counter.
 
-    Counts trials as they finish and rewrites one ``\\r`` line; after
-    ``n_trials`` completions it prints a newline and resets, so one
-    ticker can be reused across the points of a sweep (each point runs
-    the same trial count).
+    Counts trials as they finish and rewrites one ``\\r`` line, at most
+    every ``min_interval_s`` seconds (so thousands of fast trials don't
+    flood the terminal); when the campaign completes it prints a final
+    summary line (``done: <ok> ok, <failed> failed, <elapsed>s``) and
+    resets, so one ticker can be reused across the points of a sweep
+    (each point runs the same trial count).
+
+    When writing to the default ``sys.stderr`` and it is not a TTY
+    (logs, CI), the ``\\r`` progress line is suppressed — only the final
+    summary is emitted — unless ``force=True``.  An explicitly passed
+    ``stream`` is always written to: the caller chose the destination.
     """
     out = stream if stream is not None else sys.stderr
-    state = {"done": 0}
+    if force or stream is not None:
+        show_progress = True
+    else:
+        try:
+            show_progress = bool(out.isatty())
+        except (AttributeError, ValueError):
+            show_progress = False
+    state = {"done": 0, "failed": 0, "last_line": float("-inf")}
 
     def tick(trial_index: int, elapsed_s: float, metrics: Optional[MetricDict]) -> None:
         state["done"] += 1
-        out.write(
-            f"\r[{label}] {state['done']}/{n_trials} trials "
-            f"({elapsed_s:.1f}s)"
-        )
-        if state["done"] >= n_trials:
-            out.write("\n")
+        if metrics is None:
+            state["failed"] += 1
+        final = state["done"] >= n_trials
+        now = time.monotonic()
+        if show_progress and (
+            final or now - state["last_line"] >= min_interval_s
+        ):
+            state["last_line"] = now
+            out.write(
+                f"\r[{label}] {state['done']}/{n_trials} trials "
+                f"({elapsed_s:.1f}s)"
+            )
+            if final:
+                out.write("\n")
+        if final:
+            ok = state["done"] - state["failed"]
+            out.write(
+                f"[{label}] done: {ok} ok, {state['failed']} failed, "
+                f"{elapsed_s:.1f}s\n"
+            )
             state["done"] = 0
+            state["failed"] = 0
+            state["last_line"] = float("-inf")
         out.flush()
 
     return tick
@@ -241,19 +288,23 @@ def stderr_ticker(
 
 def _execute_trial(
     trial_fn: TrialFn, trial_index: int, base_seed: int, max_retries: int
-) -> Tuple[Optional[Dict[str, float]], Optional[TrialFailure]]:
+) -> Tuple[Optional[Dict[str, float]], Optional[TrialFailure], float, int]:
     """Run one trial with bounded retries; never raises.
 
-    Returns ``(metrics, None)`` on success or ``(None, TrialFailure)``
-    after the last attempt fails.  Attempt ``a`` uses
-    ``trial_seed(base_seed, trial_index, a)`` so retries are themselves
-    deterministic and independent of the failing seed.
+    Returns ``(metrics, failure, wall_s, attempts)``: ``(metrics, None,
+    ...)`` on success or ``(None, TrialFailure, ...)`` after the last
+    attempt fails; ``wall_s`` is the wall time across *all* attempts,
+    measured where the trial ran (so it crosses process boundaries as
+    plain data).  Attempt ``a`` uses ``trial_seed(base_seed,
+    trial_index, a)`` so retries are themselves deterministic and
+    independent of the failing seed.
     """
     last: Optional[TrialFailure] = None
+    started = time.perf_counter()
     for attempt in range(max_retries + 1):
         seed = trial_seed(base_seed, trial_index, attempt)
         try:
-            return dict(trial_fn(trial_index, seed)), None
+            metrics = dict(trial_fn(trial_index, seed))
         except Exception as exc:  # noqa: BLE001 - isolation is the point
             last = TrialFailure(
                 trial_index=trial_index,
@@ -263,7 +314,11 @@ def _execute_trial(
                 message=str(exc),
                 traceback=_traceback.format_exc(),
             )
-    return None, last
+        else:
+            wall = time.perf_counter() - started
+            return metrics, None, wall, attempt + 1
+    wall = time.perf_counter() - started
+    return None, last, wall, max_retries + 1
 
 
 def _run_chunk(
@@ -271,7 +326,9 @@ def _run_chunk(
     indices: Sequence[int],
     base_seed: int,
     max_retries: int,
-) -> List[Tuple[int, Optional[Dict[str, float]], Optional[TrialFailure]]]:
+) -> List[
+    Tuple[int, Optional[Dict[str, float]], Optional[TrialFailure], float, int]
+]:
     """Worker task: execute a chunk of trial indices."""
     return [
         (k,) + _execute_trial(trial_fn, k, base_seed, max_retries)
@@ -306,45 +363,74 @@ class Campaign:
         if self.n_trials <= 0:
             raise ValueError("n_trials must be positive")
         cfg = self.executor or ExecutorConfig.serial()
+        obs = obs_metrics.OBS
         started = time.perf_counter()
         per_trial: List[Optional[Dict[str, float]]] = [None] * self.n_trials
         failures: List[TrialFailure] = []
+        totals = {"wall": 0.0, "retries": 0}
+        workers = 1 if cfg.backend == "serial" else cfg.resolved_workers()
 
         def record(
             k: int,
             metrics: Optional[Dict[str, float]],
             failure: Optional[TrialFailure],
+            wall_s: float,
+            attempts: int,
         ) -> None:
             per_trial[k] = metrics
+            elapsed = time.perf_counter() - started
+            totals["wall"] += wall_s
+            totals["retries"] += attempts - 1
+            obs.inc(
+                "campaign_trials_failed" if failure is not None
+                else "campaign_trials_ok"
+            )
+            if attempts > 1:
+                obs.inc("campaign_retries_total", attempts - 1)
+            obs.observe("campaign_trial_wall_s", wall_s)
+            # Queue wait: all chunks are submitted up front, so a trial's
+            # wait-for-a-worker is its completion time minus its own wall
+            # time (an upper bound when chunk_size > 1 lumps siblings).
+            obs.observe("campaign_queue_wait_s", max(0.0, elapsed - wall_s))
             if failure is not None:
                 failures.append(failure)
             if self.on_trial_done is not None:
-                self.on_trial_done(k, time.perf_counter() - started, metrics)
+                self.on_trial_done(k, elapsed, metrics)
             if failure is not None and cfg.fail_fast:
                 raise CampaignError([failure])
 
-        if cfg.backend == "serial":
-            self._run_serial(cfg, record)
-        else:
-            self._run_pooled(cfg, record)
+        with obs.span("campaign"):
+            if cfg.backend == "serial":
+                self._run_serial(cfg, record)
+            else:
+                self._run_pooled(cfg, record)
 
         successes = [m for m in per_trial if m is not None]
         aggregates = aggregate_metrics(successes) if successes else {}
         failures.sort(key=lambda f: f.trial_index)
+        elapsed_s = time.perf_counter() - started
+        utilization = (
+            totals["wall"] / (elapsed_s * workers) if elapsed_s > 0 else None
+        )
+        if utilization is not None:
+            obs.set_gauge("campaign_worker_utilization", utilization)
         return CampaignResult(
             aggregates=aggregates,
             failures=failures,
             n_trials=self.n_trials,
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=elapsed_s,
             per_trial=per_trial,
+            total_trial_wall_s=totals["wall"],
+            retries=totals["retries"],
+            worker_utilization=utilization,
         )
 
     def _run_serial(self, cfg: ExecutorConfig, record) -> None:
         for k in range(self.n_trials):
-            metrics, failure = _execute_trial(
+            metrics, failure, wall_s, attempts = _execute_trial(
                 self.trial_fn, k, self.base_seed, cfg.max_retries
             )
-            record(k, metrics, failure)
+            record(k, metrics, failure, wall_s, attempts)
 
     def _run_pooled(self, cfg: ExecutorConfig, record) -> None:
         pool_cls = (
@@ -368,8 +454,8 @@ class Campaign:
             ]
             try:
                 for fut in futures.as_completed(pending, timeout=cfg.timeout_s):
-                    for k, metrics, failure in fut.result():
-                        record(k, metrics, failure)
+                    for k, metrics, failure, wall_s, attempts in fut.result():
+                        record(k, metrics, failure, wall_s, attempts)
                         done += 1
             except futures.TimeoutError:
                 pool.shutdown(wait=False, cancel_futures=True)

@@ -192,16 +192,22 @@ def sweep(
     ``executor``/``on_trial_done`` are forwarded to :func:`run_trials` for
     each point (parallelism is at the trial level, within a point).
     """
+    from repro.obs import metrics as obs_metrics
+
+    obs = obs_metrics.OBS
     result = SweepResult(parameter=parameter, values=[])
     for idx, value in enumerate(values):
         trial_fn = trial_factory(value)
-        agg = run_trials(
-            trial_fn,
-            n_trials,
-            base_seed=derive_seed(base_seed, 0x5EE9, idx) % (2**32),
-            executor=executor,
-            on_trial_done=on_trial_done,
-        )
+        with obs.span("sweep_point"):
+            agg = run_trials(
+                trial_fn,
+                n_trials,
+                base_seed=derive_seed(base_seed, 0x5EE9, idx) % (2**32),
+                executor=executor,
+                on_trial_done=on_trial_done,
+            )
+        obs.inc("sweep_points_total")
+        obs.inc("sweep_trials_total", n_trials)
         result.values.append(float(value))
         result.aggregates.append(agg)
     return result

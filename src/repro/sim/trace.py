@@ -7,6 +7,13 @@ checking frame run.  Pass a :class:`SessionTracer` to
 protocol step; export as NDJSON for external tooling or render the
 built-in summary.
 
+Since the observability layer landed, the tracer is a thin consumer of a
+:class:`repro.obs.export.EventBus`: ``emit`` publishes on the bus and the
+tracer's own subscription records the :class:`TraceEvent` list.  Extra
+consumers (metric recorders, live NDJSON writers) can subscribe to
+``tracer.bus`` and see exactly the stream the engines produce — the
+public API (``emit``/``events``/``of_kind``/NDJSON format) is unchanged.
+
 Events (``kind`` / payload):
 
 * ``round_start``   — ``round``
@@ -16,6 +23,10 @@ Events (``kind`` / payload):
 * ``checking``      — ``slots_executed``, ``reader_heard``,
   ``pending_tags``
 * ``session_end``   — ``rounds``, ``clean``, ``busy_slots``
+
+Payload keys ``kind`` and ``round`` are reserved for the NDJSON envelope
+and rejected at emit time: they would silently overwrite the envelope on
+export and be destructively popped on import.
 """
 
 from __future__ import annotations
@@ -25,7 +36,12 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
+from repro.obs.export import EventBus
+
 PathLike = Union[str, pathlib.Path]
+
+#: Envelope keys of the NDJSON representation; not allowed in payloads.
+RESERVED_EVENT_KEYS = ("kind", "round")
 
 
 @dataclass
@@ -36,6 +52,14 @@ class TraceEvent:
     round_index: int
     data: Dict[str, Any] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        clashes = [k for k in RESERVED_EVENT_KEYS if k in self.data]
+        if clashes:
+            raise ValueError(
+                f"trace payload keys {clashes} collide with the NDJSON "
+                "envelope; rename them (e.g. 'round' -> 'round_len')"
+            )
+
     def to_json(self) -> str:
         payload = {"kind": self.kind, "round": self.round_index}
         payload.update(self.data)
@@ -43,13 +67,24 @@ class TraceEvent:
 
 
 class SessionTracer:
-    """Collects :class:`TraceEvent` records during one session."""
+    """Collects :class:`TraceEvent` records during one session.
 
-    def __init__(self) -> None:
+    ``bus`` is the underlying :class:`~repro.obs.export.EventBus`; pass
+    one to share a stream between several consumers, or leave ``None``
+    for a private bus.  The tracer subscribes itself on construction.
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
         self.events: List[TraceEvent] = []
+        self.bus = bus if bus is not None else EventBus()
+        self.bus.subscribe(self._record)
 
     def emit(self, kind: str, round_index: int, **data: Any) -> None:
-        self.events.append(TraceEvent(kind, round_index, data))
+        """Publish one event on the bus (and thereby record it)."""
+        self.bus.publish(kind, round_index, **data)
+
+    def _record(self, kind: str, round_index: int, data: Dict[str, Any]) -> None:
+        self.events.append(TraceEvent(kind, round_index, dict(data)))
 
     # -- queries -----------------------------------------------------------
 
@@ -91,7 +126,13 @@ class SessionTracer:
         return tracer
 
     def summary(self) -> str:
-        """A per-round text digest of the session."""
+        """A per-round text digest of the session.
+
+        Covers every round that produced *any* event — in particular the
+        final silent checking frame, whose round has a ``checking`` event
+        but (in engines that skip the frame event after termination) may
+        have no ``frame`` event.
+        """
         lines = [
             f"{'round':>6} {'tx tags':>8} {'new bits':>9} {'silenced':>9} "
             f"{'check slots':>12} {'heard':>6}"
@@ -99,8 +140,8 @@ class SessionTracer:
         frames = {e.round_index: e for e in self.of_kind("frame")}
         indicators = {e.round_index: e for e in self.of_kind("indicator")}
         checks = {e.round_index: e for e in self.of_kind("checking")}
-        for r in sorted(frames):
-            fr = frames[r].data
+        for r in sorted(set(frames) | set(indicators) | set(checks)):
+            fr = frames[r].data if r in frames else {}
             iv = indicators.get(r)
             ck = checks.get(r)
             lines.append(

@@ -84,3 +84,87 @@ class TestRenderCommand:
         text = csv_path.read_text()
         assert text.startswith("tag_range_m,metric,mean")
         assert "sicp_slots" in text
+
+
+class TestObservabilityFlags:
+    def test_artifact_manifest_written_alongside_json(self, tmp_path, capsys):
+        from repro.obs import RunManifest
+
+        sweep_path = tmp_path / "sweep.json"
+        main(["tables", "--n-tags", "400", "--trials", "1",
+              "--ranges", "6", "--json", str(sweep_path)])
+        capsys.readouterr()
+        manifest_path = tmp_path / "sweep.manifest.json"
+        assert manifest_path.exists()
+        manifest = RunManifest.from_json(manifest_path.read_text())
+        assert manifest.config["n_tags"] == 400
+        assert manifest.elapsed_s > 0
+
+    def test_metrics_out_records_whole_command(self, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "metrics.ndjson"
+        main(["fig3", "--n-tags", "200", "--trials", "1",
+              "--ranges", "6", "--metrics-out", str(metrics_path)])
+        capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+        ]
+        counters = {
+            r["name"]: r["value"] for r in records if r["type"] == "counter"
+        }
+        assert counters["sweep_points_total"] == 1.0
+        spans = {r["path"] for r in records if r["type"] == "span"}
+        assert "experiment:fig3" in spans
+
+
+class TestProfileCommand:
+    def test_profile_prints_table_and_writes_artifacts(self, tmp_path, capsys):
+        from repro.obs import RunManifest
+
+        metrics_path = tmp_path / "profile.metrics.ndjson"
+        manifest_path = tmp_path / "profile.manifest.json"
+        trace_path = tmp_path / "profile.trace.ndjson"
+        code = main([
+            "profile", "--n", "300", "--frame", "64", "--seed", "3",
+            "--metrics-out", str(metrics_path),
+            "--manifest-out", str(manifest_path),
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "self s" in out and "cum s" in out
+        assert "session/round/checking" in out
+        assert "coverage: root spans account for" in out
+        assert metrics_path.read_text().strip()
+        manifest = RunManifest.from_json(manifest_path.read_text())
+        assert manifest.config == {
+            "n_tags": 300, "frame_size": 64, "tag_range_m": 6.0,
+            "participation": 1.0,
+        }
+        assert manifest.extra["rounds"] >= 1
+        assert '"kind": "session_end"' in trace_path.read_text()
+
+    def test_profile_phase_totals_near_wall_time(self, tmp_path, capsys):
+        import re
+
+        main(["profile", "--n", "2000", "--frame", "333",
+              "--metrics-out", str(tmp_path / "m.ndjson"),
+              "--manifest-out", str(tmp_path / "m.json")])
+        out = capsys.readouterr().out
+        match = re.search(r"account for (\d+\.\d)% of", out)
+        assert match, out
+        assert float(match.group(1)) >= 95.0
+
+    def test_profile_engine_choices(self, tmp_path, capsys):
+        for engine in ("bigint", "packed"):
+            code = main([
+                "profile", "--n", "200", "--frame", "32", "--engine", engine,
+                "--sort", "tree",
+                "--metrics-out", str(tmp_path / f"{engine}.ndjson"),
+                "--manifest-out", str(tmp_path / f"{engine}.json"),
+            ])
+            assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("coverage:") == 2

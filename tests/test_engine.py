@@ -256,13 +256,26 @@ class TestCrossEngineEquivalence:
     )  # f < 64, f % 64 != 0, f == 64, multi-word
     @pytest.mark.parametrize("multibit", [False, True])
     def test_grid(self, deployment, frame_size, multibit):
+        from repro.sim.trace import SessionTracer
+
         seed = {"disk": 101, "annulus": 202, "clustered": 303}[deployment]
         network = _build_network(deployment, n_tags=300, seed=seed)
         masks = _masks_for(network, frame_size, seed=11, multibit=multibit)
         config = CCMConfig(frame_size=frame_size)
-        a = run_session(network, masks=masks, config=config, engine="bigint")
-        b = run_session(network, masks=masks, config=config, engine="packed")
+        tracer_a, tracer_b = SessionTracer(), SessionTracer()
+        a = run_session(
+            network, masks=masks, config=config, engine="bigint",
+            tracer=tracer_a,
+        )
+        b = run_session(
+            network, masks=masks, config=config, engine="packed",
+            tracer=tracer_b,
+        )
         _assert_results_identical(a, b)
+        # The engines' protocol event streams are byte-identical NDJSON.
+        ndjson_a = tracer_a.to_ndjson()
+        assert ndjson_a.encode() == tracer_b.to_ndjson().encode()
+        assert ndjson_a  # both actually traced something
 
     def test_no_indicator_vector_ablation(self):
         network = _build_network("disk", n_tags=250, seed=5)

@@ -1,0 +1,297 @@
+"""Tests for repro.obs — metrics, spans, exporters, manifests."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.session import CCMConfig, run_session
+from repro.obs import (
+    EventBus,
+    MetricsRegistry,
+    RunManifest,
+    manifest_path_for,
+    metrics as obs_metrics,
+    metrics_to_ndjson,
+    profile_rows,
+    render_profile,
+    render_prometheus,
+    use_registry,
+    write_manifest_alongside,
+)
+from repro.protocols.transport import frame_picks
+
+
+class TestMetricPrimitives:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits", 4)
+        assert reg.counter("hits").value == 5.0
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("hits", -1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3)
+        reg.set_gauge("depth", 7)
+        assert reg.gauge("depth").value == 7.0
+
+    def test_histogram_buckets_and_summary(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(v)
+        assert hist.counts == [1, 2, 1]  # <=0.1, <=1.0, +inf
+        assert hist.count == 4
+        assert hist.minimum == 0.05 and hist.maximum == 5.0
+        assert hist.mean == pytest.approx(6.05 / 4)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", buckets=(1.0, 0.1))
+
+    def test_same_name_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+
+class TestRegistrySwap:
+    def test_default_is_noop_null_registry(self):
+        obs = obs_metrics.get_registry()
+        assert not obs.enabled
+        obs.inc("ignored")
+        obs.observe("ignored", 1.0)
+        with obs.span("ignored"):
+            pass
+        assert obs_metrics.get_registry().span_stats() == {}
+
+    def test_use_registry_installs_and_restores(self):
+        before = obs_metrics.get_registry()
+        with use_registry() as reg:
+            assert obs_metrics.get_registry() is reg
+            obs_metrics.OBS.inc("seen")
+        assert obs_metrics.get_registry() is before
+        assert reg.counter("seen").value == 1.0
+
+    def test_use_registry_restores_on_exception(self):
+        before = obs_metrics.get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry():
+                raise RuntimeError("boom")
+        assert obs_metrics.get_registry() is before
+
+
+class TestSpans:
+    def test_nesting_records_paths(self):
+        reg = MetricsRegistry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+            with reg.span("inner"):
+                pass
+        stats = reg.span_stats()
+        assert stats[("outer",)][0] == 1
+        assert stats[("outer", "inner")][0] == 2
+
+    def test_exception_sweeps_abandoned_children(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("outer"):
+                span = reg.span("leaked")
+                span.__enter__()  # never exited
+                raise RuntimeError("boom")
+        # The stack is clean: a later root span nests at depth 1.
+        with reg.span("after"):
+            pass
+        assert ("after",) in reg.span_stats()
+
+    def test_self_time_sums_to_parent_cumulative(self):
+        reg = MetricsRegistry()
+        with reg.span("parent"):
+            with reg.span("a"):
+                pass
+            with reg.span("b"):
+                pass
+        rows = {r.path: r for r in profile_rows(reg)}
+        parent = rows[("parent",)]
+        child_sum = (
+            rows[("parent", "a")].cumulative_s + rows[("parent", "b")].cumulative_s
+        )
+        assert parent.self_s == pytest.approx(
+            parent.cumulative_s - child_sum, abs=1e-9
+        )
+
+    def test_threads_get_independent_stacks(self):
+        reg = MetricsRegistry()
+
+        def work():
+            with reg.span("worker"):
+                pass
+
+        with reg.span("main"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        stats = reg.span_stats()
+        assert ("worker",) in stats  # not nested under main's stack
+        assert ("main", "worker") not in stats
+
+    def test_render_profile_orders_and_covers(self):
+        reg = MetricsRegistry()
+        with reg.span("root"):
+            with reg.span("leaf"):
+                pass
+        text = render_profile(reg, wall_s=1.0, sort="tree")
+        assert "root" in text and "leaf" in text
+        assert "coverage:" in text
+        assert render_profile(MetricsRegistry()) == "(no spans recorded)"
+
+
+class TestEventBus:
+    def test_publish_fans_out_in_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda k, r, d: seen.append(("a", k, r, dict(d))))
+        bus.subscribe(lambda k, r, d: seen.append(("b", k, r, dict(d))))
+        bus.publish("frame", 2, transmitters=5)
+        assert seen == [
+            ("a", "frame", 2, {"transmitters": 5}),
+            ("b", "frame", 2, {"transmitters": 5}),
+        ]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        fn = bus.subscribe(lambda k, r, d: seen.append(k))
+        bus.unsubscribe(fn)
+        bus.publish("frame", 1)
+        assert seen == [] and len(bus) == 0
+
+
+class TestExporters:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.inc("ccm_rounds_total", 3)
+        reg.set_gauge("last_rounds", 3)
+        reg.observe("seconds", 0.02)
+        with reg.span("session"):
+            pass
+        return reg
+
+    def test_ndjson_lines_parse_and_sort(self, tmp_path):
+        reg = self._populated()
+        path = tmp_path / "deep" / "metrics.ndjson"
+        text = metrics_to_ndjson(reg, path)
+        assert path.read_text() == text
+        records = [json.loads(line) for line in text.splitlines()]
+        assert [r["type"] for r in records] == [
+            "counter", "gauge", "histogram", "span",
+        ]
+        assert records[0] == {
+            "name": "ccm_rounds_total", "type": "counter", "value": 3.0
+        }
+        assert records[3]["path"] == "session"
+
+    def test_empty_registry_ndjson(self):
+        assert metrics_to_ndjson(MetricsRegistry()) == ""
+
+    def test_prometheus_format(self):
+        text = render_prometheus(self._populated())
+        assert "# TYPE ccm_rounds_total counter" in text
+        assert "ccm_rounds_total 3.0" in text
+        assert '_bucket{le="+Inf"} 1' in text
+        assert "seconds_sum 0.02" in text
+        assert 'span_seconds_total{path="session"}' in text
+
+    def test_prometheus_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("v", 0.05, buckets=(0.1, 1.0))
+        reg.observe("v", 0.5, buckets=(0.1, 1.0))
+        text = render_prometheus(reg)
+        assert 'v_bucket{le="0.1"} 1' in text
+        assert 'v_bucket{le="1.0"} 2' in text
+        assert 'v_bucket{le="+Inf"} 2' in text
+
+
+class TestRunManifest:
+    def test_capture_and_roundtrip(self, tmp_path):
+        manifest = RunManifest.capture(
+            seed=99, config={"n": 10}, engine="packed", elapsed_s=1.5,
+            extra={"note": "test"},
+        )
+        assert manifest.python_version
+        assert manifest.created_utc.endswith("Z")
+        path = tmp_path / "run.manifest.json"
+        manifest.write(path)
+        back = RunManifest.from_json(path.read_text())
+        assert back == manifest
+        assert json.loads(path.read_text())["format"] == "repro-run-manifest-v1"
+
+    def test_from_json_rejects_other_formats(self):
+        with pytest.raises(ValueError):
+            RunManifest.from_json('{"format": "something-else"}')
+
+    def test_manifest_path_for(self):
+        assert str(manifest_path_for("results/sweep.json")).endswith(
+            "results/sweep.manifest.json"
+        )
+
+    def test_write_manifest_alongside(self, tmp_path):
+        artifact = tmp_path / "sweep.csv"
+        artifact.write_text("x\n")
+        path = write_manifest_alongside(artifact, seed=1, engine="bigint")
+        assert path == tmp_path / "sweep.manifest.json"
+        assert RunManifest.from_json(path.read_text()).engine == "bigint"
+
+    def test_git_revision_in_checkout(self):
+        manifest = RunManifest.capture()
+        # The test suite runs inside the repo checkout.
+        assert manifest.git_rev is None or len(manifest.git_rev) == 40
+
+
+class TestInstrumentedSession:
+    @pytest.mark.parametrize("engine", ["bigint", "packed"])
+    def test_session_records_phases_and_counters(self, small_network, engine):
+        picks = frame_picks(small_network.tag_ids, 64, 1.0, seed=1)
+        with use_registry() as reg:
+            result = run_session(
+                small_network, picks, config=CCMConfig(frame_size=64),
+                engine=engine,
+            )
+        counters = reg.snapshot()["counters"]
+        assert counters["ccm_sessions_total"] == 1.0
+        assert counters["ccm_rounds_total"] == float(result.rounds)
+        assert counters["ccm_session_slots_total"] == float(result.total_slots)
+        stats = reg.span_stats()
+        assert stats[("session",)][0] == 1
+        assert stats[("session", "round")][0] == result.rounds
+        for phase in ("data_frame", "indicator", "checking"):
+            assert ("session", "round", phase) in stats
+        assert reg.gauge("ccm_last_session_rounds").value == float(result.rounds)
+
+    def test_engines_agree_on_protocol_counters(self, small_network):
+        picks = frame_picks(small_network.tag_ids, 64, 1.0, seed=1)
+        values = {}
+        for engine in ("bigint", "packed"):
+            with use_registry() as reg:
+                run_session(
+                    small_network, picks, config=CCMConfig(frame_size=64),
+                    engine=engine,
+                )
+            counters = reg.snapshot()["counters"]
+            values[engine] = {
+                k: v for k, v in counters.items()
+                if k.startswith("ccm_") and k != "ccm_session_seconds"
+            }
+        assert values["bigint"] == values["packed"]
+
+    def test_disabled_session_records_nothing(self, small_network):
+        picks = frame_picks(small_network.tag_ids, 64, 1.0, seed=1)
+        run_session(small_network, picks, config=CCMConfig(frame_size=64))
+        assert obs_metrics.get_registry().span_stats() == {}

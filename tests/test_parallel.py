@@ -8,6 +8,7 @@ engine's core contract.
 
 import dataclasses
 import io
+import sys
 
 import pytest
 
@@ -260,10 +261,81 @@ class TestProgress:
         tick = stderr_ticker(2, stream=stream)
         tick(0, 0.1, {})
         tick(1, 0.2, {})
-        tick(0, 0.3, {})  # second campaign reuses the ticker
         out = stream.getvalue()
         assert "1/2" in out and "2/2" in out
-        assert out.count("\n") == 1
+        # Progress newline at completion plus the final summary line.
+        assert out.count("\n") == 2
+        assert "done: 2 ok, 0 failed" in out
+        tick(0, 0.3, {})  # second campaign reuses the same ticker
+        assert "1/2" in stream.getvalue()[len(out):]
+
+    def test_stderr_ticker_rate_limits_progress(self):
+        stream = io.StringIO()
+        tick = stderr_ticker(100, stream=stream, min_interval_s=3600.0)
+        for k in range(99):
+            tick(k, 0.01 * k, {})
+        # Only the first progress line made it through the rate limit.
+        assert stream.getvalue().count("\r") == 1
+        tick(99, 1.0, {})  # the final tick always draws and summarises
+        out = stream.getvalue()
+        assert "100/100" in out
+        assert "done: 100 ok, 0 failed" in out
+
+    def test_stderr_ticker_counts_failures_in_summary(self):
+        stream = io.StringIO()
+        tick = stderr_ticker(3, stream=stream)
+        tick(0, 0.1, {})
+        tick(1, 0.2, None)  # failed trial
+        tick(2, 0.3, {})
+        assert "done: 2 ok, 1 failed" in stream.getvalue()
+
+    def test_stderr_ticker_suppresses_progress_on_non_tty(self, monkeypatch):
+        stream = io.StringIO()  # StringIO.isatty() is False
+        monkeypatch.setattr(sys, "stderr", stream)
+        tick = stderr_ticker(2)
+        tick(0, 0.1, {})
+        tick(1, 0.2, {})
+        out = stream.getvalue()
+        assert "\r" not in out  # no progress line off-TTY...
+        assert "done: 2 ok, 0 failed" in out  # ...but the summary stays
+
+    def test_stderr_ticker_force_overrides_tty_check(self, monkeypatch):
+        stream = io.StringIO()
+        monkeypatch.setattr(sys, "stderr", stream)
+        tick = stderr_ticker(1, force=True)
+        tick(0, 0.1, {})
+        assert "\r" in stream.getvalue()
+
+
+class TestCampaignObservability:
+    def test_result_carries_wall_and_utilization(self):
+        result = Campaign(noisy_trial, 4, 0).run()
+        assert result.total_trial_wall_s > 0.0
+        assert result.retries == 0
+        assert result.worker_utilization is not None
+        # Serial: trial wall time cannot exceed campaign elapsed time.
+        assert 0.0 < result.worker_utilization <= 1.0
+
+    def test_retries_counted(self):
+        result = Campaign(
+            FlakyOnFirstSeed(bad_index=1, base_seed=0), 3, 0,
+            executor=ExecutorConfig(workers=1, backend="serial", max_retries=2),
+        ).run()
+        assert not result.failures
+        assert result.retries >= 1
+
+    def test_campaign_metrics_recorded(self):
+        from repro.obs import use_registry
+
+        with use_registry() as reg:
+            Campaign(FailingAt(bad_indices=(1,)), 4, 0).run()
+        counters = reg.snapshot()["counters"]
+        assert counters["campaign_trials_ok"] == 3.0
+        assert counters["campaign_trials_failed"] == 1.0
+        hist = reg.histogram("campaign_trial_wall_s")
+        assert hist.count == 4
+        assert reg.span_stats()[("campaign",)][0] == 1
+        assert 0.0 < reg.gauge("campaign_worker_utilization").value <= 1.0
 
 
 class TestTimeout:

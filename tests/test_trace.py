@@ -1,6 +1,8 @@
 """Tests for repro.sim.trace — session event tracing."""
 
 
+import pytest
+
 from repro.core.session import CCMConfig, run_session
 from repro.protocols.transport import frame_picks
 from repro.sim.trace import SessionTracer, TraceEvent
@@ -37,6 +39,26 @@ class TestTracerBasics:
         event = TraceEvent("frame", 3, {"transmitters": 7})
         assert '"kind": "frame"' in event.to_json()
         assert '"round": 3' in event.to_json()
+
+    def test_reserved_payload_keys_rejected(self):
+        with pytest.raises(ValueError, match="envelope"):
+            TraceEvent("frame", 1, {"kind": "smuggled"})
+        with pytest.raises(ValueError, match="envelope"):
+            TraceEvent("frame", 1, {"round": 9})
+        tracer = SessionTracer()
+        with pytest.raises(ValueError, match="envelope"):
+            tracer.emit("frame", 1, round=9)
+
+    def test_shared_bus_fans_out(self):
+        from repro.obs import EventBus
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda kind, r, data: seen.append((kind, r)))
+        tracer = SessionTracer(bus=bus)
+        tracer.emit("frame", 2, transmitters=1)
+        assert seen == [("frame", 2)]
+        assert tracer.of_kind("frame")[0].round_index == 2
 
 
 class TestNdjsonRoundtrip:
@@ -83,6 +105,19 @@ class TestSessionIntegration:
         text = tracer.summary()
         assert "round" in text
         assert "session:" in text
+
+    def test_summary_includes_checking_only_rounds(self):
+        # The final silent checking frame has no frame event; its round
+        # must still appear in the digest.
+        tracer = SessionTracer()
+        tracer.emit("round_start", 1)
+        tracer.emit("frame", 1, transmitters=3, bits_new_at_reader=2)
+        tracer.emit("checking", 1, slots_executed=2, reader_heard=True)
+        tracer.emit("checking", 2, slots_executed=4, reader_heard=False)
+        lines = tracer.summary().splitlines()
+        round_2 = [ln for ln in lines if ln.strip().startswith("2")]
+        assert round_2, "round 2 (checking only) missing from summary"
+        assert "4" in round_2[0] and "False" in round_2[0]
 
     def test_indicator_events_track_silencing(self, star_network):
         tracer = SessionTracer()
