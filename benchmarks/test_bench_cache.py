@@ -1,0 +1,91 @@
+"""Benchmark: result-store memoization — cold campaign vs cached re-run.
+
+Runs the same paper-trial campaign twice against a fresh
+:class:`~repro.store.cache.ResultStore`.  The first run computes every
+trial and writes it through; the second must be served almost entirely
+from disk (hit rate ≥ 95 % is asserted — in practice it is 100 %) with
+bit-identical aggregates.  The cold/warm wall-clock ratio is the
+benchmark number: reading canonical JSON back must beat re-simulating
+by a wide margin.
+
+The rendered comparison is committed as ``benchmarks/output/cache.txt``;
+the machine-readable record (cold/warm seconds, hit rate, speedup under
+``extra``) is ``benchmarks/output/BENCH_cache.json`` — the baseline the
+CI cache smoke step uploads next to its own stats.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.experiments.common import PaperTrial
+from repro.obs import RunManifest
+from repro.sim.parallel import Campaign
+from repro.store import ResultStore
+
+N_TAGS = 800
+N_TRIALS = 4
+TAG_RANGE = 6.0
+BASE_SEED = 42
+MIN_HIT_RATE = 0.95
+MIN_SPEEDUP = 10.0
+
+
+def test_cached_rerun_speedup(tmp_path, emit):
+    trial = PaperTrial(TAG_RANGE, N_TAGS)
+    store = ResultStore(tmp_path / "cache")
+
+    started = time.perf_counter()
+    cold = Campaign(trial, N_TRIALS, BASE_SEED, store=store).run()
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = Campaign(trial, N_TRIALS, BASE_SEED, store=store).run()
+    warm_s = time.perf_counter() - started
+
+    assert cold.ok and warm.ok
+    assert cold.cache_hits == 0
+    hit_rate = warm.cache_hits / N_TRIALS
+    assert hit_rate >= MIN_HIT_RATE, (
+        f"cached re-run hit only {warm.cache_hits}/{N_TRIALS} trials"
+    )
+    assert warm.aggregates == cold.aggregates  # bit-identical floats
+
+    speedup = cold_s / max(warm_s, 1e-9)
+    lines = [
+        "Result store — cold campaign vs cached re-run "
+        f"(n={N_TAGS} tags × {N_TRIALS} trials, r={TAG_RANGE} m)",
+        f"{'path':<26}{'wall-clock (s)':>16}{'hits':>8}",
+        f"{'cold (computed)':<26}{cold_s:>16.3f}{cold.cache_hits:>8}",
+        f"{'warm (memoized)':<26}{warm_s:>16.3f}{warm.cache_hits:>8}",
+        f"speedup: {speedup:.1f}x  (bit-identical aggregates, "
+        f"{hit_rate:.0%} hit rate)",
+    ]
+    emit("cache", "\n".join(lines))
+    RunManifest.capture(
+        seed=BASE_SEED,
+        config={
+            "n_tags": N_TAGS,
+            "n_trials": N_TRIALS,
+            "tag_range_m": TAG_RANGE,
+        },
+        engine="result-store",
+        elapsed_s=cold_s + warm_s,
+        extra={
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "hit_rate": hit_rate,
+            "speedup": speedup,
+            "n_entries": store.stats().n_entries,
+        },
+    ).write(pathlib.Path(__file__).parent / "output" / "BENCH_cache.json")
+
+    # Re-simulating four n=800 sessions takes whole seconds; reading four
+    # JSON records back takes milliseconds.  Only skip the assertion if
+    # the cold run was too cheap for the ratio to be meaningful.
+    if cold_s >= 0.1:
+        assert speedup >= MIN_SPEEDUP, (
+            f"cached re-run only {speedup:.1f}x faster; "
+            f"expected >= {MIN_SPEEDUP}x"
+        )

@@ -31,6 +31,23 @@ a sorted per-phase self/cumulative time table::
 
 ``--json``/``--csv`` artifacts get a ``*.manifest.json`` provenance record
 (seed, config, git revision, host, versions, peak RSS) written alongside.
+
+Caching (see docs/caching.md): ``--cache`` memoizes every trial in the
+content-addressed result store (``~/.cache/repro`` or ``--cache-dir``),
+so re-running an identical campaign is served from disk with
+bit-identical aggregates, and a killed campaign continues from where it
+died with ``--resume``::
+
+    repro-ccm tables --scale full --workers 8 --cache --progress
+    # ... SIGKILL mid-run ...
+    repro-ccm tables --scale full --workers 8 --resume --progress
+
+The store itself is managed by the ``cache`` subcommand family::
+
+    repro-ccm cache stats                  # entries / bytes / campaigns
+    repro-ccm cache ls                     # one line per stored trial
+    repro-ccm cache verify --sample 5      # re-run trials, compare bytes
+    repro-ccm cache gc --max-size 500M --older-than 30d
 """
 
 from __future__ import annotations
@@ -96,6 +113,28 @@ def _resolve_progress(args: argparse.Namespace):
     return stderr_ticker(_resolve_scale(args).n_trials)
 
 
+def _resolve_store(args: argparse.Namespace):
+    """``--cache/--no-cache/--cache-dir/--resume`` -> (store, resume).
+
+    ``--resume`` implies ``--cache``; ``--no-cache`` wins over both (the
+    escape hatch for scripts that inherit cache flags).
+    """
+    from repro.store import ResultStore
+
+    resume = getattr(args, "resume", False)
+    enabled = (
+        getattr(args, "cache", False)
+        or getattr(args, "cache_dir", None) is not None
+        or resume
+    )
+    if getattr(args, "no_cache", False) or not enabled:
+        return None, False
+    store = ResultStore(args.cache_dir)
+    if resume:
+        print(f"[cache] resuming from {store.root}", file=sys.stderr)
+    return store, resume
+
+
 def _emit(text: str, out: Optional[str]) -> None:
     print(text)
     if out:
@@ -104,10 +143,13 @@ def _emit(text: str, out: Optional[str]) -> None:
 
 
 def cmd_fig3(args: argparse.Namespace) -> None:
+    store, resume = _resolve_store(args)
     result = fig3_tiers.run(
         _resolve_scale(args),
         executor=_resolve_executor(args),
         on_trial_done=_resolve_progress(args),
+        store=store,
+        resume=resume,
     )
     _emit(fig3_tiers.report(result), args.out)
 
@@ -115,6 +157,7 @@ def cmd_fig3(args: argparse.Namespace) -> None:
 def cmd_tables(args: argparse.Namespace) -> None:
     scale = _resolve_scale(args)
     ranges = scale.tag_ranges
+    store, resume = _resolve_store(args)
     started = time.perf_counter()
     result = master.run(
         scale,
@@ -122,6 +165,8 @@ def cmd_tables(args: argparse.Namespace) -> None:
         executor=_resolve_executor(args),
         on_trial_done=_resolve_progress(args),
         engine=args.engine,
+        store=store,
+        resume=resume,
     )
     elapsed = time.perf_counter() - started
     _emit(master.report(result), args.out)
@@ -322,6 +367,149 @@ def cmd_profile(args: argparse.Namespace) -> None:
         print(f"[trace written to {args.trace_out}]")
 
 
+# -- the cache subcommand family ----------------------------------------------
+
+
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+_AGE_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def _parse_size(text: str) -> int:
+    """``500M`` / ``2G`` / ``1048576`` -> bytes."""
+    raw = text.strip().lower().rstrip("b")
+    factor = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        return int(float(raw) * factor)
+    except ValueError:
+        raise SystemExit(f"repro-ccm: error: bad size {text!r} (try 500M, 2G)")
+
+
+def _parse_age(text: str) -> float:
+    """``30d`` / ``12h`` / ``3600`` (seconds) -> seconds."""
+    raw = text.strip().lower()
+    factor = 1.0
+    if raw and raw[-1] in _AGE_SUFFIXES:
+        factor = _AGE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        return float(raw) * factor
+    except ValueError:
+        raise SystemExit(f"repro-ccm: error: bad age {text!r} (try 30d, 12h)")
+
+
+def _human_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:,.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(n)} B"  # pragma: no cover - unreachable
+
+
+def _cache_store(args: argparse.Namespace):
+    from repro.store import ResultStore
+
+    return ResultStore(args.cache_dir)
+
+
+def cmd_cache_ls(args: argparse.Namespace) -> None:
+    store = _cache_store(args)
+    print(f"cache {store.root}")
+    header = f"{'key':<14}{'trial':<44}{'seed':>12}{'engine':>8}{'bytes':>9}"
+    rows = 0
+    for entry in store.entries():
+        if rows == 0:
+            print(header)
+        rows += 1
+        fields = entry.key_fields
+        trial_type = entry.trial_type.rsplit(".", 1)[-1]
+        params = (fields.get("trial") or {}).get("params") or {}
+        detail = ",".join(
+            f"{k}={v}" for k, v in sorted(params.items()) if not isinstance(v, list)
+        )
+        print(
+            f"{entry.key[:12]:<14}"
+            f"{(trial_type + '(' + detail + ')')[:43]:<44}"
+            f"{fields.get('seed', '?'):>12}"
+            f"{str(fields.get('engine')):>8}"
+            f"{entry.size_bytes:>9}"
+        )
+    if rows == 0:
+        print("(no entries)")
+    campaigns = sorted(store.campaigns_dir.glob("*.ndjson")) if store.campaigns_dir.is_dir() else []
+    if campaigns:
+        from repro.store import CampaignCheckpoint
+
+        print(f"\ncampaigns ({len(campaigns)}):")
+        for path in campaigns:
+            state = CampaignCheckpoint(store.root, path.stem).load()
+            status = "complete" if state.completed else "in progress"
+            n = state.meta.get("n_trials", "?")
+            print(f"  {path.stem[:12]}  {state.n_done}/{n} trials  [{status}]")
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> None:
+    import json as _json
+
+    store = _cache_store(args)
+    stats = store.stats()
+    if args.json:
+        payload = _json.dumps(stats.to_dict(), indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            print(f"[cache stats written to {args.json}]")
+        return
+    print(f"cache {stats.root}")
+    print(f"  entries:   {stats.n_entries}")
+    print(f"  size:      {_human_bytes(stats.total_bytes)}")
+    print(f"  campaigns: {stats.n_campaigns}")
+    if stats.oldest_utc:
+        print(f"  oldest:    {stats.oldest_utc}")
+        print(f"  newest:    {stats.newest_utc}")
+    for trial_type, count in sorted(stats.by_trial_type.items()):
+        print(f"  {trial_type}: {count}")
+
+
+def cmd_cache_verify(args: argparse.Namespace) -> None:
+    store = _cache_store(args)
+    outcomes = store.verify(sample=args.sample, seed=args.seed or 0)
+    if not outcomes:
+        print("cache verify: no entries to check")
+        return
+    bad = [o for o in outcomes if not o.ok]
+    for outcome in outcomes:
+        status = "ok" if outcome.ok else f"FAIL ({outcome.reason})"
+        print(f"  {outcome.key[:12]}  {status}")
+    print(
+        f"cache verify: {len(outcomes) - len(bad)}/{len(outcomes)} "
+        f"byte-identical"
+    )
+    if bad:
+        raise SystemExit(1)
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> None:
+    if args.max_size is None and args.older_than is None:
+        raise SystemExit(
+            "repro-ccm: error: cache gc needs --max-size and/or --older-than"
+        )
+    store = _cache_store(args)
+    outcome = store.gc(
+        max_size_bytes=_parse_size(args.max_size) if args.max_size else None,
+        older_than_s=_parse_age(args.older_than) if args.older_than else None,
+    )
+    print(
+        f"cache gc: removed {outcome['removed']} entries "
+        f"({_human_bytes(outcome['freed_bytes'])}), kept {outcome['kept']}"
+    )
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     for fn in (
         cmd_fig3,
@@ -370,6 +558,26 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--progress", action="store_true",
         help="print a live trial counter to stderr",
+    )
+    common.add_argument(
+        "--cache", action="store_true",
+        help="memoize trials in the content-addressed result store "
+             "(~/.cache/repro; see docs/caching.md)",
+    )
+    common.add_argument(
+        "--no-cache", action="store_true",
+        help="force caching off (wins over --cache/--resume/--cache-dir)",
+    )
+    common.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="result store location (implies --cache; default: "
+             "$REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    common.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed campaign from the result store "
+             "(implies --cache; aggregates are bit-identical to an "
+             "uninterrupted run)",
     )
     common.add_argument(
         "--engine", choices=("auto", *sorted(available_engines())),
@@ -455,6 +663,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the session's protocol event trace as NDJSON",
     )
     prof.set_defaults(func=cmd_profile, handles_metrics=True)
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the content-addressed result store",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_common = argparse.ArgumentParser(add_help=False)
+    cache_common.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="result store location (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    ls = cache_sub.add_parser(
+        "ls", parents=[cache_common],
+        help="list stored trial results and campaign journals",
+    )
+    ls.set_defaults(func=cmd_cache_ls)
+    stats = cache_sub.add_parser(
+        "stats", parents=[cache_common],
+        help="entry count, size on disk, campaigns, per-trial-type counts",
+    )
+    stats.add_argument(
+        "--json", type=str, default=None,
+        help="write stats as JSON to this path ('-' for stdout)",
+    )
+    stats.set_defaults(func=cmd_cache_stats)
+    verify = cache_sub.add_parser(
+        "verify", parents=[cache_common],
+        help="re-run stored trials and compare canonical metric bytes",
+    )
+    verify.add_argument(
+        "--sample", type=int, default=None,
+        help="verify a deterministic random subset of N entries "
+             "(default: all)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0, help="sampling seed (default: 0)"
+    )
+    verify.set_defaults(func=cmd_cache_verify)
+    gc = cache_sub.add_parser(
+        "gc", parents=[cache_common],
+        help="evict entries by age and/or total size (oldest first)",
+    )
+    gc.add_argument(
+        "--max-size", type=str, default=None,
+        help="keep the store under this size (e.g. 500M, 2G)",
+    )
+    gc.add_argument(
+        "--older-than", type=str, default=None,
+        help="drop entries older than this age (e.g. 30d, 12h, 3600s)",
+    )
+    gc.set_defaults(func=cmd_cache_gc)
     return parser
 
 

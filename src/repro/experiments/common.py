@@ -10,7 +10,10 @@ table experiments are thin sweeps over this.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.store.cache import ResultStore
 
 from repro.core.session import CCMConfig, run_session
 from repro.net.topology import Network, PaperDeployment, paper_network
@@ -142,12 +145,18 @@ def sweep_tag_range(
     executor: Optional[ExecutorConfig] = None,
     on_trial_done: Optional[ProgressFn] = None,
     engine: str = "auto",
+    store: "Optional[ResultStore]" = None,
+    resume: bool = False,
 ) -> SweepResult:
     """The paper's master sweep: every metric at every inter-tag range.
 
     ``executor`` fans each range point's trials out over a worker pool
     (serial when ``None`` — bit-identical either way); ``on_trial_done``
-    observes trial completions, e.g. a progress ticker.
+    observes trial completions, e.g. a progress ticker.  ``store``
+    memoizes every (range, trial) cell through the result cache —
+    :class:`PaperTrial` is a frozen dataclass precisely so its config
+    canonicalizes into the content address — and ``resume=True``
+    continues a killed campaign from whatever the store already holds.
     """
     ranges = tuple(tag_ranges if tag_ranges is not None else scale.tag_ranges)
     return sweep(
@@ -158,6 +167,8 @@ def sweep_tag_range(
         base_seed=scale.base_seed,
         executor=executor,
         on_trial_done=on_trial_done,
+        store=store,
+        resume=resume,
     )
 
 

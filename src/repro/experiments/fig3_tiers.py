@@ -9,7 +9,7 @@ prediction 1 + ⌈(R − r')/r⌉ of the paper's analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.analysis.geometry import geometric_num_tiers
 from repro.sim.parallel import ExecutorConfig, ProgressFn
@@ -17,6 +17,9 @@ from repro.sim.runner import SweepResult
 
 from repro.experiments import paperconfig as cfg
 from repro.experiments.common import sweep_tag_range
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.store.cache import ResultStore
 
 
 @dataclass
@@ -39,13 +42,20 @@ def run(
     *,
     executor: Optional[ExecutorConfig] = None,
     on_trial_done: Optional[ProgressFn] = None,
+    store: "Optional[ResultStore]" = None,
+    resume: bool = False,
 ) -> Fig3Result:
     """Measure tier counts across the r sweep (topology only — cheap)."""
     from repro.obs import metrics as obs_metrics
 
     with obs_metrics.OBS.span("experiment:fig3"):
         result: SweepResult = sweep_tag_range(
-            scale, protocols=(), executor=executor, on_trial_done=on_trial_done
+            scale,
+            protocols=(),
+            executor=executor,
+            on_trial_done=on_trial_done,
+            store=store,
+            resume=resume,
         )
     measured = result.series("tiers")
     geometric = [

@@ -9,10 +9,13 @@ different projection of the same simulation campaign).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.sim.parallel import ExecutorConfig, ProgressFn
 from repro.sim.runner import SweepResult
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.store.cache import ResultStore
 
 from repro.experiments import paperconfig as cfg
 from repro.experiments.common import PROTOCOLS, format_table, sweep_tag_range
@@ -59,6 +62,8 @@ def run(
     executor: Optional[ExecutorConfig] = None,
     on_trial_done: Optional[ProgressFn] = None,
     engine: str = "auto",
+    store: "Optional[ResultStore]" = None,
+    resume: bool = False,
 ) -> MasterResult:
     from repro.obs import metrics as obs_metrics
 
@@ -70,6 +75,8 @@ def run(
                 executor=executor,
                 on_trial_done=on_trial_done,
                 engine=engine,
+                store=store,
+                resume=resume,
             )
         )
 

@@ -25,8 +25,15 @@ where unavailable)::
       "elapsed_s": 1.84,
       "peak_rss_bytes": 221249536,   # via resource.getrusage; null on
                                      # platforms without the module
+      "artifact_sha256": "ab12...",  # hash of the artifact the manifest
+                                     # describes; null when written bare
       "extra": {...}                 # free-form caller additions
     }
+
+Digests of a manifest go through :mod:`repro.store.canonical` — the
+serializer shared with the result-store cache keys — so two manifests
+with equal content always digest equally regardless of dict insertion
+order or float formatting history.
 """
 
 from __future__ import annotations
@@ -37,8 +44,12 @@ import pathlib
 import platform as _platform
 import subprocess
 import sys
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional, Union
+
+from repro.store.canonical import digest as _canonical_digest
+from repro.store.canonical import sha256_file
 
 PathLike = Union[str, pathlib.Path]
 
@@ -103,6 +114,7 @@ class RunManifest:
     created_utc: str = ""
     elapsed_s: Optional[float] = None
     peak_rss_bytes: Optional[int] = None
+    artifact_sha256: Optional[str] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -147,6 +159,16 @@ class RunManifest:
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
+    def digest(self) -> str:
+        """SHA-256 of the manifest's canonical JSON.
+
+        Uses the shared :mod:`repro.store.canonical` serializer (sorted
+        keys, exact float repr, NaN rejected), so the digest is a stable
+        identity for the manifest content — insertion order of ``config``
+        or ``extra`` dicts never changes it.
+        """
+        return _canonical_digest(self.to_dict())
+
     def write(self, path: PathLike) -> pathlib.Path:
         target = pathlib.Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
@@ -172,9 +194,51 @@ def manifest_path_for(artifact_path: PathLike) -> pathlib.Path:
     return artifact.with_name(artifact.stem + ".manifest.json")
 
 
+def _versioned_manifest_path(target: pathlib.Path) -> pathlib.Path:
+    """The first free ``<stem>.<k>.json`` slot next to ``target``."""
+    stem = target.name[: -len(".json")] if target.name.endswith(".json") else target.name
+    k = 1
+    while True:
+        candidate = target.with_name(f"{stem}.{k}.json")
+        if not candidate.exists():
+            return candidate
+        k += 1
+
+
 def write_manifest_alongside(
     artifact_path: PathLike, **capture_kwargs: Any
 ) -> pathlib.Path:
-    """Capture a manifest and write it next to ``artifact_path``."""
+    """Capture a manifest and write it next to ``artifact_path``.
+
+    The manifest records the artifact's SHA-256 (``artifact_sha256``).
+    When a manifest already exists at the target path and describes a
+    *different* artifact content, that manifest belonged to a previous
+    run — it is preserved under a versioned name
+    (``<stem>.manifest.<k>.json``) and a :class:`UserWarning` is emitted
+    instead of silently losing the provenance of the earlier results.
+    Re-writes for unchanged artifact content (re-renders of the same
+    run) overwrite in place, as before.
+    """
+    artifact = pathlib.Path(artifact_path)
+    artifact_hash = sha256_file(artifact) if artifact.is_file() else None
     manifest = RunManifest.capture(**capture_kwargs)
-    return manifest.write(manifest_path_for(artifact_path))
+    manifest.artifact_sha256 = artifact_hash
+    target = manifest_path_for(artifact)
+    if target.exists():
+        try:
+            previous = RunManifest.from_json(
+                target.read_text(encoding="utf-8")
+            )
+            previous_hash = previous.artifact_sha256
+        except (OSError, ValueError, TypeError):
+            previous_hash = None
+        if previous_hash != artifact_hash:
+            preserved = _versioned_manifest_path(target)
+            target.rename(preserved)
+            warnings.warn(
+                f"manifest {target} described different artifact content "
+                f"(a previous run?); preserved it as {preserved.name}",
+                UserWarning,
+                stacklevel=2,
+            )
+    return manifest.write(target)

@@ -30,13 +30,25 @@ it must be a module-level function or a picklable callable object (e.g.
 
 from __future__ import annotations
 
+import dataclasses
+import inspect
 import os
 import sys
 import time
 import traceback as _traceback
 from concurrent import futures
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
 from repro.obs import metrics as obs_metrics
 from repro.sim.runner import (
@@ -47,13 +59,38 @@ from repro.sim.runner import (
     trial_seed,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.store.cache import ResultStore
+    from repro.store.checkpoint import CampaignCheckpoint
+
 #: Recognised values for :attr:`ExecutorConfig.backend`.
 BACKENDS = ("process", "thread", "serial")
 
 #: Progress callback signature: ``(trial_index, elapsed_s, metrics)``.
 #: ``metrics`` is ``None`` when the trial ultimately failed.  Called from
 #: the parent process as results arrive, possibly out of trial order.
+#: Callbacks may accept a fourth positional argument ``from_cache``
+#: (bool) — the campaign detects the arity and passes it when the
+#: callback takes it, so three-argument callbacks keep working.
 ProgressFn = Callable[[int, float, Optional[MetricDict]], None]
+
+
+def _progress_arity(fn: Callable) -> int:
+    """How many positional args a progress callback accepts (3 or 4)."""
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):  # builtins, C callables
+        return 3
+    positional = 0
+    for param in sig.parameters.values():
+        if param.kind == inspect.Parameter.VAR_POSITIONAL:
+            return 4
+        if param.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+    return 4 if positional >= 4 else 3
 
 
 @dataclass(frozen=True)
@@ -197,6 +234,10 @@ class CampaignResult:
     workers)`` — the fraction of the worker pool's capacity the campaign
     actually kept busy (low values mean IPC/queueing dominate and fewer
     workers or bigger chunks would do as well).
+
+    ``cache_hits`` counts trials served from the
+    :class:`~repro.store.cache.ResultStore` instead of being computed
+    (always 0 when the campaign ran without a store).
     """
 
     aggregates: Dict[str, TrialAggregate]
@@ -207,10 +248,16 @@ class CampaignResult:
     total_trial_wall_s: float = 0.0
     retries: int = 0
     worker_utilization: Optional[float] = None
+    cache_hits: int = 0
 
     @property
     def n_ok(self) -> int:
         return self.n_trials - len(self.failures)
+
+    @property
+    def n_computed(self) -> int:
+        """Successful trials that were actually executed (ok − hits)."""
+        return self.n_ok - self.cache_hits
 
     @property
     def ok(self) -> bool:
@@ -232,7 +279,10 @@ def stderr_ticker(
     flood the terminal); when the campaign completes it prints a final
     summary line (``done: <ok> ok, <failed> failed, <elapsed>s``) and
     resets, so one ticker can be reused across the points of a sweep
-    (each point runs the same trial count).
+    (each point runs the same trial count).  When a campaign serves
+    trials from the result store the ticker separates them in both the
+    live line and the summary — ``done: 90 ok (72 hit, 18 computed),
+    0 failed, 1.2s`` — cache-free campaigns keep the historical text.
 
     When writing to the default ``sys.stderr`` and it is not a TTY
     (logs, CI), the ``\\r`` progress line is suppressed — only the final
@@ -247,32 +297,48 @@ def stderr_ticker(
             show_progress = bool(out.isatty())
         except (AttributeError, ValueError):
             show_progress = False
-    state = {"done": 0, "failed": 0, "last_line": float("-inf")}
+    state = {"done": 0, "failed": 0, "hits": 0, "last_line": float("-inf")}
 
-    def tick(trial_index: int, elapsed_s: float, metrics: Optional[MetricDict]) -> None:
+    def tick(
+        trial_index: int,
+        elapsed_s: float,
+        metrics: Optional[MetricDict],
+        from_cache: bool = False,
+    ) -> None:
         state["done"] += 1
         if metrics is None:
             state["failed"] += 1
+        elif from_cache:
+            state["hits"] += 1
         final = state["done"] >= n_trials
         now = time.monotonic()
         if show_progress and (
             final or now - state["last_line"] >= min_interval_s
         ):
             state["last_line"] = now
+            hit_note = f", {state['hits']} hit" if state["hits"] else ""
             out.write(
                 f"\r[{label}] {state['done']}/{n_trials} trials "
-                f"({elapsed_s:.1f}s)"
+                f"({elapsed_s:.1f}s{hit_note})"
             )
             if final:
                 out.write("\n")
         if final:
             ok = state["done"] - state["failed"]
+            if state["hits"]:
+                ok_note = (
+                    f"{ok} ok ({state['hits']} hit, "
+                    f"{ok - state['hits']} computed)"
+                )
+            else:
+                ok_note = f"{ok} ok"
             out.write(
-                f"[{label}] done: {ok} ok, {state['failed']} failed, "
+                f"[{label}] done: {ok_note}, {state['failed']} failed, "
                 f"{elapsed_s:.1f}s\n"
             )
             state["done"] = 0
             state["failed"] = 0
+            state["hits"] = 0
             state["last_line"] = float("-inf")
         out.flush()
 
@@ -340,6 +406,18 @@ def _run_chunk(
 
 
 @dataclass
+class _CacheContext:
+    """Everything a cached campaign resolved up front."""
+
+    store: "ResultStore"
+    keys: List[str]
+    key_fields: List[Dict[str, Any]]
+    checkpoint: "CampaignCheckpoint"
+    provenance_base: Dict[str, Any]
+    prior_done: int = 0
+
+
+@dataclass
 class Campaign:
     """A reproducible batch of independent trials with one seed stream.
 
@@ -351,6 +429,20 @@ class Campaign:
     ``executor=None`` (the default) runs serially in-process — the exact
     behaviour, seed stream and aggregate values of the historical
     ``run_trials`` loop.
+
+    ``store`` plugs in a :class:`~repro.store.cache.ResultStore` as a
+    read-through/write-through memoization layer: before any trial is
+    dispatched its content address (trial config + index + seed + engine
+    + code fingerprint) is checked against the store, hits are served
+    from disk (in trial-index order, ``from_cache=True`` to four-argument
+    progress callbacks), and every computed first-attempt success is
+    written back atomically.  Aggregates are bit-identical with the
+    cache on, off, hot or cold — the cached floats round-trip exactly
+    through canonical JSON.  The trial function must be *describable*
+    (see :func:`repro.store.cache.trial_config_of`) or an explicit
+    ``trial_config`` must be given.  ``resume=True`` appends to the
+    campaign's checkpoint journal instead of truncating it — the flag a
+    restarted process sets after a crash or kill.
     """
 
     trial_fn: TrialFn
@@ -358,6 +450,9 @@ class Campaign:
     base_seed: int = 0
     executor: Optional[ExecutorConfig] = None
     on_trial_done: Optional[ProgressFn] = None
+    store: Optional["ResultStore"] = None
+    trial_config: Optional[Dict[str, Any]] = None
+    resume: bool = False
 
     def run(self) -> CampaignResult:
         if self.n_trials <= 0:
@@ -367,8 +462,14 @@ class Campaign:
         started = time.perf_counter()
         per_trial: List[Optional[Dict[str, float]]] = [None] * self.n_trials
         failures: List[TrialFailure] = []
-        totals = {"wall": 0.0, "retries": 0}
+        totals = {"wall": 0.0, "retries": 0, "hits": 0}
         workers = 1 if cfg.backend == "serial" else cfg.resolved_workers()
+        cache = self._prepare_cache()
+        arity = (
+            _progress_arity(self.on_trial_done)
+            if self.on_trial_done is not None
+            else 0
+        )
 
         def record(
             k: int,
@@ -376,6 +477,7 @@ class Campaign:
             failure: Optional[TrialFailure],
             wall_s: float,
             attempts: int,
+            from_cache: bool = False,
         ) -> None:
             per_trial[k] = metrics
             elapsed = time.perf_counter() - started
@@ -385,6 +487,9 @@ class Campaign:
                 "campaign_trials_failed" if failure is not None
                 else "campaign_trials_ok"
             )
+            if from_cache:
+                totals["hits"] += 1
+                obs.inc("campaign_cache_hits_total")
             if attempts > 1:
                 obs.inc("campaign_retries_total", attempts - 1)
             obs.observe("campaign_trial_wall_s", wall_s)
@@ -394,16 +499,51 @@ class Campaign:
             obs.observe("campaign_queue_wait_s", max(0.0, elapsed - wall_s))
             if failure is not None:
                 failures.append(failure)
+            if cache is not None:
+                # Write-through: only first-attempt successes are
+                # memoized — a retried success ran under a *retry* seed,
+                # which is not the seed the content address names.
+                if failure is None and not from_cache and attempts == 1:
+                    cache.store.put(
+                        cache.keys[k],
+                        cache.key_fields[k],
+                        metrics,
+                        {**cache.provenance_base, "elapsed_s": wall_s},
+                    )
+                cache.checkpoint.record_trial(
+                    k, cache.keys[k], ok=failure is None, cached=from_cache
+                )
             if self.on_trial_done is not None:
-                self.on_trial_done(k, elapsed, metrics)
+                if arity >= 4:
+                    self.on_trial_done(k, elapsed, metrics, from_cache)
+                else:
+                    self.on_trial_done(k, elapsed, metrics)
             if failure is not None and cfg.fail_fast:
                 raise CampaignError([failure])
 
-        with obs.span("campaign"):
-            if cfg.backend == "serial":
-                self._run_serial(cfg, record)
-            else:
-                self._run_pooled(cfg, record)
+        try:
+            with obs.span("campaign"):
+                pending = list(range(self.n_trials))
+                if cache is not None:
+                    pending = []
+                    for k in range(self.n_trials):
+                        hit = cache.store.get(cache.keys[k])
+                        if hit is not None:
+                            record(k, hit, None, 0.0, 1, from_cache=True)
+                        else:
+                            obs.inc("campaign_cache_misses_total")
+                            pending.append(k)
+                if pending:
+                    if cfg.backend == "serial":
+                        self._run_serial(cfg, record, pending)
+                    else:
+                        self._run_pooled(cfg, record, pending)
+        except BaseException:
+            # The journal stays on disk with every completed trial —
+            # that is exactly what --resume reads after a crash.
+            if cache is not None:
+                cache.checkpoint.close()
+            raise
 
         successes = [m for m in per_trial if m is not None]
         aggregates = aggregate_metrics(successes) if successes else {}
@@ -414,7 +554,7 @@ class Campaign:
         )
         if utilization is not None:
             obs.set_gauge("campaign_worker_utilization", utilization)
-        return CampaignResult(
+        result = CampaignResult(
             aggregates=aggregates,
             failures=failures,
             n_trials=self.n_trials,
@@ -423,25 +563,114 @@ class Campaign:
             total_trial_wall_s=totals["wall"],
             retries=totals["retries"],
             worker_utilization=utilization,
+            cache_hits=totals["hits"],
+        )
+        if cache is not None:
+            if not failures:
+                self._finish_checkpoint(cache, result)
+            cache.checkpoint.close()
+        return result
+
+    def _prepare_cache(self) -> Optional[_CacheContext]:
+        if self.store is None:
+            if self.resume:
+                raise ValueError("resume=True requires a result store")
+            return None
+        from repro.store.cache import (
+            ResultStore,
+            trial_config_of,
+            trial_key,
+        )
+        from repro.store.checkpoint import CampaignCheckpoint, campaign_key
+        from repro.store.fingerprint import code_fingerprint
+
+        config = self.trial_config or trial_config_of(self.trial_fn)
+        if config is None:
+            raise ValueError(
+                "trial function is not cacheable: use a dataclass trial "
+                "(e.g. repro.experiments.common.PaperTrial), give it a "
+                "cache_config() method, or pass trial_config= explicitly"
+            )
+        engine = getattr(self.trial_fn, "engine", None)
+        fingerprint = code_fingerprint()
+        keys: List[str] = []
+        key_fields: List[Dict[str, Any]] = []
+        for k in range(self.n_trials):
+            fields_k = {
+                "schema": "repro-trial-key-v1",
+                "trial": config,
+                "trial_index": k,
+                "seed": trial_seed(self.base_seed, k),
+                "engine": engine,
+                "code_fingerprint": fingerprint,
+            }
+            key_fields.append(fields_k)
+            keys.append(
+                trial_key(
+                    config, k, fields_k["seed"], engine, fingerprint
+                )
+            )
+        ckpt = CampaignCheckpoint(
+            self.store.root,
+            campaign_key(
+                config, self.n_trials, self.base_seed, engine, fingerprint
+            ),
+        )
+        prior = ckpt.begin(
+            {
+                "trial": config,
+                "n_trials": self.n_trials,
+                "base_seed": self.base_seed,
+                "engine": engine,
+                "code_fingerprint": fingerprint,
+            },
+            resume=self.resume,
+        )
+        obs_metrics.OBS.inc("campaign_cache_campaigns_total")
+        return _CacheContext(
+            store=self.store,
+            keys=keys,
+            key_fields=key_fields,
+            checkpoint=ckpt,
+            provenance_base=ResultStore.default_provenance(engine=engine),
+            prior_done=prior.n_done,
         )
 
-    def _run_serial(self, cfg: ExecutorConfig, record) -> None:
-        for k in range(self.n_trials):
+    @staticmethod
+    def _finish_checkpoint(
+        cache: _CacheContext, result: CampaignResult
+    ) -> None:
+        from repro.store.canonical import digest
+
+        agg_digest = digest(
+            {
+                name: dataclasses.asdict(agg)
+                for name, agg in result.aggregates.items()
+            }
+        )
+        cache.checkpoint.complete(agg_digest, result.elapsed_s)
+
+    def _run_serial(
+        self, cfg: ExecutorConfig, record, indices: Sequence[int]
+    ) -> None:
+        for k in indices:
             metrics, failure, wall_s, attempts = _execute_trial(
                 self.trial_fn, k, self.base_seed, cfg.max_retries
             )
             record(k, metrics, failure, wall_s, attempts)
 
-    def _run_pooled(self, cfg: ExecutorConfig, record) -> None:
+    def _run_pooled(
+        self, cfg: ExecutorConfig, record, indices: Sequence[int]
+    ) -> None:
         pool_cls = (
             futures.ProcessPoolExecutor
             if cfg.backend == "process"
             else futures.ThreadPoolExecutor
         )
-        indices = list(range(self.n_trials))
+        indices = list(indices)
         chunks = [
             indices[i : i + cfg.chunk_size]
-            for i in range(0, self.n_trials, cfg.chunk_size)
+            for i in range(0, len(indices), cfg.chunk_size)
         ]
         done = 0
         with pool_cls(max_workers=cfg.resolved_workers()) as pool:
@@ -459,7 +688,7 @@ class Campaign:
                         done += 1
             except futures.TimeoutError:
                 pool.shutdown(wait=False, cancel_futures=True)
-                raise CampaignTimeout(cfg.timeout_s, done, self.n_trials)
+                raise CampaignTimeout(cfg.timeout_s, done, len(indices))
             except CampaignError:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
@@ -471,13 +700,17 @@ def run_trials_parallel(
     base_seed: int = 0,
     executor: Optional[ExecutorConfig] = None,
     on_trial_done: Optional[ProgressFn] = None,
+    *,
+    store: Optional["ResultStore"] = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run a campaign on the parallel engine and return the full result.
 
     The functional shorthand over :class:`Campaign`; unlike ``run_trials``
     it defaults to the process backend (``ExecutorConfig()``) and returns
     the :class:`CampaignResult` — aggregates *and* failures — rather than
-    raising when trials fail.
+    raising when trials fail.  ``store``/``resume`` plug in the result
+    cache exactly as on :class:`Campaign`.
     """
     return Campaign(
         trial_fn,
@@ -485,4 +718,6 @@ def run_trials_parallel(
         base_seed,
         executor=executor if executor is not None else ExecutorConfig(),
         on_trial_done=on_trial_done,
+        store=store,
+        resume=resume,
     ).run()

@@ -25,6 +25,7 @@ from repro.sim.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.sim.parallel import ExecutorConfig, ProgressFn
+    from repro.store.cache import ResultStore
 
 MetricDict = Mapping[str, float]
 TrialFn = Callable[[int, int], MetricDict]
@@ -114,6 +115,8 @@ def run_trials(
     *,
     executor: "Optional[ExecutorConfig]" = None,
     on_trial_done: "Optional[ProgressFn]" = None,
+    store: "Optional[ResultStore]" = None,
+    resume: bool = False,
 ) -> Dict[str, TrialAggregate]:
     """Run ``trial_fn`` ``n_trials`` times with independent derived seeds.
 
@@ -127,10 +130,17 @@ def run_trials(
     :class:`~repro.sim.parallel.TrialFailure` records); use
     :class:`~repro.sim.parallel.Campaign` directly to tolerate partial
     failure.
+
+    ``store`` memoizes trials through a
+    :class:`~repro.store.cache.ResultStore` (read-through before
+    dispatch, write-through on success); already-computed trials are
+    served from disk with bit-identical aggregates.  ``resume=True``
+    marks the run as the continuation of a killed campaign (the
+    checkpoint journal is appended rather than truncated).
     """
     if n_trials <= 0:
         raise ValueError("n_trials must be positive")
-    if executor is None and on_trial_done is None:
+    if executor is None and on_trial_done is None and store is None:
         per_trial = [
             trial_fn(k, trial_seed(base_seed, k)) for k in range(n_trials)
         ]
@@ -143,6 +153,8 @@ def run_trials(
         base_seed,
         executor=executor,
         on_trial_done=on_trial_done,
+        store=store,
+        resume=resume,
     ).run()
     if result.failures:
         raise CampaignError(result.failures, result.aggregates)
@@ -183,14 +195,18 @@ def sweep(
     *,
     executor: "Optional[ExecutorConfig]" = None,
     on_trial_done: "Optional[ProgressFn]" = None,
+    store: "Optional[ResultStore]" = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run ``n_trials`` trials at each parameter value.
 
     ``trial_factory(value)`` builds the trial function for one axis point;
     each point gets an independent seed stream derived from ``base_seed``
     and the point's index, so adding points never perturbs existing ones.
-    ``executor``/``on_trial_done`` are forwarded to :func:`run_trials` for
-    each point (parallelism is at the trial level, within a point).
+    ``executor``/``on_trial_done``/``store``/``resume`` are forwarded to
+    :func:`run_trials` for each point (parallelism and memoization are at
+    the trial level, within a point — every point's trial function has
+    its own config, so points never collide in the store).
     """
     from repro.obs import metrics as obs_metrics
 
@@ -205,6 +221,8 @@ def sweep(
                 base_seed=derive_seed(base_seed, 0x5EE9, idx) % (2**32),
                 executor=executor,
                 on_trial_done=on_trial_done,
+                store=store,
+                resume=resume,
             )
         obs.inc("sweep_points_total")
         obs.inc("sweep_trials_total", n_trials)

@@ -1,0 +1,453 @@
+"""The content-addressed trial result store.
+
+The paper's evaluation grid (r ∈ {2..10} × 100 trials × 3 protocols) and
+every extension sweep on top of it recompute work that is a pure function
+of four things: the trial's configuration, its derived seed, the session
+engine, and the simulator source.  :class:`ResultStore` memoizes exactly
+that function on disk:
+
+* **Key** — SHA-256 of the canonical JSON of the key fields
+  (:func:`trial_key`): trial config, trial index, seed, engine id, and
+  the :func:`~repro.store.fingerprint.code_fingerprint` of
+  ``repro.core``/``repro.protocols``/``repro.net``.  Change any of them
+  and the key moves — stale hits are structurally impossible.
+* **Value** — the trial's metric dict plus a RunManifest-style
+  provenance record (when/where/what revision computed it), one canonical
+  JSON file per trial under ``<root>/objects/<k[:2]>/<k>.json``, written
+  atomically (temp file + rename) so a SIGKILL never leaves a torn entry.
+* **Root** — ``~/.cache/repro`` by default; override with the
+  ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``.
+
+Trial functions become cacheable by being *describable*: a frozen
+dataclass (e.g. :class:`repro.experiments.common.PaperTrial`) or any
+object exposing ``cache_config() -> dict``.  Closures are not
+describable and are rejected rather than mis-keyed.
+
+Maintenance lives here too: :meth:`ResultStore.stats`,
+:meth:`ResultStore.verify` (re-run a sampled trial and compare the
+canonical metric bytes), and :meth:`ResultStore.gc` (drop entries by age,
+then by size, oldest first).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import importlib
+import json
+import os
+import pathlib
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from repro.store.canonical import canonical_bytes, canonical_json, digest
+
+PathLike = Union[str, pathlib.Path]
+
+__all__ = [
+    "RESULT_FORMAT",
+    "KEY_SCHEMA",
+    "CacheEntry",
+    "ResultStore",
+    "StoreStats",
+    "VerifyOutcome",
+    "default_cache_dir",
+    "trial_config_of",
+    "trial_key",
+]
+
+#: Format marker of one stored trial record.
+RESULT_FORMAT = "repro-trial-result-v1"
+
+#: Schema tag mixed into every key so future key layout changes never
+#: collide with old entries.
+KEY_SCHEMA = "repro-trial-key-v1"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env).expanduser()
+    return pathlib.Path("~/.cache/repro").expanduser()
+
+
+def trial_config_of(trial_fn: Callable) -> Optional[Dict[str, Any]]:
+    """A canonical, JSON-able description of a trial function.
+
+    Returns ``{"type": "<module>.<qualname>", "params": {...}}`` for a
+    dataclass instance, the object's own ``cache_config()`` for anything
+    that provides one, and ``None`` for undescribable callables
+    (closures, lambdas, bare functions with captured state) — the caller
+    must then run uncached or pass an explicit config.
+    """
+    cfg = getattr(trial_fn, "cache_config", None)
+    if callable(cfg):
+        described = dict(cfg())
+        described.setdefault("type", _type_name(type(trial_fn)))
+        return described
+    if dataclasses.is_dataclass(trial_fn) and not isinstance(trial_fn, type):
+        return {
+            "type": _type_name(type(trial_fn)),
+            "params": dataclasses.asdict(trial_fn),
+        }
+    return None
+
+
+def _type_name(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def trial_key(
+    trial_config: Dict[str, Any],
+    trial_index: int,
+    seed: int,
+    engine: Optional[str],
+    code_fingerprint: str,
+) -> str:
+    """The content address of one trial result (SHA-256 hex)."""
+    return digest(
+        {
+            "schema": KEY_SCHEMA,
+            "trial": trial_config,
+            "trial_index": int(trial_index),
+            "seed": int(seed),
+            "engine": engine,
+            "code_fingerprint": code_fingerprint,
+        }
+    )
+
+
+@dataclass
+class CacheEntry:
+    """One stored trial record, parsed."""
+
+    key: str
+    path: pathlib.Path
+    key_fields: Dict[str, Any]
+    metrics: Dict[str, float]
+    provenance: Dict[str, Any]
+    size_bytes: int = 0
+
+    @property
+    def trial_type(self) -> str:
+        trial = self.key_fields.get("trial") or {}
+        return str(trial.get("type", "?"))
+
+
+@dataclass
+class StoreStats:
+    """What ``repro cache stats`` reports."""
+
+    root: str
+    n_entries: int = 0
+    total_bytes: int = 0
+    by_trial_type: Dict[str, int] = field(default_factory=dict)
+    n_campaigns: int = 0
+    oldest_utc: Optional[str] = None
+    newest_utc: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class VerifyOutcome:
+    """The result of re-running one sampled cache entry."""
+
+    key: str
+    ok: bool
+    reason: str = ""
+
+
+class ResultStore:
+    """Content-addressed on-disk memoization of trial results.
+
+    Layout under ``root``::
+
+        objects/<key[:2]>/<key>.json   one canonical-JSON trial record
+        campaigns/<key>.ndjson         campaign checkpoint journals
+
+    All writes are atomic; a key's record, once written, never changes
+    (same key ⇒ same content), so concurrent campaigns can share a store
+    without locking.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> pathlib.Path:
+        return self.root / "objects"
+
+    @property
+    def campaigns_dir(self) -> pathlib.Path:
+        return self.root / "campaigns"
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- read/write ----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, float]]:
+        """The memoized metrics for ``key``, or ``None`` on a miss.
+
+        A corrupt or truncated record (e.g. from a torn disk, not from
+        our atomic writes) reads as a miss — the trial is recomputed and
+        the record rewritten — never as wrong data: the stored key is
+        recomputed from the stored key fields and must match.
+        """
+        record = self.get_record(key)
+        return None if record is None else record.metrics
+
+    def get_record(self, key: str) -> Optional[CacheEntry]:
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        entry = self._parse(key, path, raw)
+        if entry is None or entry.key != key:
+            return None
+        return entry
+
+    def put(
+        self,
+        key: str,
+        key_fields: Dict[str, Any],
+        metrics: Dict[str, float],
+        provenance: Optional[Dict[str, Any]] = None,
+    ) -> pathlib.Path:
+        """Write one trial record atomically; a no-op if already present."""
+        path = self.path_for(key)
+        if path.exists():
+            return path
+        record = {
+            "format": RESULT_FORMAT,
+            "key": key,
+            "key_fields": key_fields,
+            "metrics": dict(metrics),
+            "provenance": dict(provenance or {}),
+        }
+        payload = canonical_json(record) + "\n"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @staticmethod
+    def default_provenance(
+        engine: Optional[str] = None,
+        elapsed_s: Optional[float] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """A RunManifest-flavoured provenance dict for one trial record."""
+        import platform as _platform
+
+        from repro.obs.manifest import git_revision
+
+        record = {
+            "created_utc": datetime.datetime.now(datetime.timezone.utc)
+            .replace(microsecond=0)
+            .isoformat()
+            .replace("+00:00", "Z"),
+            "git_rev": git_revision(),
+            "host": _platform.node(),
+            "python_version": _platform.python_version(),
+            "engine": engine,
+            "elapsed_s": elapsed_s,
+        }
+        if extra:
+            record.update(extra)
+        return record
+
+    # -- enumeration ---------------------------------------------------------
+
+    def entries(self) -> Iterator[CacheEntry]:
+        """All parseable records, in key order."""
+        if not self.objects_dir.is_dir():
+            return
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            key = path.stem
+            try:
+                raw = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            entry = self._parse(key, path, raw)
+            if entry is not None:
+                yield entry
+
+    def _parse(
+        self, key: str, path: pathlib.Path, raw: str
+    ) -> Optional[CacheEntry]:
+        try:
+            record = json.loads(raw)
+        except ValueError:
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != RESULT_FORMAT
+            or record.get("key") != digest(record.get("key_fields"))
+        ):
+            return None
+        return CacheEntry(
+            key=record["key"],
+            path=path,
+            key_fields=record["key_fields"],
+            metrics=record.get("metrics") or {},
+            provenance=record.get("provenance") or {},
+            size_bytes=len(raw.encode("utf-8")),
+        )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        stats = StoreStats(root=str(self.root))
+        oldest: Optional[str] = None
+        newest: Optional[str] = None
+        for entry in self.entries():
+            stats.n_entries += 1
+            stats.total_bytes += entry.size_bytes
+            t = entry.trial_type
+            stats.by_trial_type[t] = stats.by_trial_type.get(t, 0) + 1
+            created = entry.provenance.get("created_utc")
+            if isinstance(created, str) and created:
+                oldest = created if oldest is None else min(oldest, created)
+                newest = created if newest is None else max(newest, created)
+        stats.oldest_utc = oldest
+        stats.newest_utc = newest
+        if self.campaigns_dir.is_dir():
+            stats.n_campaigns = sum(
+                1 for _ in self.campaigns_dir.glob("*.ndjson")
+            )
+        return stats
+
+    def gc(
+        self,
+        max_size_bytes: Optional[int] = None,
+        older_than_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Drop entries by age, then by total size (oldest first).
+
+        ``older_than_s`` removes every record whose file mtime is older
+        than that many seconds; ``max_size_bytes`` then evicts the
+        oldest surviving records until the object payload fits.  Returns
+        ``{"removed": n, "freed_bytes": b, "kept": m}``.
+        """
+        now = time.time() if now is None else now
+        records: List = []  # (mtime, size, path)
+        if self.objects_dir.is_dir():
+            for path in self.objects_dir.glob("*/*.json"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                records.append((st.st_mtime, st.st_size, path))
+        records.sort()
+        removed = 0
+        freed = 0
+
+        def drop(item) -> None:
+            nonlocal removed, freed
+            mtime, size, path = item
+            try:
+                path.unlink()
+            except OSError:
+                return
+            removed += 1
+            freed += size
+
+        survivors = []
+        for item in records:
+            if older_than_s is not None and now - item[0] > older_than_s:
+                drop(item)
+            else:
+                survivors.append(item)
+        if max_size_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            i = 0
+            while total > max_size_bytes and i < len(survivors):
+                drop(survivors[i])
+                total -= survivors[i][1]
+                i += 1
+            survivors = survivors[i:]
+        return {"removed": removed, "freed_bytes": freed, "kept": len(survivors)}
+
+    def verify(
+        self, sample: Optional[int] = None, seed: int = 0
+    ) -> List[VerifyOutcome]:
+        """Re-run stored trials and compare the canonical metric bytes.
+
+        Reconstructs each sampled entry's trial function from its stored
+        config (``{"type": ..., "params": ...}``), re-executes it with
+        the stored trial index and seed, and demands the recomputed
+        metrics serialize to byte-identical canonical JSON.  ``sample``
+        limits the check to a deterministic random subset (seeded by
+        ``seed``); ``None`` verifies everything.
+        """
+        entries = list(self.entries())
+        if sample is not None and sample < len(entries):
+            entries = random.Random(seed).sample(entries, sample)
+            entries.sort(key=lambda e: e.key)
+        outcomes: List[VerifyOutcome] = []
+        for entry in entries:
+            outcomes.append(self._verify_one(entry))
+        return outcomes
+
+    def _verify_one(self, entry: CacheEntry) -> VerifyOutcome:
+        fields = entry.key_fields
+        trial = fields.get("trial") or {}
+        type_name = trial.get("type")
+        params = trial.get("params")
+        if not isinstance(type_name, str) or not isinstance(params, dict):
+            return VerifyOutcome(
+                entry.key, False, "record has no reconstructable trial config"
+            )
+        try:
+            module_name, _, cls_name = type_name.rpartition(".")
+            cls = getattr(importlib.import_module(module_name), cls_name)
+            trial_fn = cls(**_tuplify(params))
+        except Exception as exc:  # noqa: BLE001 - report, don't crash verify
+            return VerifyOutcome(
+                entry.key, False, f"cannot rebuild {type_name}: {exc}"
+            )
+        try:
+            recomputed = dict(
+                trial_fn(fields.get("trial_index", 0), fields["seed"])
+            )
+        except Exception as exc:  # noqa: BLE001
+            return VerifyOutcome(entry.key, False, f"re-run raised: {exc}")
+        if canonical_bytes(recomputed) != canonical_bytes(entry.metrics):
+            return VerifyOutcome(
+                entry.key, False, "recomputed metrics differ from stored"
+            )
+        return VerifyOutcome(entry.key, True)
+
+
+def _tuplify(params: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON turned tuples into lists; dataclass fields often want tuples.
+
+    Canonical JSON serializes both identically, so the key is unaffected
+    either way — this only rebuilds hashable defaults for frozen
+    dataclasses.
+    """
+    return {
+        k: tuple(v) if isinstance(v, list) else v for k, v in params.items()
+    }

@@ -1,0 +1,81 @@
+"""Canonical JSON: one byte representation per value, everywhere.
+
+Content-addressed cache keys and manifest digests are only as good as
+their serialization — two dicts with the same items in different
+insertion order, or a float that prints differently across calls, would
+silently split the cache.  This module is the single definition both
+:mod:`repro.obs.manifest` and :mod:`repro.store.cache` share:
+
+* object keys sorted, separators fixed (``,``/``:``), no whitespace;
+* floats use Python's shortest-round-trip ``repr`` (exact: the bytes
+  decode back to the identical IEEE-754 double);
+* ``NaN``/``Infinity`` are rejected — they are not JSON and they are
+  never equal to themselves, which makes them poison in a digest;
+* tuples serialize as arrays, dataclasses as objects, ``pathlib`` paths
+  as strings; anything else raises ``TypeError`` instead of guessing.
+
+This module deliberately imports nothing else from :mod:`repro`, so it
+can sit below both the observability and store layers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+from typing import Any
+
+__all__ = ["canonical_json", "canonical_bytes", "digest", "sha256_file"]
+
+
+def _default(obj: Any) -> Any:
+    """Coercions for the non-JSON types canonicalization accepts."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    if isinstance(obj, pathlib.PurePath):
+        return str(obj)
+    if isinstance(obj, (set, frozenset)):
+        raise TypeError(
+            f"refusing to canonicalize unordered {type(obj).__name__}; "
+            "sort it into a list first"
+        )
+    raise TypeError(
+        f"{type(obj).__name__} is not canonical-JSON serializable"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON text of ``obj`` (deterministic, round-trippable).
+
+    Raises ``ValueError`` on NaN/Infinity and ``TypeError`` on values
+    with no canonical form (sets, arbitrary objects, non-string keys
+    mixed with string keys, ...).
+    """
+    return json.dumps(
+        obj,
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+        ensure_ascii=False,
+        default=_default,
+    )
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """UTF-8 bytes of :func:`canonical_json` — what digests are fed."""
+    return canonical_json(obj).encode("utf-8")
+
+
+def digest(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``obj``."""
+    return hashlib.sha256(canonical_bytes(obj)).hexdigest()
+
+
+def sha256_file(path: "pathlib.Path | str") -> str:
+    """SHA-256 hex digest of a file's bytes (streamed, 1 MiB chunks)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()

@@ -1,0 +1,173 @@
+"""Campaign checkpoints: crash-resumable progress journals.
+
+The object store memoizes individual trials; the checkpoint journal ties
+them together into a *campaign* — one (trial config, n_trials, base
+seed, engine, code fingerprint) identity — so a killed process can
+report what a resume will reuse, and a completed campaign records the
+digest of its aggregates for later bit-identity checks.
+
+The journal is append-only NDJSON under
+``<store>/campaigns/<campaign_key>.ndjson``:
+
+* ``{"kind": "meta", ...}`` — the campaign identity, written at start;
+* ``{"kind": "trial", "trial_index": k, "key": ..., "ok": true}`` —
+  appended after every trial completes (flushed, so a SIGKILL loses at
+  most the in-flight trials);
+* ``{"kind": "complete", "aggregates_digest": ..., "elapsed_s": ...}``
+  — appended when the campaign finishes.
+
+Resume correctness does **not** depend on the journal: a resumed
+campaign re-checks every trial key against the object store, so the
+journal can lag (trials that were harvested but not journaled simply
+hit the cache).  The journal exists for visibility (``repro cache ls``)
+and for the completion digest.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Optional
+
+from repro.store.canonical import canonical_json, digest
+
+__all__ = ["CHECKPOINT_FORMAT", "CampaignCheckpoint", "CheckpointState", "campaign_key"]
+
+CHECKPOINT_FORMAT = "repro-campaign-checkpoint-v1"
+
+
+def campaign_key(
+    trial_config: Dict[str, Any],
+    n_trials: int,
+    base_seed: int,
+    engine: Optional[str],
+    code_fingerprint: str,
+) -> str:
+    """The identity of one campaign (SHA-256 hex)."""
+    return digest(
+        {
+            "schema": CHECKPOINT_FORMAT,
+            "trial": trial_config,
+            "n_trials": int(n_trials),
+            "base_seed": int(base_seed),
+            "engine": engine,
+            "code_fingerprint": code_fingerprint,
+        }
+    )
+
+
+@dataclass
+class CheckpointState:
+    """What a journal says happened so far."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    done: Dict[int, str] = field(default_factory=dict)  # index -> trial key
+    completed: bool = False
+    aggregates_digest: Optional[str] = None
+
+    @property
+    def n_done(self) -> int:
+        return len(self.done)
+
+
+class CampaignCheckpoint:
+    """One campaign's append-only progress journal."""
+
+    def __init__(self, store_root: pathlib.Path, key: str):
+        self.key = key
+        self.path = pathlib.Path(store_root) / "campaigns" / f"{key}.ndjson"
+        self._fh: Optional[IO[str]] = None
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self) -> CheckpointState:
+        """Parse the journal; tolerant of a torn final line (SIGKILL)."""
+        state = CheckpointState()
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return state
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn write at the kill point
+            kind = event.get("kind")
+            if kind == "meta":
+                state.meta = event
+            elif kind == "trial" and event.get("ok"):
+                state.done[int(event["trial_index"])] = str(event.get("key"))
+            elif kind == "complete":
+                state.completed = True
+                state.aggregates_digest = event.get("aggregates_digest")
+        return state
+
+    # -- writing -------------------------------------------------------------
+
+    def begin(
+        self, meta: Dict[str, Any], *, resume: bool = False
+    ) -> CheckpointState:
+        """Open the journal for appending; truncate unless resuming.
+
+        Returns the prior state (empty when starting fresh).
+        """
+        prior = self.load() if resume else CheckpointState()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if (resume and self.path.exists()) else "w"
+        self._fh = open(self.path, mode, encoding="utf-8")
+        self._emit(
+            {
+                "kind": "meta",
+                "format": CHECKPOINT_FORMAT,
+                "campaign_key": self.key,
+                "resumed": bool(resume and prior.n_done),
+                "created_utc": _utcnow(),
+                **meta,
+            }
+        )
+        return prior
+
+    def record_trial(self, trial_index: int, key: str, ok: bool, cached: bool) -> None:
+        self._emit(
+            {
+                "kind": "trial",
+                "trial_index": trial_index,
+                "key": key,
+                "ok": ok,
+                "cached": cached,
+            }
+        )
+
+    def complete(self, aggregates_digest: str, elapsed_s: float) -> None:
+        self._emit(
+            {
+                "kind": "complete",
+                "aggregates_digest": aggregates_digest,
+                "elapsed_s": elapsed_s,
+            }
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if self._fh is None:
+            raise RuntimeError("checkpoint journal not open; call begin()")
+        self._fh.write(canonical_json(event) + "\n")
+        self._fh.flush()
+
+
+def _utcnow() -> str:
+    return (
+        datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+        .replace("+00:00", "Z")
+    )

@@ -1,0 +1,71 @@
+"""Code fingerprints: the cache-key component that tracks the simulator.
+
+A memoized trial result is only valid while the code that produced it is
+unchanged.  Git revisions are too coarse (a README edit would flush the
+whole cache) and unavailable outside a checkout, so the store fingerprints
+the *simulation-relevant* source directly: every ``.py`` file under
+:data:`FINGERPRINT_PACKAGES` (``repro.core``, ``repro.protocols``,
+``repro.net`` — the physics; experiment configs enter the key through the
+trial config instead), hashed in a deterministic file order.
+
+The fingerprint is computed once per process (the source tree does not
+change under a running campaign) and truncated to 16 hex characters —
+collision resistance against *accidental* edits, not adversaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import pathlib
+from functools import lru_cache
+from typing import Iterable, Tuple
+
+__all__ = ["FINGERPRINT_PACKAGES", "code_fingerprint", "package_files"]
+
+#: Packages whose source participates in the trial cache key.  The sim
+#: scaffolding (``repro.sim``) and experiment drivers are deliberately
+#: excluded: they decide *which* trials run, not what a trial computes —
+#: the trial config and seed already capture that.
+FINGERPRINT_PACKAGES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.protocols",
+    "repro.net",
+)
+
+
+def package_files(package: str) -> Iterable[pathlib.Path]:
+    """The ``.py`` source files of ``package``, sorted by relative path."""
+    mod = importlib.import_module(package)
+    paths = getattr(mod, "__path__", None)
+    if paths is None:  # single-module "package"
+        return [pathlib.Path(mod.__file__)]
+    files: list = []
+    for root in paths:
+        files.extend(pathlib.Path(root).rglob("*.py"))
+    return sorted(files)
+
+
+@lru_cache(maxsize=None)
+def code_fingerprint(
+    packages: Tuple[str, ...] = FINGERPRINT_PACKAGES,
+) -> str:
+    """A 16-hex-char digest of the listed packages' source bytes.
+
+    Each file contributes its package-relative path and contents, so
+    renames, additions and deletions all change the fingerprint, not
+    just edits.
+    """
+    h = hashlib.sha256()
+    for package in packages:
+        mod = importlib.import_module(package)
+        base = pathlib.Path(mod.__file__).parent
+        for path in package_files(package):
+            try:
+                rel = path.relative_to(base)
+            except ValueError:
+                rel = pathlib.Path(path.name)
+            h.update(f"{package}/{rel.as_posix()}\0".encode("utf-8"))
+            h.update(path.read_bytes())
+            h.update(b"\0")
+    return h.hexdigest()[:16]
