@@ -1,0 +1,119 @@
+"""Benchmark: packed vs bigint session engine under LossyChannel.
+
+Runs the same GMLE-style lossy session (f = 1,671, p = 1.59 f/n,
+r = 6 m, loss = 0.2) on both engines from identically-seeded rngs,
+asserts the results are bit-identical (the ``repro-channel-rng-v1``
+contract), and records the speedup.  At the paper's n = 10,000 the
+packed engine must be at least 8× faster than the big-int reference —
+the lossy robustness sweeps are the most Monte-Carlo-heavy experiments,
+so this is the gap that matters; CI runs a reduced-n smoke version via
+``REPRO_BENCH_LOSSY_NTAGS`` where only the equivalence is asserted.
+
+The rendered comparison is committed as ``benchmarks/output/lossy.txt``;
+a machine-readable run manifest (engine wall seconds and speedup under
+``extra``) is written alongside as ``benchmarks/output/BENCH_lossy.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.session import CCMConfig, run_session
+from repro.experiments import paperconfig as cfg
+from repro.net.channel import LossyChannel
+from repro.net.topology import PaperDeployment, paper_network
+from repro.obs import RunManifest
+from repro.protocols.transport import frame_picks
+
+PAPER_N_TAGS = 10_000
+N_TAGS = int(os.environ.get("REPRO_BENCH_LOSSY_NTAGS", PAPER_N_TAGS))
+FRAME_SIZE = cfg.GMLE_FRAME_SIZE  # 1,671
+TAG_RANGE_M = 6.0
+LOSS = 0.2
+MIN_SPEEDUP = 8.0
+
+
+def _run(network, picks, engine: str):
+    started = time.perf_counter()
+    result = run_session(
+        network,
+        picks,
+        config=CCMConfig(frame_size=FRAME_SIZE),
+        channel=LossyChannel(LOSS),
+        rng=np.random.default_rng(4242),
+        engine=engine,
+    )
+    return result, time.perf_counter() - started
+
+
+def test_lossy_engine_speedup(emit):
+    network = paper_network(
+        TAG_RANGE_M,
+        n_tags=N_TAGS,
+        seed=99,
+        deployment=PaperDeployment(n_tags=N_TAGS),
+    )
+    picks = frame_picks(
+        network.tag_ids, FRAME_SIZE, cfg.gmle_participation(N_TAGS), seed=42
+    )
+
+    # Warm-up outside the timed runs (imports, allocator, BLAS threads).
+    _run(network, picks, "packed")
+
+    bigint, t_bigint = _run(network, picks, "bigint")
+    packed, t_packed = _run(network, picks, "packed")
+
+    assert packed.bitmap.bits == bigint.bitmap.bits
+    assert packed.rounds == bigint.rounds
+    assert packed.slots == bigint.slots
+    assert packed.round_stats == bigint.round_stats
+    assert float(packed.ledger.bits_sent.sum()) == float(
+        bigint.ledger.bits_sent.sum()
+    )
+    assert float(packed.ledger.bits_received.sum()) == float(
+        bigint.ledger.bits_received.sum()
+    )
+
+    speedup = t_bigint / max(t_packed, 1e-9)
+    lines = [
+        "Lossy-channel engine comparison — one GMLE-CCM session "
+        f"(n = {N_TAGS:,}, f = {FRAME_SIZE:,}, r = {TAG_RANGE_M:g} m, "
+        f"loss = {LOSS:g})",
+        f"{'engine':<10}{'seconds':>12}{'rounds':>10}{'busy slots':>12}",
+        f"{'bigint':<10}{t_bigint:>12.3f}{bigint.rounds:>10}"
+        f"{bigint.bitmap.popcount():>12,}",
+        f"{'packed':<10}{t_packed:>12.3f}{packed.rounds:>10}"
+        f"{packed.bitmap.popcount():>12,}",
+        f"speedup: {speedup:.1f}x  (bit-identical results; "
+        "repro-channel-rng-v1 draw stream)",
+    ]
+    emit("lossy", "\n".join(lines))
+    RunManifest.capture(
+        seed=99,
+        config={
+            "n_tags": N_TAGS,
+            "frame_size": FRAME_SIZE,
+            "tag_range_m": TAG_RANGE_M,
+            "participation": cfg.gmle_participation(N_TAGS),
+            "loss": LOSS,
+        },
+        engine="packed-vs-bigint",
+        elapsed_s=t_bigint + t_packed,
+        extra={
+            "bigint_seconds": t_bigint,
+            "packed_seconds": t_packed,
+            "speedup": speedup,
+            "rounds": packed.rounds,
+            "busy_slots": packed.bitmap.popcount(),
+        },
+    ).write(pathlib.Path(__file__).parent / "output" / "BENCH_lossy.json")
+
+    if N_TAGS >= PAPER_N_TAGS:
+        assert speedup >= MIN_SPEEDUP, (
+            f"packed engine only {speedup:.1f}x faster than bigint under "
+            f"loss={LOSS} at n={N_TAGS}; expected >= {MIN_SPEEDUP}x"
+        )

@@ -22,14 +22,20 @@ registered:
   :class:`~repro.net.channel.LossyChannel`) take a tag-major path driven
   through the channel interface.
 
-Under :class:`~repro.net.channel.PerfectChannel` the two engines are
-bit-identical — same bitmap, rounds, slot tally, round statistics, and
-per-tag ledger floats — which ``tests/test_engine.py`` asserts across a
-deployment/frame-size/mask grid.  Under :class:`LossyChannel` the packed
-engine draws its Bernoulli sensing failures per edge *word* instead of per
-set bit, so it consumes the RNG stream differently from bigint; the
-default ``engine="auto"`` therefore selects packed only for perfect
-channels, bigint otherwise, until lossy parity lands.
+The two engines are bit-identical — same bitmap, rounds, slot tally,
+round statistics, and per-tag ledger floats — under both
+:class:`~repro.net.channel.PerfectChannel` and
+:class:`~repro.net.channel.LossyChannel`, which ``tests/test_engine.py``
+asserts across a deployment/frame-size/loss/mask grid.  Lossy parity
+rests on the ``repro-channel-rng-v1`` draw contract (see
+:mod:`repro.net.channel`): both engines consume the channel's Bernoulli
+stream in the same pinned order, the bigint path one scalar draw at a
+time and the packed path in batched-but-identical ``Generator`` calls.
+The default ``engine="auto"`` therefore selects packed for the exact
+built-in channel types (including ``LossyChannel(loss=0.0)``, which is
+routed to the silent slot-major fast path) and bigint for anything else
+— third-party channel subclasses may override propagation or not
+implement the packed-word interface at all.
 
 The registry is open: :func:`register_engine` accepts any object
 satisfying the :class:`SessionEngine` protocol, so experimental engines
@@ -55,15 +61,20 @@ from repro.core.session import (
     SessionResult,
     default_checking_frame_length,
 )
-from repro.net.channel import Channel, PerfectChannel, or_reduce_segments
+from repro.net.channel import (
+    Channel,
+    LossyChannel,
+    PerfectChannel,
+    or_reduce_segments,
+)
 from repro.net.energy import EnergyLedger
 from repro.net.timing import SlotCount, indicator_vector_slots
 from repro.net.topology import Network
 from repro.obs import metrics as obs_metrics
 from repro.sim.trace import SessionTracer
 
-#: The engine name ``run_session`` resolves per call: packed for perfect
-#: channels, bigint otherwise.
+#: The engine name ``run_session`` resolves per call: packed for the
+#: built-in channel types, bigint otherwise.
 AUTO_ENGINE = "auto"
 
 
@@ -128,15 +139,17 @@ def get_engine(name: str) -> SessionEngine:
 def resolve_engine(name: str, channel: Optional[Channel]) -> SessionEngine:
     """Resolve an ``engine=`` argument to a concrete engine.
 
-    ``"auto"`` selects the packed engine when the channel is the paper's
-    perfect busy/idle sensing (the common case and the hot path), and the
-    bigint engine for anything else — lossy channels consume the RNG
-    stream differently under the packed kernels, and third-party channels
-    may not implement the packed-word interface at all.
+    ``"auto"`` selects the packed engine for the exact built-in channel
+    types — ``None``/:class:`PerfectChannel` (slot-major fast path) and
+    :class:`LossyChannel` (tag-major path consuming the
+    ``repro-channel-rng-v1`` draw stream, bit-identical to bigint) — and
+    the bigint engine for anything else.  The strict type checks keep
+    subclasses that may override propagation on the channel-agnostic
+    reference engine.
     """
     if name != AUTO_ENGINE:
         return get_engine(name)
-    if channel is None or type(channel) is PerfectChannel:
+    if channel is None or type(channel) in (PerfectChannel, LossyChannel):
         return get_engine("packed")
     return get_engine("bigint")
 
@@ -268,6 +281,10 @@ def run_checking_frame(
 
     Energy: each response is one sent bit; every tag that has not yet
     responded listens in each executed slot (one received bit per slot).
+    Each tag responds at most once, so over the whole frame a tag's
+    received bits are (slots executed) − (1 if it responded), posted as
+    one bulk ledger update after the BFS wave instead of per slot —
+    integer-valued float64 sums, so bit-identical to the per-slot tally.
     """
     n = network.n_tags
     tier1 = network.tier1_mask
@@ -276,31 +293,27 @@ def run_checking_frame(
     responded = np.zeros(n, dtype=bool)
     frontier = has_pending.copy()
     executed = 0
+    heard = False
     for _slot in range(1, l_c + 1):
-        executed += 1
         responders = frontier & ~responded
-        any_responder = bool(responders.any())
-        # Listening cost: everyone not transmitting this slot listens.
-        listen = np.ones(n)
-        listen[responders] = 0.0
-        ledger.add_received_bulk(listen)
-        if any_responder:
-            ledger.add_sent_bulk(responders.astype(np.float64))
-        responded |= responders
-        if bool(np.any(responders & tier1)):
-            return executed, True
-        if not any_responder:
+        if not responders.any():
             # Nothing transmitted; the wave is dead, but per Alg. 1 the
             # reader keeps listening through the rest of the frame (it
-            # cannot know the wave died).  Account the remaining idle
-            # listening and stop simulating.
-            remaining = l_c - executed
-            if remaining > 0:
-                ledger.add_received_bulk(np.full(n, float(remaining)))
-            return l_c, False
+            # cannot know the wave died), so the whole l_c counts.
+            break
+        executed += 1
+        responded |= responders
+        if bool(np.any(responders & tier1)):
+            heard = True
+            break
         # Propagate: neighbours of this slot's responders hear the pulse.
         frontier = _any_neighbor(responders, indptr, indices)
-    return executed, False
+    listened_slots = float(executed if heard else l_c)
+    resp = responded.astype(np.float64)
+    ledger.add_received_bulk(np.full(n, listened_slots) - resp)
+    if responded.any():
+        ledger.add_sent_bulk(resp)
+    return (executed if heard else l_c), heard
 
 
 # -- the big-int engine -------------------------------------------------------
@@ -351,7 +364,10 @@ class BigintSessionEngine:
             # state-free across sessions).
             pending = list(masks)  # to transmit next data frame
             known = list(pending)  # ever picked/heard/transmitted
-            done = [0] * n  # transmitted already -> sleep in those slots
+            n_words = max(1, (f + 63) // 64)
+            # transmitted already -> sleep in those slots; kept bit-packed
+            # so the per-round monitor popcount is one NumPy reduction.
+            done_words = np.zeros((n, n_words), dtype=np.uint64)
             silenced = 0  # indicator vector accumulated at the reader
             reader_bitmap = 0  # B
             iv_slots = indicator_vector_slots(f)
@@ -372,13 +388,9 @@ class BigintSessionEngine:
             with obs.span("round"):
                 # --- data frame -----------------------------------------
                 with obs.span("data_frame"):
-                    transmit = [0] * n
-                    transmitting = 0
-                    for t in range(n):
-                        mask = pending[t] & ~silenced & frame_mask
-                        transmit[t] = mask
-                        if mask:
-                            transmitting += 1
+                    live = ~silenced & frame_mask
+                    transmit = [pending[t] & live for t in range(n)]
+                    transmitting = sum(1 for m in transmit if m)
                     with obs.span("propagate"):
                         heard = channel.propagate(
                             transmit, indptr, indices, rng
@@ -388,30 +400,33 @@ class BigintSessionEngine:
                     # Energy for the frame: 1 bit per transmitted slot; 1
                     # bit per carrier-sensed slot (tags monitor every slot
                     # not silenced, not already relayed by them, and not
-                    # currently transmitted).
-                    sent = np.zeros(n)
-                    listened = np.zeros(n)
-                    for t in range(n):
-                        tx = transmit[t]
-                        sent[t] = tx.bit_count()
-                        listened[t] = (
-                            f - (silenced | done[t] | tx).bit_count()
-                        )
-                    ledger.add_sent_bulk(sent)
-                    ledger.add_received_bulk(listened)
+                    # currently transmitted).  Popcounts run word-parallel
+                    # over the packed view.
+                    tx_words = masks_to_words(transmit, f)
+                    silenced_words = masks_to_words([silenced], f)[0]
+                    sent = _word_counts(tx_words).sum(axis=1)
+                    done_words |= tx_words
+                    monitored = _word_counts(
+                        silenced_words | done_words | tx_words
+                    ).sum(axis=1)
+                    ledger.add_sent_bulk(sent.astype(np.float64))
+                    ledger.add_received_bulk(
+                        (f - monitored).astype(np.float64)
+                    )
                     slots += SlotCount(short_slots=f)
                     obs.inc("ccm_data_frame_slots_total", f)
 
                     # Knowledge update: a tag learns a slot it heard,
                     # unless it was transmitting in it (half duplex),
                     # already knew it, or the reader had silenced it.
+                    # (done_words already absorbed this frame's transmits.)
+                    not_silenced = ~silenced
                     new_pending = [0] * n
                     for t in range(n):
                         learned = (
-                            heard[t] & ~known[t] & ~transmit[t] & ~silenced
+                            heard[t] & ~known[t] & ~transmit[t] & not_silenced
                         )
                         known[t] |= learned | transmit[t]
-                        done[t] |= transmit[t]
                         new_pending[t] = learned
 
                 # --- indicator vector -----------------------------------
@@ -432,8 +447,8 @@ class BigintSessionEngine:
                         # every tag receives the full f bits.
                         slots += SlotCount(id_slots=iv_slots)
                         ledger.add_received_to_all(float(f))
-                        for t in range(n):
-                            new_pending[t] &= ~silenced
+                        keep = ~silenced
+                        new_pending = [m & keep for m in new_pending]
                         obs.inc("ccm_indicator_slots_total", iv_slots)
                     if tracer is not None:
                         tracer.emit(
@@ -545,10 +560,12 @@ class PackedSessionEngine:
             )
         n = network.n_tags
         n_tag_words = max(1, (n + 63) // 64)
-        # The strict type check keeps subclasses that override propagation
-        # on the channel-driven path.
+        # is_perfect is a strict type check per channel class, keeping
+        # subclasses that override propagation on the channel-driven path;
+        # LossyChannel(loss=0.0) qualifies because the rng contract
+        # consumes no draws at zero loss.
         if (
-            type(channel) is PerfectChannel
+            channel.is_perfect
             and n * n_tag_words * 8 <= _SLOT_MAJOR_MAX_ADJ_BYTES
         ):
             return self._run_slot_major(

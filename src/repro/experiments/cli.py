@@ -241,7 +241,23 @@ def cmd_statefree(args: argparse.Namespace) -> None:
 
 
 def cmd_robustness(args: argparse.Namespace) -> None:
-    _emit(robustness.report(robustness.run()), args.out)
+    store, resume = _resolve_store(args)
+    kwargs = {}
+    if args.n_tags is not None:
+        kwargs["n_tags"] = args.n_tags
+    if args.trials is not None:
+        kwargs["n_trials"] = args.trials
+    if args.seed is not None:
+        kwargs["base_seed"] = args.seed
+    rows = robustness.run(
+        executor=_resolve_executor(args),
+        on_trial_done=_resolve_progress(args),
+        store=store,
+        resume=resume,
+        engine=args.engine,
+        **kwargs,
+    )
+    _emit(robustness.report(rows), args.out)
 
 
 def cmd_estimators(args: argparse.Namespace) -> None:
@@ -307,6 +323,14 @@ def cmd_profile(args: argparse.Namespace) -> None:
 
     n, f, r = args.n, args.frame, args.range
     seed = args.seed if args.seed is not None else 7
+    channel = rng = None
+    if args.loss is not None:
+        import numpy as np
+
+        from repro.net.channel import LossyChannel
+
+        channel = LossyChannel(loss=args.loss)
+        rng = np.random.default_rng(seed ^ 0xC0FFEE)
     # Record into the already-installed registry when one is live (e.g.
     # main() installed one for --metrics-out); otherwise own a fresh one.
     registry = get_registry()
@@ -325,6 +349,8 @@ def cmd_profile(args: argparse.Namespace) -> None:
             network,
             picks,
             config=CCMConfig(frame_size=f),
+            channel=channel,
+            rng=rng,
             engine=args.engine,
             tracer=tracer,
         )
@@ -332,9 +358,10 @@ def cmd_profile(args: argparse.Namespace) -> None:
     finally:
         if owns_registry:
             set_registry(previous)
+    loss_note = "" if args.loss is None else f" loss={args.loss:g}"
     print(
         f"profile: n={n} f={f} r={r:g} participation={args.participation:g} "
-        f"engine={args.engine} seed={seed}"
+        f"engine={args.engine}{loss_note} seed={seed}"
     )
     print(
         f"session: {result.rounds} rounds, {result.total_slots} slots, "
@@ -353,6 +380,7 @@ def cmd_profile(args: argparse.Namespace) -> None:
             "frame_size": f,
             "tag_range_m": r,
             "participation": args.participation,
+            **({"loss": args.loss} if args.loss is not None else {}),
         },
         engine=args.engine,
         elapsed_s=wall_s,
@@ -582,8 +610,8 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--engine", choices=("auto", *sorted(available_engines())),
         default="auto",
-        help="CCM session engine (tables command; default: auto = packed "
-             "kernels on the perfect channel)",
+        help="CCM session engine (tables/robustness commands; default: "
+             "auto = packed kernels for the built-in channels)",
     )
     common.add_argument(
         "--out", type=str, default=None, help="append reports to this file"
@@ -640,6 +668,11 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument(
         "--participation", type=float, default=1.0,
         help="fraction of tags picking a slot",
+    )
+    prof.add_argument(
+        "--loss", type=float, default=None,
+        help="profile over LossyChannel(loss) instead of the perfect "
+             "channel (seeds the channel rng from --seed)",
     )
     prof.add_argument("--seed", type=int, default=None)
     prof.add_argument(

@@ -19,7 +19,7 @@ driving the residual miss rate down by OR-merging repeated sessions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -28,7 +28,11 @@ from repro.core.session import CCMConfig, run_session
 from repro.net.channel import LossyChannel
 from repro.net.topology import PaperDeployment, paper_network
 from repro.protocols.transport import frame_picks, ideal_bitmap
-from repro.sim.rng import derive_seed
+from repro.sim.parallel import ExecutorConfig, ProgressFn
+from repro.sim.runner import sweep
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.store.cache import ResultStore
 
 
 @dataclass
@@ -40,6 +44,57 @@ class RobustnessRow:
     phantom_bits: int
 
 
+@dataclass(frozen=True)
+class RobustnessTrial:
+    """One lossy deployment trial as a picklable, cacheable callable.
+
+    Frozen-dataclass fields canonicalize into the result store's content
+    address (like :class:`repro.experiments.common.PaperTrial`), so lossy
+    sweeps memoize and fan out like every other experiment.
+    """
+
+    loss: float
+    n_tags: int
+    tag_range: float
+    frame_size: int
+    max_sessions: int = 6
+    engine: str = "auto"
+
+    def __call__(self, trial_index: int, seed: int) -> Dict[str, float]:
+        network = paper_network(
+            self.tag_range,
+            n_tags=self.n_tags,
+            seed=seed,
+            deployment=PaperDeployment(n_tags=self.n_tags),
+        )
+        picks = frame_picks(network.tag_ids, self.frame_size, 1.0, seed)
+        reachable_ids = network.tag_ids[network.reachable_mask]
+        truth = ideal_bitmap(reachable_ids, self.frame_size, 1.0, seed)
+        rng = np.random.default_rng(seed ^ 0xC0FFEE)
+        channel = LossyChannel(loss=self.loss)
+        config = CCMConfig(frame_size=self.frame_size)
+
+        single = run_session(
+            network, picks, config=config, channel=channel, rng=rng,
+            engine=self.engine,
+        )
+        missed = truth.difference(single.bitmap).popcount()
+        phantom = single.bitmap.difference(truth).popcount()
+
+        robust = robust_collect(
+            network, picks, config=config, channel=channel, rng=rng,
+            max_sessions=self.max_sessions, engine=self.engine,
+        )
+        missed_r = truth.difference(robust.bitmap).popcount()
+        denom = max(truth.popcount(), 1)
+        return {
+            "single_miss_rate": missed / denom,
+            "robust_miss_rate": missed_r / denom,
+            "robust_sessions": float(robust.sessions),
+            "phantom_bits": float(phantom),
+        }
+
+
 def run(
     n_tags: int = 400,
     tag_range: float = 3.0,
@@ -47,52 +102,56 @@ def run(
     losses: List[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
     n_trials: int = 3,
     base_seed: int = 555_777,
+    *,
+    executor: Optional[ExecutorConfig] = None,
+    on_trial_done: Optional[ProgressFn] = None,
+    store: "Optional[ResultStore]" = None,
+    resume: bool = False,
+    engine: str = "auto",
 ) -> List[RobustnessRow]:
     """Sparse settings on purpose: in dense deployments every slot enjoys
     hundreds of independent sensing chances per hop (many listeners, many
     relayers, many tier-1 transmitters), so even 20 % per-link loss is
     invisible — itself a finding, reported by the dense-regime test in the
-    suite.  A sparse graph (mean degree ~4) exposes the failure mode."""
+    suite.  A sparse graph (mean degree ~4) exposes the failure mode.
+
+    The loss axis runs through :func:`repro.sim.runner.sweep`, so lossy
+    sweeps get the same campaign machinery as every other experiment:
+    ``executor=`` fans trials over workers, ``store=``/``resume=``
+    memoize them through the result cache, and ``engine=`` picks the
+    session engine (the default ``"auto"`` resolves to packed — lossy
+    results are bit-identical across engines under the
+    ``repro-channel-rng-v1`` contract).
+    """
+    result = sweep(
+        parameter="loss",
+        values=losses,
+        trial_factory=lambda loss: RobustnessTrial(
+            loss=float(loss),
+            n_tags=n_tags,
+            tag_range=tag_range,
+            frame_size=frame_size,
+            engine=engine,
+        ),
+        n_trials=n_trials,
+        base_seed=base_seed,
+        executor=executor,
+        on_trial_done=on_trial_done,
+        store=store,
+        resume=resume,
+    )
     rows: List[RobustnessRow] = []
-    deployment = PaperDeployment(n_tags=n_tags)
-    for loss in losses:
-        single_miss: List[float] = []
-        robust_miss: List[float] = []
-        sessions_used: List[int] = []
-        phantom = 0
-        for k in range(n_trials):
-            seed = derive_seed(base_seed, int(loss * 1000), k) % (2**32)
-            network = paper_network(
-                tag_range, n_tags=n_tags, seed=seed, deployment=deployment
-            )
-            picks = frame_picks(network.tag_ids, frame_size, 1.0, seed)
-            reachable_ids = network.tag_ids[network.reachable_mask]
-            truth = ideal_bitmap(reachable_ids, frame_size, 1.0, seed)
-            rng = np.random.default_rng(seed ^ 0xC0FFEE)
-            channel = LossyChannel(loss=loss)
-
-            single = run_session(
-                network, picks, config=CCMConfig(frame_size=frame_size),
-                channel=channel, rng=rng,
-            )
-            missed = truth.difference(single.bitmap).popcount()
-            single_miss.append(missed / max(truth.popcount(), 1))
-            phantom += single.bitmap.difference(truth).popcount()
-
-            robust = robust_collect(
-                network, picks, config=CCMConfig(frame_size=frame_size),
-                channel=channel, rng=rng, max_sessions=6,
-            )
-            missed_r = truth.difference(robust.bitmap).popcount()
-            robust_miss.append(missed_r / max(truth.popcount(), 1))
-            sessions_used.append(robust.sessions)
+    for loss, agg in zip(result.values, result.aggregates):
+        phantoms = agg["phantom_bits"]
         rows.append(
             RobustnessRow(
-                loss=loss,
-                single_session_miss_rate=float(np.mean(single_miss)),
-                robust_miss_rate=float(np.mean(robust_miss)),
-                robust_sessions=float(np.mean(sessions_used)),
-                phantom_bits=phantom,
+                loss=float(loss),
+                single_session_miss_rate=agg["single_miss_rate"].mean,
+                robust_miss_rate=agg["robust_miss_rate"].mean,
+                robust_sessions=agg["robust_sessions"].mean,
+                # The aggregate stores the per-trial mean; the row reports
+                # the historical sum-over-trials count.
+                phantom_bits=int(round(phantoms.mean * phantoms.count)),
             )
         )
     return rows

@@ -30,14 +30,44 @@ engines in :mod:`repro.core.engine`:
 Third-party channels only have to implement the big-int interface; the
 packed methods default to "unsupported" and the packed engine refuses such
 channels with a clear error.
+
+The channel RNG-draw contract (``repro-channel-rng-v1``)
+--------------------------------------------------------
+
+Randomized channels consume their ``rng`` in a pinned order so both frame
+representations produce *bit-identical* results from the same seed.  Per
+data frame:
+
+1. **Propagation.**  Transmitters are visited in ascending tag index; for
+   each transmitter ``u`` with a non-zero mask, its CSR neighbours are
+   visited in row order, and each edge ``(u, t)`` consumes exactly
+   ``popcount(transmit[u])`` uniform draws — one per set bit, in
+   LSB-to-MSB order.  Bit ``b`` survives the edge iff its draw is
+   ``>= loss``.  Silent transmitters (zero mask) consume nothing.
+2. **Reader sensing.**  Immediately after propagation, tier-1 tags are
+   visited in ascending index; each non-zero mask again consumes one draw
+   per set bit, LSB first, kept iff ``>= loss``.
+
+``loss == 0.0`` consumes no draws at all.  The big-int interface is the
+executable reference of this contract (scalar ``rng.random()`` per draw);
+the packed interface batches the identical stream, relying on the NumPy
+``Generator`` guarantee that ``rng.random(k)`` equals ``k`` successive
+scalar draws.  The contract version participates in
+:func:`repro.store.fingerprint.code_fingerprint`, so changing it
+invalidates memoized trial results.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+
+#: Version tag of the pinned RNG-draw order above.  Bump it whenever the
+#: order, shape, or keep-condition of channel randomness changes — cached
+#: trial keys are derived from it and must move with the stream.
+CHANNEL_RNG_CONTRACT = "repro-channel-rng-v1"
 
 
 def or_reduce_segments(
@@ -45,7 +75,6 @@ def or_reduce_segments(
     indptr: np.ndarray,
     indices: np.ndarray,
     row_filter: Optional[np.ndarray] = None,
-    edge_transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     chunk_words: int = 1 << 22,
 ) -> np.ndarray:
     """Segment-wise OR over a CSR adjacency: ``out[t] = OR rows[u]`` for
@@ -58,11 +87,9 @@ def or_reduce_segments(
     ``row_filter`` (a boolean per-row mask, typically "row transmits
     anything") drops edges whose source row is all-zero before gathering —
     in late rounds only a handful of tags still transmit, so this turns an
-    O(edges) gather into an O(active edges) one.  ``edge_transform`` is
-    applied to each gathered edge block before reduction (the lossy
-    channel's Bernoulli thinning).  ``chunk_words`` bounds the temporary
-    gather buffer (in 8-byte words), keeping peak memory flat regardless
-    of edge count.
+    O(edges) gather into an O(active edges) one.  ``chunk_words`` bounds
+    the temporary gather buffer (in 8-byte words), keeping peak memory
+    flat regardless of edge count.
     """
     n = int(indptr.shape[0]) - 1
     n_words = int(rows.shape[1])
@@ -96,8 +123,6 @@ def or_reduce_segments(
             start = end
             continue
         gathered = rows[indices[lo:hi]]
-        if edge_transform is not None:
-            gathered = edge_transform(gathered)
         # The sentinel zero row makes every reduceat start index valid
         # (rows whose segment is empty land on it) and pads the final
         # segment with an OR-identity.
@@ -117,6 +142,19 @@ class Channel(abc.ABC):
     #: True when the packed-word interface below is implemented; the
     #: packed session engine checks this before dispatching.
     supports_packed = False
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when this channel is *exactly* reliable busy/idle sensing.
+
+        The packed engine uses this to route sessions onto the slot-major
+        fast path, which never calls the channel and never draws
+        randomness — so it must hold only for channels whose propagation
+        is the plain neighbourhood OR.  Deliberately strict about types:
+        a subclass may override propagation, so it reports False and stays
+        on the channel-driven path.
+        """
+        return False
 
     @abc.abstractmethod
     def propagate(
@@ -187,6 +225,10 @@ class PerfectChannel(Channel):
 
     supports_packed = True
 
+    @property
+    def is_perfect(self) -> bool:
+        return type(self) is PerfectChannel
+
     def propagate(
         self,
         transmit: Sequence[int],
@@ -238,6 +280,12 @@ class PerfectChannel(Channel):
         return np.bitwise_or.reduce(rows, axis=0)
 
 
+#: Per-chunk bound on the number of Bernoulli draws the packed lossy path
+#: materializes at once (each draw carries a float64 plus a few int64
+#: scratch columns, so this is ~200 MB peak at the default).
+_LOSSY_DRAW_CHUNK = 1 << 22
+
+
 class LossyChannel(Channel):
     """Independent per-link, per-slot sensing failures.
 
@@ -246,11 +294,12 @@ class LossyChannel(Channel):
     slot each get an independent chance to be sensed, so collisions *help*
     reliability under this model — another benign-collision effect.
 
-    The packed-word interface draws its Bernoulli failures as per-edge
-    64-bit keep masks, so for a fixed seed it consumes the RNG stream
-    differently from the big-int interface (same distribution, different
-    draws); ``engine="auto"`` keeps lossy sessions on the bigint engine
-    for that reason.
+    Both frame interfaces consume the ``repro-channel-rng-v1`` draw stream
+    (see the module docstring): the big-int methods are the scalar
+    reference implementation, and the packed methods batch the identical
+    draws with word-level masking — so for a fixed seed the two produce
+    bit-identical results, which is what lets ``engine="auto"`` route
+    lossy sessions onto the packed engine.
     """
 
     supports_packed = True
@@ -261,8 +310,19 @@ class LossyChannel(Channel):
         self.loss = loss
         self._frame_size_hint = frame_size_hint
 
+    @property
+    def is_perfect(self) -> bool:
+        """``loss == 0.0`` degenerates to the perfect channel: the contract
+        consumes no draws, so the silent slot-major fast path is exact."""
+        return type(self) is LossyChannel and self.loss == 0.0
+
     def _thin(self, mask: int, rng: np.random.Generator) -> int:
-        """Randomly clear each set bit of ``mask`` with probability loss."""
+        """Randomly clear each set bit of ``mask`` with probability loss.
+
+        One scalar draw per set bit, LSB first — the reference consumer of
+        the ``repro-channel-rng-v1`` stream for one edge (or one tier-1
+        reader sensing).
+        """
         if self.loss == 0.0 or not mask:
             return mask
         out = 0
@@ -272,27 +332,6 @@ class LossyChannel(Channel):
             if rng.random() >= self.loss:
                 out |= low
             bits ^= low
-        return out
-
-    def _thin_words(
-        self, gathered: np.ndarray, rng: np.random.Generator
-    ) -> np.ndarray:
-        """Clear each bit of a ``(k, W)`` word block w.p. ``loss``,
-        independently, drawing in bounded-memory chunks."""
-        if self.loss == 0.0 or gathered.size == 0:
-            return gathered
-        k, n_words = gathered.shape
-        out = np.empty_like(gathered)
-        step = max(1, (1 << 16) // max(n_words, 1))
-        for lo in range(0, k, step):
-            block = gathered[lo : lo + step]
-            draws = rng.random((block.shape[0], n_words, 64)) >= self.loss
-            keep = (
-                np.packbits(draws, axis=-1, bitorder="little")
-                .reshape(block.shape[0], n_words * 8)
-                .view(np.uint64)
-            )
-            out[lo : lo + step] = block & keep
         return out
 
     def propagate(
@@ -332,20 +371,81 @@ class LossyChannel(Channel):
         indices: np.ndarray,
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
+        """Contract-ordered batched thinning over the CSR adjacency.
+
+        Bit-identical to :meth:`propagate` from the same rng state: draws
+        are taken with ``rng.random(k)`` calls batched across whole
+        transmitter rows (stream-equivalent to one scalar draw per bit),
+        and each row's survivors scatter into a flat per-(tag, slot) bit
+        matrix through one broadcast ``targets × set-bit-columns`` linear
+        index — no per-draw index arithmetic, no per-tag Python-int work.
+        """
         if rng is None:
             raise ValueError("LossyChannel.propagate_packed requires an rng")
-        transform = (
-            None
-            if self.loss == 0.0
-            else (lambda block: self._thin_words(block, rng))
-        )
-        return or_reduce_segments(
-            transmit,
-            indptr,
-            indices,
-            row_filter=transmit.any(axis=1),
-            edge_transform=transform,
-        )
+        if self.loss == 0.0:
+            return or_reduce_segments(
+                transmit, indptr, indices, row_filter=transmit.any(axis=1)
+            )
+        n, n_words = transmit.shape
+        f_bits = n_words * 64
+        heard_flat = np.zeros(n * f_bits, dtype=np.uint8)
+        active = np.flatnonzero(transmit.any(axis=1))
+        if active.size:
+            # Set-bit positions of every active transmitter, row-major —
+            # little-endian unpack puts each row's columns in the
+            # LSB-first order the contract draws them.
+            bits = np.unpackbits(
+                transmit[active].view(np.uint8), axis=1, bitorder="little"
+            )
+            pos_row, pos_col = np.nonzero(bits)
+            counts = np.bincount(pos_row, minlength=active.size)
+            pos_start = np.zeros(active.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=pos_start[1:])
+            deg = (indptr[active + 1] - indptr[active]).astype(np.int64)
+            # Row i consumes deg[i] * counts[i] draws (edge-major, then
+            # bit within edge).  Batch the rng over runs of whole rows so
+            # chunked rng.random calls read the stream exactly as one big
+            # call would, then process each row from its slice of the
+            # buffer.
+            row_bounds = np.zeros(active.size + 1, dtype=np.int64)
+            np.cumsum(deg * counts, out=row_bounds[1:])
+            loss = self.loss
+            a = 0
+            while a < active.size:
+                b = int(
+                    np.searchsorted(
+                        row_bounds, row_bounds[a] + _LOSSY_DRAW_CHUNK, "right"
+                    )
+                ) - 1
+                b = min(max(b, a + 1), active.size)
+                n_draws = int(row_bounds[b] - row_bounds[a])
+                if n_draws == 0:
+                    a = b
+                    continue
+                keep = rng.random(n_draws) >= loss
+                offset = 0
+                for i in range(a, b):
+                    d = deg[i]
+                    c = counts[i]
+                    nd = int(d) * int(c)
+                    if nd == 0:
+                        continue
+                    row_keep = keep[offset : offset + nd]
+                    offset += nd
+                    u = active[i]
+                    targets = indices[indptr[u] : indptr[u] + d]
+                    cols = pos_col[pos_start[i] : pos_start[i] + c]
+                    # (d, c) broadcast in C order matches the draw order;
+                    # duplicate (tag, slot) survivors from different edges
+                    # just set the same bit — the OR of the big-int path.
+                    lin = (
+                        targets[:, None] * f_bits + cols[None, :]
+                    ).reshape(-1)
+                    heard_flat[lin[row_keep]] = 1
+                a = b
+        return np.packbits(
+            heard_flat.reshape(n, f_bits), axis=1, bitorder="little"
+        ).view(np.uint64)
 
     def reader_senses_packed(
         self,
@@ -353,12 +453,25 @@ class LossyChannel(Channel):
         tier1: np.ndarray,
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
+        """Contract-ordered batched tier-1 sensing (see :meth:`_thin`)."""
         if rng is None:
             raise ValueError(
                 "LossyChannel.reader_senses_packed requires an rng"
             )
+        n_words = transmit.shape[1]
+        if self.loss == 0.0:
+            rows = transmit[tier1]
+            if rows.shape[0] == 0:
+                return np.zeros(n_words, dtype=transmit.dtype)
+            return np.bitwise_or.reduce(rows, axis=0)
         rows = transmit[tier1]
         rows = rows[rows.any(axis=1)]
-        if rows.shape[0] == 0:
-            return np.zeros(transmit.shape[1], dtype=transmit.dtype)
-        return np.bitwise_or.reduce(self._thin_words(rows, rng), axis=0)
+        busy_bits = np.zeros(n_words * 64, dtype=np.uint8)
+        if rows.shape[0]:
+            bits = np.unpackbits(
+                rows.view(np.uint8), axis=1, bitorder="little"
+            )
+            _, pos_col = np.nonzero(bits)
+            keep = rng.random(pos_col.size) >= self.loss
+            busy_bits[pos_col[keep]] = 1
+        return np.packbits(busy_bits, bitorder="little").view(np.uint64)

@@ -1,9 +1,16 @@
-"""Unit tests for repro.net.channel — slot-level propagation semantics."""
+"""Unit tests for repro.net.channel — slot-level propagation semantics
+and the repro-channel-rng-v1 draw contract."""
 
 import numpy as np
 import pytest
 
-from repro.net.channel import LossyChannel, PerfectChannel
+import repro.net.channel as channel_mod
+from repro.net.channel import (
+    CHANNEL_RNG_CONTRACT,
+    Channel,
+    LossyChannel,
+    PerfectChannel,
+)
 
 
 def _csr(adjacency):
@@ -111,3 +118,133 @@ class TestLossyChannel:
             for _ in range(400)
         )
         assert 120 <= hits <= 280
+
+
+def _pack_masks(masks, frame_size):
+    from repro.core.engine import masks_to_words
+
+    return masks_to_words(masks, frame_size)
+
+
+def _unpack_row(row):
+    from repro.core.engine import words_to_int
+
+    return words_to_int(row)
+
+
+class TestChannelRngContract:
+    """The packed lossy interface batches the *same* draw stream the
+    scalar big-int interface consumes one call at a time."""
+
+    def test_contract_version_exported(self):
+        assert CHANNEL_RNG_CONTRACT == "repro-channel-rng-v1"
+
+    def test_is_perfect_flags(self):
+        assert PerfectChannel().is_perfect
+        assert LossyChannel(0.0).is_perfect
+        assert not LossyChannel(0.1).is_perfect
+
+        class SubPerfect(PerfectChannel):
+            pass
+
+        class SubLossy(LossyChannel):
+            pass
+
+        # Strict type checks: subclasses may override propagation, so
+        # they never qualify for the silent slot-major fast path.
+        assert not SubPerfect().is_perfect
+        assert not SubLossy(0.0).is_perfect
+        assert not Channel.is_perfect.fget(object())
+
+    @pytest.mark.parametrize("loss", [0.2, 0.5, 0.8])
+    @pytest.mark.parametrize("frame_size", [37, 64, 257])
+    def test_propagate_packed_matches_scalar_stream(self, loss, frame_size):
+        rng = np.random.default_rng(frame_size)
+        n = 60
+        adjacency = [
+            sorted(
+                set(rng.integers(0, n, size=rng.integers(0, 5)).tolist())
+                - {i}
+            )
+            for i in range(n)
+        ]
+        indptr, indices = _csr(adjacency)
+        masks = [
+            int(rng.integers(0, 2 ** min(frame_size, 60)))
+            if rng.random() < 0.7
+            else 0
+            for _ in range(n)
+        ]
+        ch = LossyChannel(loss)
+        rng_a = np.random.default_rng(99)
+        rng_b = np.random.default_rng(99)
+        scalar = ch.propagate(masks, indptr, indices, rng_a)
+        packed = ch.propagate_packed(
+            _pack_masks(masks, frame_size), indptr, indices, rng_b
+        )
+        assert [_unpack_row(row) for row in packed] == scalar
+        # Both consumed exactly the same number of draws.
+        assert rng_a.random() == rng_b.random()
+
+    def test_propagate_packed_chunk_boundaries_preserve_stream(
+        self, monkeypatch
+    ):
+        """Chunked batched draws must read the stream exactly as one big
+        draw would — chunk boundaries land on whole edges."""
+        monkeypatch.setattr(channel_mod, "_LOSSY_DRAW_CHUNK", 13)
+        rng = np.random.default_rng(5)
+        n = 40
+        adjacency = [
+            sorted(
+                set(rng.integers(0, n, size=rng.integers(0, 6)).tolist())
+                - {i}
+            )
+            for i in range(n)
+        ]
+        indptr, indices = _csr(adjacency)
+        masks = [
+            int(rng.integers(0, 2**50)) if rng.random() < 0.8 else 0
+            for _ in range(n)
+        ]
+        ch = LossyChannel(0.4)
+        rng_a = np.random.default_rng(31)
+        rng_b = np.random.default_rng(31)
+        scalar = ch.propagate(masks, indptr, indices, rng_a)
+        packed = ch.propagate_packed(
+            _pack_masks(masks, 64), indptr, indices, rng_b
+        )
+        assert [_unpack_row(row) for row in packed] == scalar
+        assert rng_a.random() == rng_b.random()
+
+    @pytest.mark.parametrize("loss", [0.2, 0.5])
+    def test_reader_senses_packed_matches_scalar_stream(self, loss):
+        rng = np.random.default_rng(77)
+        n, frame_size = 50, 128
+        masks = [
+            int(rng.integers(0, 2**60)) if rng.random() < 0.6 else 0
+            for _ in range(n)
+        ]
+        tier1 = rng.random(n) < 0.3
+        ch = LossyChannel(loss)
+        rng_a = np.random.default_rng(13)
+        rng_b = np.random.default_rng(13)
+        scalar = ch.reader_senses(masks, tier1, rng_a)
+        packed = ch.reader_senses_packed(
+            _pack_masks(masks, frame_size), tier1, rng_b
+        )
+        assert _unpack_row(packed) == scalar
+        assert rng_a.random() == rng_b.random()
+
+    def test_zero_loss_consumes_no_draws(self):
+        indptr, indices = _csr([[1], [0, 2], [1]])
+        masks = [0b101, 0, 0b11]
+        ch = LossyChannel(0.0)
+        rng = np.random.default_rng(8)
+        before = rng.bit_generator.state
+        ch.propagate(masks, indptr, indices, rng)
+        ch.propagate_packed(_pack_masks(masks, 8), indptr, indices, rng)
+        ch.reader_senses(masks, np.array([True, False, True]), rng)
+        ch.reader_senses_packed(
+            _pack_masks(masks, 8), np.array([True, False, True]), rng
+        )
+        assert rng.bit_generator.state == before

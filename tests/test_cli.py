@@ -157,6 +157,23 @@ class TestProfileCommand:
         assert match, out
         assert float(match.group(1)) >= 95.0
 
+    def test_profile_lossy_channel(self, tmp_path, capsys):
+        from repro.obs import RunManifest
+
+        manifest_path = tmp_path / "lossy.manifest.json"
+        code = main([
+            "profile", "--n", "300", "--frame", "64", "--seed", "3",
+            "--loss", "0.2",
+            "--metrics-out", str(tmp_path / "lossy.metrics.ndjson"),
+            "--manifest-out", str(manifest_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loss=0.2" in out
+        assert "session/round/data_frame/propagate" in out
+        manifest = RunManifest.from_json(manifest_path.read_text())
+        assert manifest.config["loss"] == 0.2
+
     def test_profile_engine_choices(self, tmp_path, capsys):
         for engine in ("bigint", "packed"):
             code = main([

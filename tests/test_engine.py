@@ -190,15 +190,20 @@ class TestEngineRegistry:
     def test_auto_resolution(self):
         assert resolve_engine(AUTO_ENGINE, None).name == "packed"
         assert resolve_engine("auto", PerfectChannel()).name == "packed"
-        # Lossy channels draw their randomness differently per engine, so
-        # auto keeps them on the reference bigint path.
-        assert resolve_engine("auto", LossyChannel(0.1)).name == "bigint"
+        # Lossy channels consume the repro-channel-rng-v1 stream
+        # identically on both engines, so auto routes them to packed too.
+        assert resolve_engine("auto", LossyChannel(0.1)).name == "packed"
+        assert resolve_engine("auto", LossyChannel(0.0)).name == "packed"
 
     def test_auto_is_conservative_for_subclasses(self):
         class TracingChannel(PerfectChannel):
             pass
 
+        class TracingLossy(LossyChannel):
+            pass
+
         assert resolve_engine("auto", TracingChannel()).name == "bigint"
+        assert resolve_engine("auto", TracingLossy(0.2)).name == "bigint"
 
     def test_register_custom_engine(self):
         class NullEngine:
@@ -318,8 +323,8 @@ class TestCrossEngineEquivalence:
         assert a.bitmap.popcount() == 0
 
     def test_packed_lossy_channel_statistics(self):
-        """The packed lossy path is a different RNG stream, not a different
-        model: no phantom bits, and loss=0 degenerates to perfect."""
+        """Lossy sensing is subtractive: no phantom bits, and loss=0
+        degenerates to the perfect channel."""
         network = _build_network("disk", n_tags=200, seed=9)
         masks = _masks_for(network, 64, seed=2, multibit=False)
         config = CCMConfig(frame_size=64)
@@ -342,6 +347,82 @@ class TestCrossEngineEquivalence:
             engine="packed",
         )
         assert lossless.bitmap.bits == truth.bitmap.bits
+
+
+class TestLossyCrossEngineEquivalence:
+    """packed ≡ bigint under LossyChannel: the repro-channel-rng-v1
+    contract pins the Bernoulli draw order, so for the same seed the two
+    engines produce bit-identical sessions — masks, metrics, ledger
+    floats, and tracer NDJSON."""
+
+    @pytest.mark.parametrize("loss", [0.2, 0.5, 0.8])
+    @pytest.mark.parametrize(
+        "frame_size", [37, 64, 257]
+    )  # f < 64, f == 64, multi-word
+    @pytest.mark.parametrize("multibit", [False, True])
+    def test_grid(self, loss, frame_size, multibit):
+        from repro.sim.trace import SessionTracer
+
+        network = _build_network("disk", n_tags=300, seed=101)
+        masks = _masks_for(network, frame_size, seed=11, multibit=multibit)
+        config = CCMConfig(frame_size=frame_size)
+        tracer_a, tracer_b = SessionTracer(), SessionTracer()
+        a = run_session(
+            network, masks=masks, config=config, engine="bigint",
+            channel=LossyChannel(loss), rng=np.random.default_rng(4242),
+            tracer=tracer_a,
+        )
+        b = run_session(
+            network, masks=masks, config=config, engine="packed",
+            channel=LossyChannel(loss), rng=np.random.default_rng(4242),
+            tracer=tracer_b,
+        )
+        _assert_results_identical(a, b)
+        ndjson_a = tracer_a.to_ndjson()
+        assert ndjson_a.encode() == tracer_b.to_ndjson().encode()
+        assert ndjson_a
+
+    def test_no_indicator_vector_ablation(self):
+        network = _build_network("annulus", n_tags=250, seed=202)
+        masks = _masks_for(network, 96, seed=3, multibit=True)
+        config = CCMConfig(frame_size=96, use_indicator_vector=False)
+        a = run_session(
+            network, masks=masks, config=config, engine="bigint",
+            channel=LossyChannel(0.4), rng=np.random.default_rng(8),
+        )
+        b = run_session(
+            network, masks=masks, config=config, engine="packed",
+            channel=LossyChannel(0.4), rng=np.random.default_rng(8),
+        )
+        _assert_results_identical(a, b)
+
+    def test_auto_matches_explicit_engines(self):
+        network = _build_network("disk", n_tags=200, seed=9)
+        masks = _masks_for(network, 64, seed=2, multibit=False)
+        config = CCMConfig(frame_size=64)
+        auto = run_session(
+            network, masks=masks, config=config,
+            channel=LossyChannel(0.3), rng=np.random.default_rng(17),
+        )
+        explicit = run_session(
+            network, masks=masks, config=config, engine="bigint",
+            channel=LossyChannel(0.3), rng=np.random.default_rng(17),
+        )
+        _assert_results_identical(auto, explicit)
+
+    def test_zero_loss_routes_to_slot_major_without_rng(self):
+        """LossyChannel(0.0) consumes no draws, so auto must reach the
+        silent slot-major fast path — which never touches an rng.  The
+        bigint/tag-major lossy paths raise without one, so succeeding
+        here proves the dispatch."""
+        network = _build_network("disk", n_tags=200, seed=9)
+        masks = _masks_for(network, 64, seed=2, multibit=False)
+        config = CCMConfig(frame_size=64)
+        perfect = run_session(network, masks=masks, config=config)
+        lossless = run_session(
+            network, masks=masks, config=config, channel=LossyChannel(0.0)
+        )
+        _assert_results_identical(perfect, lossless)
 
 
 class TestUnifiedAPI:

@@ -136,6 +136,25 @@ class TestCodeFingerprint:
         code_fingerprint.cache_clear()
         assert before != after
 
+    def test_covers_channel_rng_contract(self, tmp_path, monkeypatch):
+        """Bumping the channel RNG-draw contract version must invalidate
+        every cached trial key, even with no fingerprinted source edit —
+        pre-contract caches were produced under a different stream."""
+        import repro.net.channel as channel_mod
+
+        pkg = tmp_path / "fp_probe_pkg3"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("X = 1\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        before = code_fingerprint(("fp_probe_pkg3",))
+        code_fingerprint.cache_clear()
+        monkeypatch.setattr(
+            channel_mod, "CHANNEL_RNG_CONTRACT", "repro-channel-rng-v2"
+        )
+        after = code_fingerprint(("fp_probe_pkg3",))
+        code_fingerprint.cache_clear()
+        assert before != after
+
 
 # -- trial configs and keys ---------------------------------------------------
 
