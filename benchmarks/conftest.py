@@ -53,7 +53,9 @@ def bench_store():
 @pytest.fixture(scope="session")
 def bench_master(bench_scale, bench_store) -> master.MasterResult:
     """The bench-scale evaluation sweep behind Fig. 4 and Tables I–IV."""
-    return master.run(bench_scale, store=bench_store)
+    from repro.sim.plan import RunPlan
+
+    return master.run(bench_scale, plan=RunPlan(store=bench_store))
 
 
 @pytest.fixture(scope="session")

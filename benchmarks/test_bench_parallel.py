@@ -14,6 +14,7 @@ import time
 
 from repro.experiments.common import PaperTrial
 from repro.sim.parallel import ExecutorConfig, run_trials_parallel
+from repro.sim.plan import RunPlan
 from repro.sim.runner import run_trials
 
 N_TAGS = 800
@@ -33,7 +34,7 @@ def test_parallel_campaign_matches_serial(benchmark, emit):
 
     def parallel_campaign():
         return run_trials_parallel(
-            trial, N_TRIALS, BASE_SEED, executor=executor
+            trial, N_TRIALS, BASE_SEED, plan=RunPlan(executor=executor)
         )
 
     result = benchmark(parallel_campaign)

@@ -13,8 +13,10 @@ This subpackage is the paper's primary contribution.  Typical use::
     print(result.bitmap.popcount(), "busy slots in", result.rounds, "rounds")
 
 Sessions run on an interchangeable engine (``engine="packed"`` bit-packed
-uint64 kernels, ``engine="bigint"`` big-int masks, default ``"auto"``);
-see :mod:`repro.core.engine` for the registry.
+uint64 kernels, ``engine="bigint"`` big-int masks, ``engine="batch"``
+the trial-major batched kernel, default ``"auto"``); see
+:mod:`repro.core.engine` for the registry and :mod:`repro.core.batch`
+for running B whole sessions per numpy call.
 """
 
 from repro.core.bitmap import Bitmap, union
@@ -35,7 +37,12 @@ from repro.core.session import (
     SessionResult,
     default_checking_frame_length,
     run_session,
-    run_session_masks,
+)
+from repro.core.batch import (
+    BATCH_RNG_CONTRACT,
+    BatchSessionEngine,
+    batch_trial_rngs,
+    run_session_batch,
 )
 from repro.sim.trace import SessionTracer
 
@@ -48,10 +55,13 @@ __all__ = [
     "SessionTracer",
     "default_checking_frame_length",
     "run_session",
-    "run_session_masks",
+    "run_session_batch",
+    "BATCH_RNG_CONTRACT",
+    "batch_trial_rngs",
     "SessionEngine",
     "BigintSessionEngine",
     "PackedSessionEngine",
+    "BatchSessionEngine",
     "available_engines",
     "get_engine",
     "register_engine",

@@ -42,7 +42,6 @@ from __future__ import annotations
 
 import math
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -269,36 +268,3 @@ def run_session(
                 "ccm_last_session_busy_slots", result.bitmap.popcount()
             )
     return result
-
-
-def run_session_masks(
-    network: Network,
-    initial_masks: Sequence[int],
-    config: CCMConfig,
-    channel: Optional[Channel] = None,
-    rng: Optional[np.random.Generator] = None,
-    ledger: Optional[EnergyLedger] = None,
-    tracer: Optional[SessionTracer] = None,
-    engine: str = "auto",
-) -> SessionResult:
-    """Deprecated alias for ``run_session(network, masks=..., ...)``.
-
-    Kept for one release so external callers keep working; in-repo code
-    has migrated to the unified entry point.
-    """
-    warnings.warn(
-        "run_session_masks is deprecated; call "
-        "run_session(network, masks=..., config=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run_session(
-        network,
-        masks=initial_masks,
-        config=config,
-        channel=channel,
-        rng=rng,
-        ledger=ledger,
-        tracer=tracer,
-        engine=engine,
-    )

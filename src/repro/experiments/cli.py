@@ -59,7 +59,8 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.engine import available_engines
-from repro.sim.parallel import BACKENDS, ExecutorConfig, stderr_ticker
+from repro.sim.parallel import stderr_ticker
+from repro.sim.plan import RunPlan, add_execution_arguments
 
 from repro.experiments import (
     ablations,
@@ -96,14 +97,21 @@ def _resolve_scale(args: argparse.Namespace) -> cfg.ReproScale:
     return replace(scale, **overrides) if overrides else scale
 
 
-def _resolve_executor(args: argparse.Namespace) -> Optional[ExecutorConfig]:
-    """``--workers``/``--backend`` -> an executor, or None for serial."""
-    if args.workers is None:
-        return None
+def _resolve_plan(args: argparse.Namespace) -> RunPlan:
+    """The shared execution-flag group -> one :class:`RunPlan`.
+
+    All flag semantics (``--resume`` implies ``--cache``, ``--no-cache``
+    wins, ...) live in :meth:`RunPlan.from_args`; this wrapper only
+    converts validation errors into CLI usage errors and announces a
+    resume on stderr.
+    """
     try:
-        return ExecutorConfig(workers=args.workers, backend=args.backend)
+        plan = RunPlan.from_args(args)
     except ValueError as exc:
         raise SystemExit(f"repro-ccm: error: {exc}")
+    if plan.resume and plan.store is not None:
+        print(f"[cache] resuming from {plan.store.root}", file=sys.stderr)
+    return plan
 
 
 def _resolve_progress(args: argparse.Namespace):
@@ -111,28 +119,6 @@ def _resolve_progress(args: argparse.Namespace):
     if not args.progress:
         return None
     return stderr_ticker(_resolve_scale(args).n_trials)
-
-
-def _resolve_store(args: argparse.Namespace):
-    """``--cache/--no-cache/--cache-dir/--resume`` -> (store, resume).
-
-    ``--resume`` implies ``--cache``; ``--no-cache`` wins over both (the
-    escape hatch for scripts that inherit cache flags).
-    """
-    from repro.store import ResultStore
-
-    resume = getattr(args, "resume", False)
-    enabled = (
-        getattr(args, "cache", False)
-        or getattr(args, "cache_dir", None) is not None
-        or resume
-    )
-    if getattr(args, "no_cache", False) or not enabled:
-        return None, False
-    store = ResultStore(args.cache_dir)
-    if resume:
-        print(f"[cache] resuming from {store.root}", file=sys.stderr)
-    return store, resume
 
 
 def _emit(text: str, out: Optional[str]) -> None:
@@ -143,13 +129,10 @@ def _emit(text: str, out: Optional[str]) -> None:
 
 
 def cmd_fig3(args: argparse.Namespace) -> None:
-    store, resume = _resolve_store(args)
     result = fig3_tiers.run(
         _resolve_scale(args),
-        executor=_resolve_executor(args),
+        plan=_resolve_plan(args),
         on_trial_done=_resolve_progress(args),
-        store=store,
-        resume=resume,
     )
     _emit(fig3_tiers.report(result), args.out)
 
@@ -157,16 +140,12 @@ def cmd_fig3(args: argparse.Namespace) -> None:
 def cmd_tables(args: argparse.Namespace) -> None:
     scale = _resolve_scale(args)
     ranges = scale.tag_ranges
-    store, resume = _resolve_store(args)
     started = time.perf_counter()
     result = master.run(
         scale,
         tag_ranges=ranges,
-        executor=_resolve_executor(args),
+        plan=_resolve_plan(args),
         on_trial_done=_resolve_progress(args),
-        engine=args.engine,
-        store=store,
-        resume=resume,
     )
     elapsed = time.perf_counter() - started
     _emit(master.report(result), args.out)
@@ -241,7 +220,6 @@ def cmd_statefree(args: argparse.Namespace) -> None:
 
 
 def cmd_robustness(args: argparse.Namespace) -> None:
-    store, resume = _resolve_store(args)
     kwargs = {}
     if args.n_tags is not None:
         kwargs["n_tags"] = args.n_tags
@@ -250,11 +228,8 @@ def cmd_robustness(args: argparse.Namespace) -> None:
     if args.seed is not None:
         kwargs["base_seed"] = args.seed
     rows = robustness.run(
-        executor=_resolve_executor(args),
+        plan=_resolve_plan(args),
         on_trial_done=_resolve_progress(args),
-        store=store,
-        resume=resume,
-        engine=args.engine,
         **kwargs,
     )
     _emit(robustness.report(rows), args.out)
@@ -574,44 +549,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="inter-tag ranges (m) to sweep",
     )
     common.add_argument("--seed", type=int, default=None)
-    common.add_argument(
-        "--workers", type=int, default=None,
-        help="fan each campaign's trials out over N workers "
-             "(default: serial; results are bit-identical)",
-    )
-    common.add_argument(
-        "--backend", choices=BACKENDS, default="process",
-        help="executor backend used with --workers (default: process)",
-    )
-    common.add_argument(
-        "--progress", action="store_true",
-        help="print a live trial counter to stderr",
-    )
-    common.add_argument(
-        "--cache", action="store_true",
-        help="memoize trials in the content-addressed result store "
-             "(~/.cache/repro; see docs/caching.md)",
-    )
-    common.add_argument(
-        "--no-cache", action="store_true",
-        help="force caching off (wins over --cache/--resume/--cache-dir)",
-    )
-    common.add_argument(
-        "--cache-dir", type=str, default=None,
-        help="result store location (implies --cache; default: "
-             "$REPRO_CACHE_DIR or ~/.cache/repro)",
-    )
-    common.add_argument(
-        "--resume", action="store_true",
-        help="continue a killed campaign from the result store "
-             "(implies --cache; aggregates are bit-identical to an "
-             "uninterrupted run)",
-    )
-    common.add_argument(
-        "--engine", choices=("auto", *sorted(available_engines())),
-        default="auto",
-        help="CCM session engine (tables/robustness commands; default: "
-             "auto = packed kernels for the built-in channels)",
+    # The one shared execution-options group: every subcommand mounts
+    # exactly the same --workers/--backend/--batch/--engine/--progress/
+    # --cache/--no-cache/--cache-dir/--resume flags, and
+    # RunPlan.from_args is the single interpreter for all of them.
+    add_execution_arguments(
+        common, engines=("auto", *sorted(available_engines()))
     )
     common.add_argument(
         "--out", type=str, default=None, help="append reports to this file"

@@ -9,18 +9,23 @@ table experiments are thin sweeps over this.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.store.cache import ResultStore
+    from repro.net.shm import TopologyHandle
 
-from repro.core.session import CCMConfig, run_session
+import numpy as np
+
+from repro.core.batch import run_session_batch
+from repro.core.session import CCMConfig, SessionResult, run_session
+from repro.net.channel import LossyChannel
 from repro.net.topology import Network, PaperDeployment, paper_network
 from repro.obs import metrics as obs_metrics
 from repro.protocols.sicp import SICPParams, run_sicp
 from repro.protocols.transport import frame_picks
-from repro.sim.parallel import ExecutorConfig, ProgressFn
+from repro.sim.parallel import ProgressFn
+from repro.sim.plan import RunPlan
 from repro.sim.runner import SweepResult, TrialFn, sweep
 
 from repro.experiments import paperconfig as cfg
@@ -137,38 +142,217 @@ def make_trial(
     return PaperTrial(tag_range, n_tags, tuple(protocols), engine)
 
 
+#: Rebuilt topologies, keyed by the deployment parameters that determine
+#: them.  A worker process that cannot attach the shared-memory segment
+#: (or was handed no handle at all) regenerates the network once and
+#: reuses it for every trial of the campaign.
+_TOPOLOGY_CACHE: Dict[Tuple, Network] = {}
+
+
+@dataclass(frozen=True)
+class SessionBatchTrial:
+    """One CCM session over a *fixed* topology — batchable and cacheable.
+
+    The paper's campaigns repeat a session question over many trials that
+    share one deployment; this trial keeps the topology fixed (seeded by
+    ``topology_seed``) and varies only the per-trial randomness (slot
+    picks, participation draws, channel losses).  It exposes the
+    :meth:`run_batch` hook, so a :class:`~repro.sim.parallel.Campaign`
+    with ``plan=RunPlan(batch=B)`` stacks B trials into one
+    :func:`~repro.core.batch.run_session_batch` call — bit-identical to
+    the per-trial path under the ``repro-batch-rng-v1`` contract
+    (each trial's generator draws its masks first, then its channel
+    losses, regardless of which path runs it).
+
+    The topology travels by *name*, not by value: ``topology`` is a
+    :class:`~repro.net.shm.TopologyHandle` naming a shared-memory
+    segment that workers attach zero-copy (falling back to a
+    deterministic rebuild if the segment is gone); ``network`` pins a
+    concrete object for in-process use.  Neither enters the result-store
+    content address — :meth:`cache_config` canonicalizes only the
+    parameters that *determine* the topology and trial physics.
+    """
+
+    tag_range: float
+    n_tags: int
+    frame_size: int
+    participation: float = 1.0
+    loss: float = 0.0
+    topology_seed: int = 0
+    engine: str = "packed"
+    field_radius: float = 30.0
+    reader_range: float = 30.0
+    tag_to_reader_range: float = 20.0
+    topology: "Optional[TopologyHandle]" = field(default=None, compare=False)
+    network: Optional[Network] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def cache_config(self) -> Dict[str, object]:
+        """The content-address fields: physics only, no transport handles."""
+        return {
+            "kind": "session_batch_trial",
+            "tag_range": self.tag_range,
+            "n_tags": self.n_tags,
+            "frame_size": self.frame_size,
+            "participation": self.participation,
+            "loss": self.loss,
+            "topology_seed": self.topology_seed,
+            "field_radius": self.field_radius,
+            "reader_range": self.reader_range,
+            "tag_to_reader_range": self.tag_to_reader_range,
+        }
+
+    def _deployment(self) -> PaperDeployment:
+        return PaperDeployment(
+            n_tags=self.n_tags,
+            field_radius=self.field_radius,
+            reader_to_tag_range=self.reader_range,
+            tag_to_reader_range=self.tag_to_reader_range,
+        )
+
+    def _resolve_network(self) -> Network:
+        if self.network is not None:
+            return self.network
+        if self.topology is not None:
+            from repro.net import shm
+
+            try:
+                return shm.attach_cached(self.topology)
+            except (FileNotFoundError, OSError):
+                pass  # segment gone (owner exited) — rebuild below
+        key = (
+            self.tag_range,
+            self.n_tags,
+            self.topology_seed,
+            self.field_radius,
+            self.reader_range,
+            self.tag_to_reader_range,
+        )
+        net = _TOPOLOGY_CACHE.get(key)
+        if net is None:
+            net = paper_network(
+                self.tag_range,
+                n_tags=self.n_tags,
+                seed=self.topology_seed,
+                deployment=self._deployment(),
+            )
+            _TOPOLOGY_CACHE[key] = net
+        return net
+
+    def _config(self) -> CCMConfig:
+        return CCMConfig(frame_size=self.frame_size)
+
+    def _draw_masks(self, rng: np.random.Generator, n: int) -> List[int]:
+        """Per-trial mask draw — the first draws on the trial generator.
+
+        Both paths draw the same two arrays in the same order (a
+        participation uniform and a slot pick per tag, always both, so
+        ``participation=1.0`` replays the same stream), leaving the
+        generator positioned identically for any channel draws that
+        follow.
+        """
+        p = rng.random(n)
+        s = rng.integers(0, self.frame_size, size=n)
+        take = p < self.participation
+        return [
+            int(1 << int(s[i])) if take[i] else 0 for i in range(n)
+        ]
+
+    def _draw_picks(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """The same draw as :meth:`_draw_masks` in slot-pick form.
+
+        Identical generator consumption (the two arrays, in order), so a
+        trial replays the same bits whichever representation runs it;
+        the array form skips per-tag Python mask objects for large n.
+        """
+        p = rng.random(n)
+        s = rng.integers(0, self.frame_size, size=n)
+        return np.where(p < self.participation, s, -1)
+
+    def _metrics(self, result: SessionResult) -> Dict[str, float]:
+        metrics = {
+            "slots": float(result.total_slots),
+            "rounds": float(result.rounds),
+            "busy_slots": float(result.bitmap.popcount()),
+            "terminated_cleanly": float(result.terminated_cleanly),
+        }
+        metrics.update(result.ledger.summary())
+        return metrics
+
+    def __call__(self, trial_index: int, seed: int) -> Dict[str, float]:
+        network = self._resolve_network()
+        rng = np.random.default_rng(int(seed))
+        masks = self._draw_masks(rng, network.n_tags)
+        if self.loss > 0.0:
+            result = run_session(
+                network,
+                masks=masks,
+                config=self._config(),
+                channel=LossyChannel(loss=self.loss),
+                rng=rng,
+                engine=self.engine,
+            )
+        else:
+            result = run_session(
+                network, masks=masks, config=self._config(),
+                engine=self.engine,
+            )
+        return self._metrics(result)
+
+    def run_batch(
+        self, indices: Sequence[int], seeds: Sequence[int]
+    ) -> List[Dict[str, float]]:
+        """All trials of one batch in a single batched-kernel call."""
+        network = self._resolve_network()
+        rngs = [np.random.default_rng(int(s)) for s in seeds]
+        picks_batch = [
+            self._draw_picks(rng, network.n_tags) for rng in rngs
+        ]
+        lossy = self.loss > 0.0
+        results = run_session_batch(
+            network,
+            None,
+            self._config(),
+            picks_batch=picks_batch,
+            channel=LossyChannel(loss=self.loss) if lossy else None,
+            rngs=rngs if lossy else None,
+        )
+        return [self._metrics(res) for res in results]
+
+
 def sweep_tag_range(
     scale: cfg.ReproScale,
     protocols: Sequence[str] = PROTOCOLS,
     tag_ranges: Optional[Iterable[float]] = None,
     *,
-    executor: Optional[ExecutorConfig] = None,
+    plan: Optional[RunPlan] = None,
     on_trial_done: Optional[ProgressFn] = None,
-    engine: str = "auto",
-    store: "Optional[ResultStore]" = None,
-    resume: bool = False,
 ) -> SweepResult:
     """The paper's master sweep: every metric at every inter-tag range.
 
-    ``executor`` fans each range point's trials out over a worker pool
-    (serial when ``None`` — bit-identical either way); ``on_trial_done``
-    observes trial completions, e.g. a progress ticker.  ``store``
+    Execution policy travels in ``plan`` (:class:`~repro.sim.plan.RunPlan`):
+    ``plan.executor`` fans each range point's trials out over a worker
+    pool (serial when absent — bit-identical either way), ``plan.store``
     memoizes every (range, trial) cell through the result cache —
     :class:`PaperTrial` is a frozen dataclass precisely so its config
-    canonicalizes into the content address — and ``resume=True``
-    continues a killed campaign from whatever the store already holds.
+    canonicalizes into the content address — ``plan.resume`` continues a
+    killed campaign from whatever the store already holds, and
+    ``plan.engine`` selects the session kernel.  ``on_trial_done``
+    observes trial completions, e.g. a progress ticker.
     """
+    plan = plan if plan is not None else RunPlan()
     ranges = tuple(tag_ranges if tag_ranges is not None else scale.tag_ranges)
     return sweep(
         parameter="tag_range_m",
         values=ranges,
-        trial_factory=lambda r: make_trial(r, scale.n_tags, protocols, engine),
+        trial_factory=lambda r: make_trial(
+            r, scale.n_tags, protocols, plan.engine
+        ),
         n_trials=scale.n_trials,
         base_seed=scale.base_seed,
-        executor=executor,
         on_trial_done=on_trial_done,
-        store=store,
-        resume=resume,
+        plan=plan,
     )
 
 

@@ -9,17 +9,15 @@ prediction 1 + ⌈(R − r')/r⌉ of the paper's analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.geometry import geometric_num_tiers
-from repro.sim.parallel import ExecutorConfig, ProgressFn
+from repro.sim.parallel import ProgressFn
+from repro.sim.plan import RunPlan
 from repro.sim.runner import SweepResult
 
 from repro.experiments import paperconfig as cfg
 from repro.experiments.common import sweep_tag_range
-
-if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.store.cache import ResultStore
 
 
 @dataclass
@@ -40,10 +38,8 @@ class Fig3Result:
 def run(
     scale: cfg.ReproScale = cfg.DEFAULT_SCALE,
     *,
-    executor: Optional[ExecutorConfig] = None,
+    plan: Optional[RunPlan] = None,
     on_trial_done: Optional[ProgressFn] = None,
-    store: "Optional[ResultStore]" = None,
-    resume: bool = False,
 ) -> Fig3Result:
     """Measure tier counts across the r sweep (topology only — cheap)."""
     from repro.obs import metrics as obs_metrics
@@ -52,10 +48,8 @@ def run(
         result: SweepResult = sweep_tag_range(
             scale,
             protocols=(),
-            executor=executor,
+            plan=plan,
             on_trial_done=on_trial_done,
-            store=store,
-            resume=resume,
         )
     measured = result.series("tiers")
     geometric = [

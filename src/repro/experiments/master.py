@@ -9,13 +9,11 @@ different projection of the same simulation campaign).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.sim.parallel import ExecutorConfig, ProgressFn
+from repro.sim.parallel import ProgressFn
+from repro.sim.plan import RunPlan
 from repro.sim.runner import SweepResult
-
-if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.store.cache import ResultStore
 
 from repro.experiments import paperconfig as cfg
 from repro.experiments.common import PROTOCOLS, format_table, sweep_tag_range
@@ -59,11 +57,8 @@ def run(
     scale: cfg.ReproScale = cfg.DEFAULT_SCALE,
     tag_ranges: Optional[Sequence[float]] = None,
     *,
-    executor: Optional[ExecutorConfig] = None,
+    plan: Optional[RunPlan] = None,
     on_trial_done: Optional[ProgressFn] = None,
-    engine: str = "auto",
-    store: "Optional[ResultStore]" = None,
-    resume: bool = False,
 ) -> MasterResult:
     from repro.obs import metrics as obs_metrics
 
@@ -72,11 +67,8 @@ def run(
             sweep=sweep_tag_range(
                 scale,
                 tag_ranges=tag_ranges,
-                executor=executor,
+                plan=plan,
                 on_trial_done=on_trial_done,
-                engine=engine,
-                store=store,
-                resume=resume,
             )
         )
 

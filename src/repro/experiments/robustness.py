@@ -19,7 +19,7 @@ driving the residual miss rate down by OR-merging repeated sessions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -28,11 +28,9 @@ from repro.core.session import CCMConfig, run_session
 from repro.net.channel import LossyChannel
 from repro.net.topology import PaperDeployment, paper_network
 from repro.protocols.transport import frame_picks, ideal_bitmap
-from repro.sim.parallel import ExecutorConfig, ProgressFn
+from repro.sim.parallel import ProgressFn
+from repro.sim.plan import RunPlan
 from repro.sim.runner import sweep
-
-if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.store.cache import ResultStore
 
 
 @dataclass
@@ -103,11 +101,8 @@ def run(
     n_trials: int = 3,
     base_seed: int = 555_777,
     *,
-    executor: Optional[ExecutorConfig] = None,
+    plan: Optional[RunPlan] = None,
     on_trial_done: Optional[ProgressFn] = None,
-    store: "Optional[ResultStore]" = None,
-    resume: bool = False,
-    engine: str = "auto",
 ) -> List[RobustnessRow]:
     """Sparse settings on purpose: in dense deployments every slot enjoys
     hundreds of independent sensing chances per hop (many listeners, many
@@ -117,12 +112,13 @@ def run(
 
     The loss axis runs through :func:`repro.sim.runner.sweep`, so lossy
     sweeps get the same campaign machinery as every other experiment:
-    ``executor=`` fans trials over workers, ``store=``/``resume=``
-    memoize them through the result cache, and ``engine=`` picks the
-    session engine (the default ``"auto"`` resolves to packed — lossy
-    results are bit-identical across engines under the
-    ``repro-channel-rng-v1`` contract).
+    ``plan.executor`` fans trials over workers, ``plan.store`` /
+    ``plan.resume`` memoize them through the result cache, and
+    ``plan.engine`` picks the session engine (the default ``"auto"``
+    resolves to packed — lossy results are bit-identical across engines
+    under the ``repro-channel-rng-v1`` contract).
     """
+    plan = plan if plan is not None else RunPlan()
     result = sweep(
         parameter="loss",
         values=losses,
@@ -131,14 +127,12 @@ def run(
             n_tags=n_tags,
             tag_range=tag_range,
             frame_size=frame_size,
-            engine=engine,
+            engine=plan.engine,
         ),
         n_trials=n_trials,
         base_seed=base_seed,
-        executor=executor,
         on_trial_done=on_trial_done,
-        store=store,
-        resume=resume,
+        plan=plan,
     )
     rows: List[RobustnessRow] = []
     for loss, agg in zip(result.values, result.aggregates):

@@ -19,6 +19,7 @@ from repro.sim.parallel import (
     run_trials_parallel,
     stderr_ticker,
 )
+from repro.sim.plan import ObsPlan, RunPlan, add_execution_arguments
 from repro.sim.rng import (
     TagHasher,
     derive_seed,
@@ -58,6 +59,9 @@ __all__ = [
     "TrialFailure",
     "run_trials_parallel",
     "stderr_ticker",
+    "ObsPlan",
+    "RunPlan",
+    "add_execution_arguments",
     "MetricDict",
     "SweepResult",
     "TrialAggregate",

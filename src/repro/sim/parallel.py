@@ -51,6 +51,7 @@ from typing import (
 )
 
 from repro.obs import metrics as obs_metrics
+from repro.sim.plan import RunPlan, coerce_run_plan
 from repro.sim.runner import (
     MetricDict,
     TrialAggregate,
@@ -402,6 +403,44 @@ def _run_chunk(
     ]
 
 
+def _run_batch_chunk(
+    trial_fn: TrialFn,
+    indices: Sequence[int],
+    base_seed: int,
+    max_retries: int,
+) -> List[
+    Tuple[int, Optional[Dict[str, float]], Optional[TrialFailure], float, int]
+]:
+    """Worker task: run a group of trials through the trial's batched hook.
+
+    ``trial_fn.run_batch(indices, seeds)`` advances all the trials in
+    one batched kernel call and returns their metric dicts in order.
+    The seeds are the same :func:`~repro.sim.runner.trial_seed` stream
+    per-trial dispatch uses, and the ``repro-batch-rng-v1`` contract
+    makes the batched results bit-identical to per-trial ones — which is
+    why any batch failure can simply fall back to the per-trial path
+    (recovering trial isolation and bounded retries without changing a
+    single result).  Wall time is attributed evenly across the group.
+    """
+    indices = list(indices)
+    started = time.perf_counter()
+    try:
+        seeds = [trial_seed(base_seed, k) for k in indices]
+        metrics_list = trial_fn.run_batch(indices, seeds)
+        if len(metrics_list) != len(indices):
+            raise ValueError(
+                f"run_batch returned {len(metrics_list)} results for "
+                f"{len(indices)} trials"
+            )
+    except Exception:  # noqa: BLE001 - fall back to isolated trials
+        return _run_chunk(trial_fn, indices, base_seed, max_retries)
+    share = (time.perf_counter() - started) / len(indices)
+    return [
+        (k, dict(metrics), None, share, 1)
+        for k, metrics in zip(indices, metrics_list)
+    ]
+
+
 # -- the campaign -------------------------------------------------------------
 
 
@@ -453,6 +492,24 @@ class Campaign:
     store: Optional["ResultStore"] = None
     trial_config: Optional[Dict[str, Any]] = None
     resume: bool = False
+    plan: Optional[RunPlan] = None
+
+    def __post_init__(self) -> None:
+        # The RunPlan consolidation: ``plan=`` is the one way to express
+        # execution options; the historical per-keyword fields remain as
+        # a deprecated shim that folds into an equivalent plan (one
+        # DeprecationWarning, attributed to the constructing caller).
+        plan = coerce_run_plan(
+            self.plan,
+            stacklevel=4,  # caller -> __init__ -> __post_init__ -> coerce
+            executor=self.executor,
+            store=self.store,
+            resume=self.resume,
+        )
+        self.plan = plan
+        self.executor = plan.executor
+        self.store = plan.store
+        self.resume = plan.resume
 
     def run(self) -> CampaignResult:
         if self.n_trials <= 0:
@@ -534,7 +591,36 @@ class Campaign:
                             obs.inc("campaign_cache_misses_total")
                             pending.append(k)
                 if pending:
-                    if cfg.backend == "serial":
+                    batch = self.plan.batch if self.plan is not None else 1
+                    use_batch = batch > 1 and callable(
+                        getattr(self.trial_fn, "run_batch", None)
+                    )
+                    if use_batch:
+                        # B trials per task through the batched kernel.
+                        # Batch grouping *is* the chunking in this mode
+                        # (ExecutorConfig.chunk_size is ignored).
+                        groups = [
+                            pending[i : i + batch]
+                            for i in range(0, len(pending), batch)
+                        ]
+                        if cfg.backend == "serial":
+                            for group in groups:
+                                for rec in _run_batch_chunk(
+                                    self.trial_fn,
+                                    group,
+                                    self.base_seed,
+                                    cfg.max_retries,
+                                ):
+                                    record(*rec)
+                        else:
+                            self._run_pooled(
+                                cfg,
+                                record,
+                                pending,
+                                chunks=groups,
+                                worker=_run_batch_chunk,
+                            )
+                    elif cfg.backend == "serial":
                         self._run_serial(cfg, record, pending)
                     else:
                         self._run_pooled(cfg, record, pending)
@@ -660,7 +746,12 @@ class Campaign:
             record(k, metrics, failure, wall_s, attempts)
 
     def _run_pooled(
-        self, cfg: ExecutorConfig, record, indices: Sequence[int]
+        self,
+        cfg: ExecutorConfig,
+        record,
+        indices: Sequence[int],
+        chunks: Optional[List[List[int]]] = None,
+        worker: Callable = _run_chunk,
     ) -> None:
         pool_cls = (
             futures.ProcessPoolExecutor
@@ -668,15 +759,16 @@ class Campaign:
             else futures.ThreadPoolExecutor
         )
         indices = list(indices)
-        chunks = [
-            indices[i : i + cfg.chunk_size]
-            for i in range(0, len(indices), cfg.chunk_size)
-        ]
+        if chunks is None:
+            chunks = [
+                indices[i : i + cfg.chunk_size]
+                for i in range(0, len(indices), cfg.chunk_size)
+            ]
         done = 0
         with pool_cls(max_workers=cfg.resolved_workers()) as pool:
             pending = [
                 pool.submit(
-                    _run_chunk, self.trial_fn, chunk, self.base_seed,
+                    worker, self.trial_fn, chunk, self.base_seed,
                     cfg.max_retries,
                 )
                 for chunk in chunks
@@ -703,21 +795,27 @@ def run_trials_parallel(
     *,
     store: Optional["ResultStore"] = None,
     resume: bool = False,
+    plan: Optional[RunPlan] = None,
 ) -> CampaignResult:
     """Run a campaign on the parallel engine and return the full result.
 
     The functional shorthand over :class:`Campaign`; unlike ``run_trials``
-    it defaults to the process backend (``ExecutorConfig()``) and returns
-    the :class:`CampaignResult` — aggregates *and* failures — rather than
-    raising when trials fail.  ``store``/``resume`` plug in the result
-    cache exactly as on :class:`Campaign`.
+    it defaults to the process backend (``ExecutorConfig()``ing an
+    unset ``plan.executor``) and returns the :class:`CampaignResult` —
+    aggregates *and* failures — rather than raising when trials fail.
+    Execution options travel in ``plan=``
+    (:class:`~repro.sim.plan.RunPlan`); the ``executor``/``store``/
+    ``resume`` keywords are a deprecated shim for one release.
     """
+    plan = coerce_run_plan(
+        plan, stacklevel=3, executor=executor, store=store, resume=resume
+    )
+    if plan.executor is None:
+        plan = plan.replace(executor=ExecutorConfig())
     return Campaign(
         trial_fn,
         n_trials,
         base_seed,
-        executor=executor if executor is not None else ExecutorConfig(),
         on_trial_done=on_trial_done,
-        store=store,
-        resume=resume,
+        plan=plan,
     ).run()

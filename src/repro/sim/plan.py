@@ -1,0 +1,299 @@
+"""RunPlan: one object describing *how* a campaign executes.
+
+The execution options of a campaign — which engine runs the sessions,
+where trials run (:class:`~repro.sim.parallel.ExecutorConfig`), whether
+results are memoized (:class:`~repro.store.cache.ResultStore`), whether
+a killed run is being resumed, how many trials are stacked per batched
+kernel task, and which observability sinks receive output — historically
+travelled as separate keyword arguments duplicated across ``run_trials``,
+``sweep``, :class:`~repro.sim.parallel.Campaign`,
+``run_trials_parallel`` and ~35 CLI ``add_argument`` calls.  This module
+consolidates them:
+
+* :class:`RunPlan` — a frozen value object accepted as the single
+  keyword-only ``plan=`` by all four campaign entry points.
+* :class:`ObsPlan` — the observability sinks (metrics/trace output
+  paths, progress ticker) grouped under :attr:`RunPlan.obs`.
+* :func:`RunPlan.from_args` — builds a plan from an ``argparse``
+  namespace produced by :func:`add_execution_arguments`, replacing the
+  hand-rolled flag plumbing in ``experiments/cli.py``.
+* :func:`add_execution_arguments` — the one shared parent-parser options
+  group (``--workers/--backend/--batch/--cache/--resume/--engine/...``)
+  every experiment subcommand mounts, so subcommands can no longer
+  silently diverge in which execution flags they expose.
+* :func:`coerce_run_plan` — the deprecation shim: entry points call it
+  to fold legacy per-kwarg forms (``executor=``, ``store=``, ...) into a
+  RunPlan, emitting exactly one :class:`DeprecationWarning` attributed
+  to the caller.
+
+The plan describes execution only; it never changes *what* a trial
+computes, so no RunPlan field enters the result-store content address
+(except ``engine``, which already did).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - types only (import cycle guard)
+    from repro.sim.parallel import ExecutorConfig
+    from repro.store.cache import ResultStore
+
+__all__ = [
+    "ObsPlan",
+    "RunPlan",
+    "add_execution_arguments",
+    "coerce_run_plan",
+]
+
+
+@dataclass(frozen=True)
+class ObsPlan:
+    """Observability sinks of one run: where non-result output goes.
+
+    ``metrics_out``/``trace_out`` are file paths (JSON metrics registry
+    dump / JSONL session trace) or ``None`` for off; ``progress`` asks
+    the driver to attach a progress ticker.  Grouped separately from the
+    execution fields because sinks never affect results.
+    """
+
+    metrics_out: Optional[str] = None
+    trace_out: Optional[str] = None
+    progress: bool = False
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """How a campaign executes, as one frozen value object.
+
+    Parameters
+    ----------
+    engine:
+        Session engine name resolved through
+        :func:`repro.core.engine.resolve_engine` (``"auto"`` default).
+    executor:
+        :class:`~repro.sim.parallel.ExecutorConfig` or ``None`` for the
+        historical in-process serial loop.
+    store:
+        :class:`~repro.store.cache.ResultStore` memoization layer, or
+        ``None`` for no caching.
+    resume:
+        Continue a killed campaign (requires ``store``; checked when the
+        campaign runs, matching the historical error site).
+    batch:
+        Trials stacked per batched-kernel worker task.  ``1`` (default)
+        dispatches per-trial; ``B > 1`` groups B trial indices per task
+        and hands them to the trial object's ``run_batch`` hook (trials
+        without the hook fall back to per-trial dispatch — the flag is
+        then inert, not an error).
+    obs:
+        :class:`ObsPlan` sink selection.
+    """
+
+    engine: str = "auto"
+    executor: "Optional[ExecutorConfig]" = None
+    store: "Optional[ResultStore]" = None
+    resume: bool = False
+    batch: int = 1
+    obs: ObsPlan = field(default_factory=ObsPlan)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.engine, str) or not self.engine:
+            raise ValueError(f"engine must be a non-empty string, got {self.engine!r}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+
+    def replace(self, **changes: Any) -> "RunPlan":
+        """A copy with the given fields changed (frozen-dataclass sugar)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace) -> "RunPlan":
+        """Build a plan from an :func:`add_execution_arguments` namespace.
+
+        Missing attributes take their defaults, so namespaces from
+        parsers that mount only part of the group still work.  Semantics
+        mirror the historical CLI plumbing exactly:
+
+        * ``--workers`` unset -> no executor (serial in-process);
+          otherwise a process/thread pool per ``--backend``.
+        * ``--resume`` or ``--cache-dir`` imply ``--cache``;
+          ``--no-cache`` wins over all of them.
+        * invalid combinations raise ``ValueError`` (CLI drivers convert
+          it to a usage error).
+        """
+        from repro.sim.parallel import ExecutorConfig
+
+        executor = None
+        workers = getattr(args, "workers", None)
+        if workers is not None:
+            executor = ExecutorConfig(
+                workers=workers, backend=getattr(args, "backend", "process")
+            )
+        resume = bool(getattr(args, "resume", False))
+        cache_dir = getattr(args, "cache_dir", None)
+        enabled = bool(getattr(args, "cache", False)) or cache_dir is not None or resume
+        store = None
+        if enabled and not getattr(args, "no_cache", False):
+            from repro.store.cache import ResultStore
+
+            store = ResultStore(cache_dir)
+        else:
+            resume = False
+        return cls(
+            engine=getattr(args, "engine", None) or "auto",
+            executor=executor,
+            store=store,
+            resume=resume,
+            batch=int(getattr(args, "batch", None) or 1),
+            obs=ObsPlan(
+                metrics_out=getattr(args, "metrics_out", None),
+                trace_out=getattr(args, "trace_out", None),
+                progress=bool(getattr(args, "progress", False)),
+            ),
+        )
+
+
+def add_execution_arguments(
+    parser: argparse.ArgumentParser,
+    *,
+    engines: Optional[Tuple[str, ...]] = None,
+) -> argparse._ArgumentGroup:
+    """Mount the shared execution-options group on ``parser``.
+
+    Every experiment subcommand gets this exact group (via a parent
+    parser), and :meth:`RunPlan.from_args` understands precisely these
+    destinations — add a knob here and every subcommand grows it at
+    once.  ``engines`` overrides the ``--engine`` choices (defaults to
+    ``"auto"`` plus every registered engine).
+    """
+    if engines is None:
+        from repro.core.engine import AUTO_ENGINE, available_engines
+
+        engines = (AUTO_ENGINE,) + available_engines()
+    group = parser.add_argument_group("execution options")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallelize trials over N workers (0 = all cores); "
+        "default: serial in-process",
+    )
+    group.add_argument(
+        "--backend",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="worker pool backend when --workers is given (default: process)",
+    )
+    group.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        metavar="B",
+        help="trials stacked per batched-kernel task for batch-capable "
+        "trials (default: 1 = per-trial dispatch)",
+    )
+    group.add_argument(
+        "--engine",
+        choices=engines,
+        default="auto",
+        help="session engine (default: auto)",
+    )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="show a live trial-progress ticker on stderr",
+    )
+    group.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize trial results in the result store",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result store even if --cache/--cache-dir/--resume "
+        "is given",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-store root (implies --cache; default: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed campaign from its checkpoint (implies --cache)",
+    )
+    return group
+
+
+#: The legacy keyword defaults each entry point historically exposed.
+#: A keyword equal to its default is treated as "not supplied" — the
+#: shim cannot distinguish an explicit default from an omitted kwarg,
+#: which is exactly the right ambiguity: the behaviour is identical.
+_LEGACY_DEFAULTS: Mapping[str, Any] = {
+    "engine": "auto",
+    "executor": None,
+    "store": None,
+    "resume": False,
+    "batch": 1,
+}
+
+
+def coerce_run_plan(
+    plan: Optional[RunPlan],
+    *,
+    stacklevel: int = 3,
+    **legacy: Any,
+) -> RunPlan:
+    """Fold a ``plan=`` argument and legacy per-kwarg forms into a RunPlan.
+
+    The deprecation shim shared by all four campaign entry points:
+
+    * ``plan`` given, no legacy kwargs -> returned as-is.
+    * legacy kwargs only -> one :class:`DeprecationWarning` (attributed
+      ``stacklevel`` frames up, i.e. to the *caller* of the entry
+      point), and an equivalent RunPlan is built — byte-identical
+      behaviour by construction.
+    * both -> ``ValueError``: the caller must pick one spelling.
+    * neither -> the default plan.
+    """
+    supplied = {
+        name: value
+        for name, value in legacy.items()
+        if value is not _LEGACY_DEFAULTS.get(name)
+        and value != _LEGACY_DEFAULTS.get(name)
+    }
+    if plan is not None:
+        if supplied:
+            raise ValueError(
+                "pass execution options either as plan=RunPlan(...) or as "
+                f"the legacy keywords ({', '.join(sorted(supplied))}=), "
+                "not both"
+            )
+        return plan
+    if supplied:
+        warnings.warn(
+            "the per-keyword execution options ("
+            + ", ".join(f"{name}=" for name in sorted(supplied))
+            + ") are deprecated; pass plan=repro.sim.RunPlan(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        merged = {**_LEGACY_DEFAULTS, **legacy}
+        return RunPlan(
+            engine=merged["engine"],
+            executor=merged["executor"],
+            store=merged["store"],
+            resume=merged["resume"],
+            batch=merged["batch"],
+        )
+    return RunPlan()

@@ -10,9 +10,10 @@ Everything is deterministic given the base seed, and metrics are plain
 dicts of floats so experiments stay decoupled from protocols.
 
 Campaigns can be fanned out over worker processes/threads via the
-:mod:`repro.sim.parallel` engine (``executor=`` on ``run_trials``/``sweep``
-or the :class:`~repro.sim.parallel.Campaign` object API); both paths share
-:func:`trial_seed`, so the results are bit-identical.
+:mod:`repro.sim.parallel` engine (``plan=RunPlan(executor=...)`` on
+``run_trials``/``sweep`` or the :class:`~repro.sim.parallel.Campaign`
+object API); both paths share :func:`trial_seed`, so the results are
+bit-identical.
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from repro.sim.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.sim.parallel import ExecutorConfig, ProgressFn
+    from repro.sim.plan import RunPlan
     from repro.store.cache import ResultStore
 
 MetricDict = Mapping[str, float]
@@ -117,30 +119,49 @@ def run_trials(
     on_trial_done: "Optional[ProgressFn]" = None,
     store: "Optional[ResultStore]" = None,
     resume: bool = False,
+    plan: "Optional[RunPlan]" = None,
 ) -> Dict[str, TrialAggregate]:
     """Run ``trial_fn`` ``n_trials`` times with independent derived seeds.
 
-    With the default ``executor=None`` this is the historical inline
-    serial loop: trial exceptions propagate raw, and no campaign
-    machinery is involved.  Pass an
-    :class:`~repro.sim.parallel.ExecutorConfig` to fan trials out over a
+    Execution options travel in ``plan=``
+    (:class:`~repro.sim.plan.RunPlan`); the per-keyword
+    ``executor``/``store``/``resume`` spellings are a deprecated shim
+    for one release, folded into an equivalent plan with a single
+    :class:`DeprecationWarning`.
+
+    With the default plan this is the historical inline serial loop:
+    trial exceptions propagate raw, and no campaign machinery is
+    involved.  A plan with an
+    :class:`~repro.sim.parallel.ExecutorConfig` fans trials out over a
     process or thread pool — the aggregates are bit-identical to the
-    serial run.  On this path a trial failure raises
+    serial run.  On that path a trial failure raises
     :class:`~repro.sim.parallel.CampaignError` (carrying the structured
     :class:`~repro.sim.parallel.TrialFailure` records); use
     :class:`~repro.sim.parallel.Campaign` directly to tolerate partial
     failure.
 
-    ``store`` memoizes trials through a
+    ``plan.store`` memoizes trials through a
     :class:`~repro.store.cache.ResultStore` (read-through before
     dispatch, write-through on success); already-computed trials are
-    served from disk with bit-identical aggregates.  ``resume=True``
+    served from disk with bit-identical aggregates.  ``plan.resume``
     marks the run as the continuation of a killed campaign (the
     checkpoint journal is appended rather than truncated).
+    ``plan.batch > 1`` stacks trials into batched kernel tasks for
+    trial objects exposing ``run_batch``.
     """
     if n_trials <= 0:
         raise ValueError("n_trials must be positive")
-    if executor is None and on_trial_done is None and store is None:
+    from repro.sim.plan import coerce_run_plan
+
+    plan = coerce_run_plan(
+        plan, stacklevel=3, executor=executor, store=store, resume=resume
+    )
+    if (
+        plan.executor is None
+        and plan.store is None
+        and plan.batch == 1
+        and on_trial_done is None
+    ):
         per_trial = [
             trial_fn(k, trial_seed(base_seed, k)) for k in range(n_trials)
         ]
@@ -151,10 +172,8 @@ def run_trials(
         trial_fn,
         n_trials,
         base_seed,
-        executor=executor,
         on_trial_done=on_trial_done,
-        store=store,
-        resume=resume,
+        plan=plan,
     ).run()
     if result.failures:
         raise CampaignError(result.failures, result.aggregates)
@@ -197,19 +216,26 @@ def sweep(
     on_trial_done: "Optional[ProgressFn]" = None,
     store: "Optional[ResultStore]" = None,
     resume: bool = False,
+    plan: "Optional[RunPlan]" = None,
 ) -> SweepResult:
     """Run ``n_trials`` trials at each parameter value.
 
     ``trial_factory(value)`` builds the trial function for one axis point;
     each point gets an independent seed stream derived from ``base_seed``
     and the point's index, so adding points never perturbs existing ones.
-    ``executor``/``on_trial_done``/``store``/``resume`` are forwarded to
-    :func:`run_trials` for each point (parallelism and memoization are at
-    the trial level, within a point — every point's trial function has
-    its own config, so points never collide in the store).
+    ``plan``/``on_trial_done`` are forwarded to :func:`run_trials` for
+    each point (parallelism and memoization are at the trial level,
+    within a point — every point's trial function has its own config, so
+    points never collide in the store).  The per-keyword
+    ``executor``/``store``/``resume`` spellings are a deprecated shim
+    for one release.
     """
     from repro.obs import metrics as obs_metrics
+    from repro.sim.plan import coerce_run_plan
 
+    plan = coerce_run_plan(
+        plan, stacklevel=3, executor=executor, store=store, resume=resume
+    )
     obs = obs_metrics.OBS
     result = SweepResult(parameter=parameter, values=[])
     for idx, value in enumerate(values):
@@ -219,10 +245,8 @@ def sweep(
                 trial_fn,
                 n_trials,
                 base_seed=derive_seed(base_seed, 0x5EE9, idx) % (2**32),
-                executor=executor,
                 on_trial_done=on_trial_done,
-                store=store,
-                resume=resume,
+                plan=plan,
             )
         obs.inc("sweep_points_total")
         obs.inc("sweep_trials_total", n_trials)

@@ -22,9 +22,11 @@ Quick start::
 
     from repro.store import ResultStore
     from repro.sim.parallel import Campaign
+    from repro.sim.plan import RunPlan
 
     store = ResultStore()                      # ~/.cache/repro
-    result = Campaign(trial, 100, seed, store=store).run()
+    plan = RunPlan(store=store)
+    result = Campaign(trial, 100, seed, plan=plan).run()
     result.cache_hits                          # 100 on the second run
 
 See ``docs/caching.md`` for key composition, invalidation rules, resume

@@ -54,17 +54,21 @@ def code_fingerprint(
 
     Each file contributes its package-relative path and contents, so
     renames, additions and deletions all change the fingerprint, not
-    just edits.  The channel RNG-draw contract version
-    (:data:`repro.net.channel.CHANNEL_RNG_CONTRACT`) is mixed in
+    just edits.  The RNG-draw contract versions
+    (:data:`repro.net.channel.CHANNEL_RNG_CONTRACT` and
+    :data:`repro.core.batch.BATCH_RNG_CONTRACT`) are mixed in
     explicitly: cached metrics are only replayable while the random
-    stream that produced them is pinned, so bumping the contract
+    streams that produced them are pinned, so bumping either contract
     invalidates every key by construction — not merely as a side effect
     of the source edit that carried the bump.
     """
+    from repro.core.batch import BATCH_RNG_CONTRACT
     from repro.net.channel import CHANNEL_RNG_CONTRACT
 
     h = hashlib.sha256()
     h.update(CHANNEL_RNG_CONTRACT.encode("utf-8"))
+    h.update(b"\0")
+    h.update(BATCH_RNG_CONTRACT.encode("utf-8"))
     h.update(b"\0")
     for package in packages:
         mod = importlib.import_module(package)

@@ -31,6 +31,7 @@ from repro.sim.parallel import (
     ExecutorConfig,
     stderr_ticker,
 )
+from repro.sim.plan import RunPlan
 from repro.sim.runner import run_trials
 from repro.store import CampaignCheckpoint, ResultStore, campaign_key, digest
 from repro.store.cache import trial_config_of
@@ -76,8 +77,8 @@ class TestMemoization:
     def test_second_run_is_all_hits_and_bit_identical(self, tmp_path):
         store = ResultStore(tmp_path)
         uncached = Campaign(FlakyTrial(), 5, 42).run()
-        first = Campaign(FlakyTrial(), 5, 42, store=store).run()
-        second = Campaign(FlakyTrial(), 5, 42, store=store).run()
+        first = Campaign(FlakyTrial(), 5, 42, plan=RunPlan(store=store)).run()
+        second = Campaign(FlakyTrial(), 5, 42, plan=RunPlan(store=store)).run()
         assert first.cache_hits == 0
         assert first.n_computed == 5
         assert second.cache_hits == 5
@@ -91,28 +92,28 @@ class TestMemoization:
     @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
     def test_hits_serve_every_backend(self, tmp_path, backend):
         store = ResultStore(tmp_path)
-        baseline = Campaign(FlakyTrial(), 4, 7, store=store).run()
+        baseline = Campaign(FlakyTrial(), 4, 7, plan=RunPlan(store=store)).run()
         cfg = (
             ExecutorConfig.serial()
             if backend == "serial"
             else ExecutorConfig(workers=2, backend=backend)
         )
-        warm = Campaign(FlakyTrial(), 4, 7, executor=cfg, store=store).run()
+        warm = Campaign(FlakyTrial(), 4, 7, plan=RunPlan(executor=cfg, store=store)).run()
         assert warm.cache_hits == 4
         assert warm.aggregates == baseline.aggregates
 
     def test_partial_warm_store_computes_only_the_rest(self, tmp_path):
         store = ResultStore(tmp_path)
-        Campaign(FlakyTrial(), 3, 7, store=store).run()
-        grown = Campaign(FlakyTrial(), 6, 7, store=store).run()
+        Campaign(FlakyTrial(), 3, 7, plan=RunPlan(store=store)).run()
+        grown = Campaign(FlakyTrial(), 6, 7, plan=RunPlan(store=store)).run()
         assert grown.cache_hits == 3
         assert grown.n_computed == 3
         assert grown.aggregates == Campaign(FlakyTrial(), 6, 7).run().aggregates
 
     def test_run_trials_path_uses_the_store(self, tmp_path):
         store = ResultStore(tmp_path)
-        cold = run_trials(FlakyTrial(), 4, 3, store=store)
-        warm = run_trials(FlakyTrial(), 4, 3, store=store)
+        cold = run_trials(FlakyTrial(), 4, 3, plan=RunPlan(store=store))
+        warm = run_trials(FlakyTrial(), 4, 3, plan=RunPlan(store=store))
         plain = run_trials(FlakyTrial(), 4, 3)
         assert cold == warm == plain
         assert store.stats().n_entries == 4
@@ -120,8 +121,8 @@ class TestMemoization:
     def test_obs_counters_track_hits_and_misses(self, tmp_path):
         store = ResultStore(tmp_path)
         with use_registry() as reg:
-            Campaign(FlakyTrial(), 3, 1, store=store).run()
-            Campaign(FlakyTrial(), 3, 1, store=store).run()
+            Campaign(FlakyTrial(), 3, 1, plan=RunPlan(store=store)).run()
+            Campaign(FlakyTrial(), 3, 1, plan=RunPlan(store=store)).run()
         assert reg.counter("campaign_cache_campaigns_total").value == 2.0
         assert reg.counter("campaign_cache_misses_total").value == 3.0
         assert reg.counter("campaign_cache_hits_total").value == 3.0
@@ -135,13 +136,14 @@ class TestMemoization:
             FlakyTrial(),
             3,
             5,
-            executor=ExecutorConfig.serial(max_retries=0),
-            store=store,
+            plan=RunPlan(
+                executor=ExecutorConfig.serial(max_retries=0), store=store
+            ),
         ).run()
         assert [f.trial_index for f in flaked.failures] == [1]
         assert store.stats().n_entries == 2  # trials 0 and 2 only
         FLAKY_FAIL["at"] = None
-        healed = Campaign(FlakyTrial(), 3, 5, store=store).run()
+        healed = Campaign(FlakyTrial(), 3, 5, plan=RunPlan(store=store)).run()
         assert healed.cache_hits == 2
         assert healed.ok
 
@@ -152,15 +154,15 @@ class TestMemoization:
 class TestInvalidation:
     def test_changed_config_misses(self, tmp_path):
         store = ResultStore(tmp_path)
-        Campaign(FlakyTrial(width=2.0), 3, 1, store=store).run()
-        other = Campaign(FlakyTrial(width=3.0), 3, 1, store=store).run()
+        Campaign(FlakyTrial(width=2.0), 3, 1, plan=RunPlan(store=store)).run()
+        other = Campaign(FlakyTrial(width=3.0), 3, 1, plan=RunPlan(store=store)).run()
         assert other.cache_hits == 0
         assert store.stats().n_entries == 6
 
     def test_changed_seed_misses(self, tmp_path):
         store = ResultStore(tmp_path)
-        Campaign(FlakyTrial(), 3, 1, store=store).run()
-        other = Campaign(FlakyTrial(), 3, 2, store=store).run()
+        Campaign(FlakyTrial(), 3, 1, plan=RunPlan(store=store)).run()
+        other = Campaign(FlakyTrial(), 3, 2, plan=RunPlan(store=store)).run()
         assert other.cache_hits == 0
 
     def test_changed_engine_misses(self, tmp_path):
@@ -173,7 +175,7 @@ class TestInvalidation:
 
             fn.engine = engine_id
             return Campaign(
-                fn, 3, 7, store=store, trial_config=config
+                fn, 3, 7, plan=RunPlan(store=store), trial_config=config
             ).run()
 
         assert campaign("reference").cache_hits == 0
@@ -182,22 +184,22 @@ class TestInvalidation:
 
     def test_changed_code_fingerprint_misses(self, tmp_path, monkeypatch):
         store = ResultStore(tmp_path)
-        Campaign(FlakyTrial(), 3, 1, store=store).run()
+        Campaign(FlakyTrial(), 3, 1, plan=RunPlan(store=store)).run()
         monkeypatch.setattr(
             "repro.store.fingerprint.code_fingerprint",
             lambda packages=None: "deadbeefdeadbeef",
         )
-        other = Campaign(FlakyTrial(), 3, 1, store=store).run()
+        other = Campaign(FlakyTrial(), 3, 1, plan=RunPlan(store=store)).run()
         assert other.cache_hits == 0
 
     def test_uncacheable_trial_is_an_error(self, tmp_path):
         store = ResultStore(tmp_path)
         with pytest.raises(ValueError, match="not cacheable"):
-            Campaign(lambda k, s: {"v": 1.0}, 2, 0, store=store).run()
+            Campaign(lambda k, s: {"v": 1.0}, 2, 0, plan=RunPlan(store=store)).run()
 
     def test_resume_without_store_is_an_error(self):
         with pytest.raises(ValueError, match="requires a result store"):
-            Campaign(FlakyTrial(), 2, 0, resume=True).run()
+            Campaign(FlakyTrial(), 2, 0, plan=RunPlan(resume=True)).run()
 
 
 # -- crash-resume -------------------------------------------------------------
@@ -214,15 +216,17 @@ class TestCrashResume:
                 FlakyTrial(),
                 6,
                 42,
-                executor=ExecutorConfig.serial(fail_fast=True),
-                store=store,
+                plan=RunPlan(
+                    executor=ExecutorConfig.serial(fail_fast=True),
+                    store=store,
+                ),
             ).run()
         # trials 0..2 completed and were written through before the crash
         assert store.stats().n_entries == 3
 
         FLAKY_FAIL["at"] = None
         resumed = Campaign(
-            FlakyTrial(), 6, 42, store=store, resume=True
+            FlakyTrial(), 6, 42, plan=RunPlan(store=store, resume=True)
         ).run()
         assert resumed.cache_hits == 3
         assert resumed.n_computed == 3
@@ -233,7 +237,7 @@ class TestCrashResume:
 
     def test_checkpoint_journal_records_completion(self, tmp_path):
         store = ResultStore(tmp_path)
-        result = Campaign(FlakyTrial(), 4, 9, store=store).run()
+        result = Campaign(FlakyTrial(), 4, 9, plan=RunPlan(store=store)).run()
         key = campaign_key(
             trial_config_of(FlakyTrial()), 4, 9, None, code_fingerprint()
         )
@@ -252,6 +256,7 @@ class TestCrashResume:
                 from dataclasses import asdict, dataclass
 
                 from repro.sim.parallel import Campaign
+                from repro.sim.plan import RunPlan
                 from repro.store import ResultStore, digest
 
 
@@ -268,7 +273,8 @@ class TestCrashResume:
                 store = ResultStore(sys.argv[1])
                 resume = "--resume" in sys.argv
                 result = Campaign(
-                    KillerTrial(), 6, 42, store=store, resume=resume
+                    KillerTrial(), 6, 42,
+                    plan=RunPlan(store=store, resume=resume),
                 ).run()
                 print(json.dumps({
                     "hits": result.cache_hits,
@@ -316,14 +322,14 @@ class TestCrashResume:
 class TestVerifyCampaignStore:
     def test_verify_passes_on_campaign_results(self, tmp_path):
         store = ResultStore(tmp_path)
-        Campaign(FlakyTrial(), 4, 11, store=store).run()
+        Campaign(FlakyTrial(), 4, 11, plan=RunPlan(store=store)).run()
         outcomes = store.verify()
         assert len(outcomes) == 4
         assert all(o.ok for o in outcomes), [o.reason for o in outcomes]
 
     def test_cli_verify_passes(self, tmp_path, capsys):
         store = ResultStore(tmp_path)
-        Campaign(FlakyTrial(), 3, 11, store=store).run()
+        Campaign(FlakyTrial(), 3, 11, plan=RunPlan(store=store)).run()
         code = main(["cache", "verify", "--cache-dir", str(tmp_path)])
         assert code == 0
         assert "3/3" in capsys.readouterr().out
@@ -335,13 +341,13 @@ class TestVerifyCampaignStore:
 class TestTickerHitReporting:
     def test_summary_separates_hits_from_computed(self, tmp_path):
         store = ResultStore(tmp_path)
-        Campaign(FlakyTrial(), 3, 1, store=store).run()
+        Campaign(FlakyTrial(), 3, 1, plan=RunPlan(store=store)).run()
         out = io.StringIO()
         Campaign(
             FlakyTrial(),
             3,
             1,
-            store=store,
+            plan=RunPlan(store=store),
             on_trial_done=stderr_ticker(3, stream=out),
         ).run()
         assert "done: 3 ok (3 hit, 0 computed), 0 failed" in out.getvalue()
@@ -357,13 +363,13 @@ class TestTickerHitReporting:
 
     def test_three_argument_callbacks_still_work(self, tmp_path):
         store = ResultStore(tmp_path)
-        Campaign(FlakyTrial(), 2, 1, store=store).run()
+        Campaign(FlakyTrial(), 2, 1, plan=RunPlan(store=store)).run()
         seen = []
         Campaign(
             FlakyTrial(),
             2,
             1,
-            store=store,
+            plan=RunPlan(store=store),
             on_trial_done=lambda k, s, m: seen.append(k),
         ).run()
         assert sorted(seen) == [0, 1]

@@ -32,7 +32,6 @@ from repro.core.session import (
     CCMConfig,
     default_checking_frame_length,
     run_session,
-    run_session_masks,
 )
 from repro.net.channel import (
     Channel,
@@ -443,16 +442,14 @@ class TestUnifiedAPI:
         )
         assert result.bitmap.popcount() == 5
 
-    def test_run_session_masks_deprecated(self, star_network):
-        config = CCMConfig(frame_size=8)
-        with pytest.warns(DeprecationWarning, match="run_session_masks"):
-            legacy = run_session_masks(star_network, [1, 2, 4, 8, 16], config)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            current = run_session(
-                star_network, masks=[1, 2, 4, 8, 16], config=config
-            )
-        _assert_results_identical(legacy, current)
+    def test_run_session_masks_removed(self):
+        """The deprecated alias completed its one-release grace period."""
+        import repro.core
+        import repro.core.session
+
+        assert not hasattr(repro.core.session, "run_session_masks")
+        assert not hasattr(repro.core, "run_session_masks")
+        assert "run_session_masks" not in repro.core.__all__
 
     def test_top_level_exports(self):
         import repro

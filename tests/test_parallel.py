@@ -24,6 +24,7 @@ from repro.sim.parallel import (
     run_trials_parallel,
     stderr_ticker,
 )
+from repro.sim.plan import RunPlan
 from repro.sim.runner import run_trials, sweep, trial_seed
 
 
@@ -115,7 +116,7 @@ class TestDeterminism:
         serial = run_trials(noisy_trial, self.N, self.SEED)
         parallel = run_trials(
             noisy_trial, self.N, self.SEED,
-            executor=ExecutorConfig(workers=2, backend="process"),
+            plan=RunPlan(executor=ExecutorConfig(workers=2, backend="process")),
         )
         assert_aggregates_identical(serial, parallel)
 
@@ -123,14 +124,15 @@ class TestDeterminism:
         serial = run_trials(noisy_trial, self.N, self.SEED)
         threaded = run_trials(
             noisy_trial, self.N, self.SEED,
-            executor=ExecutorConfig(workers=4, backend="thread"),
+            plan=RunPlan(executor=ExecutorConfig(workers=4, backend="thread")),
         )
         assert_aggregates_identical(serial, threaded)
 
     def test_serial_backend_matches_inline(self):
         inline = run_trials(noisy_trial, self.N, self.SEED)
         engine = run_trials(
-            noisy_trial, self.N, self.SEED, executor=ExecutorConfig.serial()
+            noisy_trial, self.N, self.SEED,
+            plan=RunPlan(executor=ExecutorConfig.serial()),
         )
         assert_aggregates_identical(inline, engine)
 
@@ -138,7 +140,7 @@ class TestDeterminism:
         serial = run_trials(noisy_trial, self.N, self.SEED)
         chunked = run_trials(
             noisy_trial, self.N, self.SEED,
-            executor=ExecutorConfig(workers=2, backend="thread", chunk_size=7),
+            plan=RunPlan(executor=ExecutorConfig(workers=2, backend="thread", chunk_size=7)),
         )
         assert_aggregates_identical(serial, chunked)
 
@@ -154,7 +156,7 @@ class TestDeterminism:
         serial = sweep("v", [1.0, 2.0], factory, n_trials=5, base_seed=3)
         threaded = sweep(
             "v", [1.0, 2.0], factory, n_trials=5, base_seed=3,
-            executor=ExecutorConfig(workers=2, backend="thread"),
+            plan=RunPlan(executor=ExecutorConfig(workers=2, backend="thread")),
         )
         assert serial.values == threaded.values
         for a, b in zip(serial.aggregates, threaded.aggregates):
@@ -165,7 +167,7 @@ class TestFailureIsolation:
     def test_failure_captured_and_rest_aggregated(self):
         result = run_trials_parallel(
             FailingAt(bad_indices=(3,)), 10, 7,
-            executor=ExecutorConfig.serial(),
+            plan=RunPlan(executor=ExecutorConfig.serial()),
         )
         assert not result.ok
         assert result.n_ok == 9
@@ -184,7 +186,7 @@ class TestFailureIsolation:
     def test_failure_captured_across_process_boundary(self):
         result = run_trials_parallel(
             FailingAt(bad_indices=(1, 4)), 6, 0,
-            executor=ExecutorConfig(workers=2, backend="process"),
+            plan=RunPlan(executor=ExecutorConfig(workers=2, backend="process")),
         )
         assert [f.trial_index for f in result.failures] == [1, 4]
         assert result.n_ok == 4
@@ -194,7 +196,7 @@ class TestFailureIsolation:
         with pytest.raises(CampaignError) as excinfo:
             run_trials_parallel(
                 FailingAt(bad_indices=(2,)), 10, 0,
-                executor=ExecutorConfig.serial(fail_fast=True),
+                plan=RunPlan(executor=ExecutorConfig.serial(fail_fast=True)),
             )
         assert excinfo.value.failures[0].trial_index == 2
 
@@ -202,7 +204,7 @@ class TestFailureIsolation:
         with pytest.raises(CampaignError) as excinfo:
             run_trials(
                 FailingAt(bad_indices=(0,)), 4, 0,
-                executor=ExecutorConfig.serial(),
+                plan=RunPlan(executor=ExecutorConfig.serial()),
             )
         err = excinfo.value
         assert len(err.failures) == 1
@@ -212,7 +214,7 @@ class TestFailureIsolation:
     def test_all_failed_gives_empty_aggregates(self):
         result = run_trials_parallel(
             FailingAt(bad_indices=tuple(range(3))), 3, 0,
-            executor=ExecutorConfig.serial(),
+            plan=RunPlan(executor=ExecutorConfig.serial()),
         )
         assert result.aggregates == {}
         assert result.n_ok == 0
@@ -222,12 +224,13 @@ class TestRetry:
     def test_retry_rederives_seed_and_recovers(self):
         trial = FlakyOnFirstSeed(bad_index=2, base_seed=5)
         no_retry = run_trials_parallel(
-            trial, 6, 5, executor=ExecutorConfig.serial()
+            trial, 6, 5, plan=RunPlan(executor=ExecutorConfig.serial())
         )
         assert [f.trial_index for f in no_retry.failures] == [2]
 
         retried = run_trials_parallel(
-            trial, 6, 5, executor=ExecutorConfig.serial(max_retries=1)
+            trial, 6, 5,
+            plan=RunPlan(executor=ExecutorConfig.serial(max_retries=1)),
         )
         assert retried.ok
         assert retried.per_trial[2]["value"] == float(
@@ -250,7 +253,7 @@ class TestProgress:
 
         run_trials_parallel(
             FailingAt(bad_indices=(1,)), 5, 0,
-            executor=ExecutorConfig(workers=2, backend="thread"),
+            plan=RunPlan(executor=ExecutorConfig(workers=2, backend="thread")),
             on_trial_done=on_done,
         )
         assert sorted(k for k, _ in seen) == [0, 1, 2, 3, 4]
@@ -319,7 +322,7 @@ class TestCampaignObservability:
     def test_retries_counted(self):
         result = Campaign(
             FlakyOnFirstSeed(bad_index=1, base_seed=0), 3, 0,
-            executor=ExecutorConfig(workers=1, backend="serial", max_retries=2),
+            plan=RunPlan(executor=ExecutorConfig(workers=1, backend="serial", max_retries=2)),
         ).run()
         assert not result.failures
         assert result.retries >= 1
@@ -349,9 +352,9 @@ class TestTimeout:
         with pytest.raises(CampaignTimeout):
             run_trials_parallel(
                 slow, 4, 0,
-                executor=ExecutorConfig(
+                plan=RunPlan(executor=ExecutorConfig(
                     workers=2, backend="thread", timeout_s=0.05
-                ),
+                )),
             )
 
 

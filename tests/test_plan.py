@@ -1,0 +1,285 @@
+"""RunPlan: the unified execution-options object and its deprecation shim.
+
+Covers the plan value object itself (validation, ``replace``,
+``from_args`` round-trips through the shared CLI argument group) and the
+contract of the four campaign entry points: ``plan=`` is the one
+spelling, the legacy per-keyword forms emit exactly one
+DeprecationWarning with byte-identical results, and mixing the two is an
+error.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.sim as sim
+from repro.sim.parallel import Campaign, ExecutorConfig, run_trials_parallel
+from repro.sim.plan import (
+    ObsPlan,
+    RunPlan,
+    add_execution_arguments,
+    coerce_run_plan,
+)
+from repro.sim.runner import run_trials, sweep
+
+
+def counting_trial(trial_index, seed):
+    return {"value": float(seed % 997), "index": float(trial_index)}
+
+
+def assert_same_aggregates(a, b):
+    assert sorted(a) == sorted(b)
+    for name in a:
+        for fld in ("mean", "std", "minimum", "maximum", "count"):
+            assert getattr(a[name], fld) == getattr(b[name], fld)
+
+
+class TestRunPlanObject:
+    def test_defaults(self):
+        plan = RunPlan()
+        assert plan.engine == "auto"
+        assert plan.executor is None
+        assert plan.store is None
+        assert plan.resume is False
+        assert plan.batch == 1
+        assert plan.obs == ObsPlan()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RunPlan().engine = "packed"
+
+    def test_batch_validated(self):
+        with pytest.raises(ValueError, match="batch"):
+            RunPlan(batch=0)
+        with pytest.raises(ValueError, match="batch"):
+            RunPlan(batch=-3)
+
+    def test_engine_validated(self):
+        with pytest.raises(ValueError, match="engine"):
+            RunPlan(engine="")
+        with pytest.raises(ValueError, match="engine"):
+            RunPlan(engine=None)
+
+    def test_replace(self):
+        plan = RunPlan().replace(engine="batch", batch=8)
+        assert plan.engine == "batch"
+        assert plan.batch == 8
+        assert RunPlan().engine == "auto"  # original untouched
+
+    def test_exported_from_sim(self):
+        for name in ("RunPlan", "ObsPlan", "add_execution_arguments"):
+            assert name in sim.__all__
+            assert hasattr(sim, name)
+
+
+class TestFromArgs:
+    def _parse(self, argv):
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        add_execution_arguments(parser)
+        return parser.parse_args(argv)
+
+    def test_default_namespace_gives_default_plan(self):
+        plan = RunPlan.from_args(self._parse([]))
+        assert plan == RunPlan()
+
+    def test_workers_and_backend(self):
+        plan = RunPlan.from_args(
+            self._parse(["--workers", "3", "--backend", "thread"])
+        )
+        assert plan.executor == ExecutorConfig(workers=3, backend="thread")
+
+    def test_no_workers_means_no_executor(self):
+        plan = RunPlan.from_args(self._parse(["--backend", "thread"]))
+        assert plan.executor is None
+
+    def test_batch_and_engine(self):
+        plan = RunPlan.from_args(
+            self._parse(["--batch", "25", "--engine", "batch"])
+        )
+        assert plan.batch == 25
+        assert plan.engine == "batch"
+
+    def test_cache_dir_implies_cache(self, tmp_path):
+        plan = RunPlan.from_args(self._parse(["--cache-dir", str(tmp_path)]))
+        assert plan.store is not None
+        assert str(plan.store.root) == str(tmp_path)
+
+    def test_resume_implies_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        plan = RunPlan.from_args(self._parse(["--resume"]))
+        assert plan.resume is True
+        assert plan.store is not None
+
+    def test_no_cache_wins(self, tmp_path):
+        plan = RunPlan.from_args(
+            self._parse(
+                ["--cache", "--cache-dir", str(tmp_path), "--resume",
+                 "--no-cache"]
+            )
+        )
+        assert plan.store is None
+        assert plan.resume is False
+
+    def test_progress_lands_in_obs(self):
+        plan = RunPlan.from_args(self._parse(["--progress"]))
+        assert plan.obs.progress is True
+
+    def test_partial_namespace_works(self):
+        import argparse
+
+        ns = argparse.Namespace(workers=2)
+        plan = RunPlan.from_args(ns)
+        assert plan.executor == ExecutorConfig(workers=2, backend="process")
+        assert plan.batch == 1
+
+    def test_every_cli_subcommand_mounts_the_group(self):
+        from repro.experiments.cli import build_parser
+
+        parser = build_parser()
+        for cmd in (
+            "fig3", "fig4", "tables", "theorem1", "accuracy", "analysis",
+            "ablations", "extensions", "statefree", "robustness",
+            "estimators", "map", "render", "all",
+        ):
+            args = parser.parse_args([cmd])
+            for dest in (
+                "workers", "backend", "batch", "engine", "progress",
+                "cache", "no_cache", "cache_dir", "resume",
+            ):
+                assert hasattr(args, dest), f"{cmd} lacks --{dest}"
+            # and the namespace resolves into a plan
+            assert RunPlan.from_args(args) == RunPlan()
+
+
+class TestCoerce:
+    def test_plain_call_builds_default_plan_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            plan = coerce_run_plan(None)
+        assert plan == RunPlan()
+
+    def test_plan_passes_through_identically(self):
+        plan = RunPlan(batch=4)
+        assert coerce_run_plan(plan) is plan
+
+    def test_legacy_kwargs_warn_once(self):
+        with pytest.warns(DeprecationWarning, match="executor=") as record:
+            plan = coerce_run_plan(
+                None, executor=ExecutorConfig.serial(), resume=False
+            )
+        assert len(record) == 1
+        assert plan.executor == ExecutorConfig.serial()
+
+    def test_plan_plus_legacy_is_an_error(self):
+        with pytest.raises(ValueError, match="not both"):
+            coerce_run_plan(RunPlan(), executor=ExecutorConfig.serial())
+
+    def test_explicit_defaults_count_as_unsupplied(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            plan = coerce_run_plan(
+                None, executor=None, store=None, resume=False, engine="auto"
+            )
+        assert plan == RunPlan()
+
+
+class TestEntryPointShims:
+    """Each entry point: one warning, byte-identical results, plan= clean."""
+
+    N, SEED = 8, 77
+
+    def test_run_trials(self):
+        cfg = ExecutorConfig.serial()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            modern = run_trials(
+                counting_trial, self.N, self.SEED,
+                plan=RunPlan(executor=cfg),
+            )
+        with pytest.warns(DeprecationWarning) as record:
+            legacy = run_trials(
+                counting_trial, self.N, self.SEED, executor=cfg
+            )
+        assert len(record) == 1
+        assert_same_aggregates(modern, legacy)
+
+    def test_sweep(self):
+        cfg = ExecutorConfig.serial()
+        factory = lambda v: counting_trial  # noqa: E731
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            modern = sweep(
+                "v", [1.0, 2.0], factory, n_trials=3, base_seed=5,
+                plan=RunPlan(executor=cfg),
+            )
+        with pytest.warns(DeprecationWarning) as record:
+            legacy = sweep(
+                "v", [1.0, 2.0], factory, n_trials=3, base_seed=5,
+                executor=cfg,
+            )
+        assert len(record) == 1
+        assert modern.values == legacy.values
+        for a, b in zip(modern.aggregates, legacy.aggregates):
+            assert_same_aggregates(a, b)
+
+    def test_campaign(self):
+        cfg = ExecutorConfig.serial()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            modern = Campaign(
+                counting_trial, self.N, self.SEED,
+                plan=RunPlan(executor=cfg),
+            ).run()
+        with pytest.warns(DeprecationWarning) as record:
+            legacy = Campaign(
+                counting_trial, self.N, self.SEED, executor=cfg
+            ).run()
+        assert len(record) == 1
+        assert modern.per_trial == legacy.per_trial
+        assert_same_aggregates(modern.aggregates, legacy.aggregates)
+
+    def test_run_trials_parallel(self):
+        cfg = ExecutorConfig.serial()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            modern = run_trials_parallel(
+                counting_trial, self.N, self.SEED,
+                plan=RunPlan(executor=cfg),
+            )
+        with pytest.warns(DeprecationWarning) as record:
+            legacy = run_trials_parallel(
+                counting_trial, self.N, self.SEED, executor=cfg
+            )
+        assert len(record) == 1
+        assert modern.per_trial == legacy.per_trial
+
+    def test_campaign_normalizes_plan_fields(self):
+        plan = RunPlan(executor=ExecutorConfig.serial())
+        campaign = Campaign(counting_trial, 2, 0, plan=plan)
+        assert campaign.plan == plan
+        assert campaign.executor == plan.executor
+
+    def test_store_in_plan_memoizes(self, tmp_path):
+        from repro.store import ResultStore
+        from tests.test_cache_campaign import FlakyTrial
+
+        store = ResultStore(tmp_path)
+        cold = Campaign(
+            FlakyTrial(), 3, 9, plan=RunPlan(store=store)
+        ).run()
+        warm = Campaign(
+            FlakyTrial(), 3, 9, plan=RunPlan(store=store)
+        ).run()
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == 3
+        assert warm.aggregates == cold.aggregates
+
+    def test_resume_without_store_keeps_historical_error(self):
+        with pytest.raises(ValueError, match="requires a result store"):
+            Campaign(
+                counting_trial, 2, 0, plan=RunPlan(resume=True)
+            ).run()

@@ -1,0 +1,310 @@
+"""Shared-memory topology lifecycle: publish, attach, crash, cleanup.
+
+The campaign engine ships paper-scale topologies to process-pool workers
+by name (one POSIX shared-memory segment, tiny picklable handle) instead
+of pickling tens of MB of CSR adjacency per task.  These tests pin the
+lifecycle contract: bit-identical attached views, read-only enforcement,
+refcounting, fork survival, worker-crash leak recovery via the
+:meth:`SharedTopology.cleanup` janitor, and the deterministic-rebuild
+fallback when a segment is gone.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.net.shm import (
+    SharedTopology,
+    TopologyHandle,
+    attach_cached,
+    shared_memory_available,
+)
+from repro.net.topology import PaperDeployment, paper_network
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory unavailable",
+)
+
+ARRAY_FIELDS = (
+    "positions", "tag_ids", "indptr", "indices", "tiers", "reader_distance"
+)
+
+
+def _segment_exists(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    # Opening registered the borrowed name with the resource tracker;
+    # balance it so the tracker daemon never sees a stray entry.
+    from repro.net.shm import _untrack
+
+    _untrack(shm)
+    return True
+
+
+@pytest.fixture()
+def network():
+    return paper_network(
+        6.0, n_tags=250, seed=77, deployment=PaperDeployment(n_tags=250)
+    )
+
+
+class TestPublishAttach:
+    def test_round_trip_is_bit_identical(self, network):
+        topo = SharedTopology.publish(network)
+        try:
+            attached = SharedTopology.attach(topo.handle)
+            try:
+                for fieldname in ARRAY_FIELDS:
+                    np.testing.assert_array_equal(
+                        getattr(attached.network, fieldname),
+                        getattr(network, fieldname),
+                    )
+                assert attached.network.tag_range == network.tag_range
+                assert len(attached.network.readers) == len(network.readers)
+                assert attached.network.n_tags == network.n_tags
+            finally:
+                attached.close()
+        finally:
+            topo.close()
+
+    def test_attached_views_are_read_only(self, network):
+        topo = SharedTopology.publish(network)
+        try:
+            attached = SharedTopology.attach(topo.handle)
+            try:
+                for fieldname in ARRAY_FIELDS:
+                    view = getattr(attached.network, fieldname)
+                    assert view.flags.writeable is False
+                    with pytest.raises((ValueError, RuntimeError)):
+                        view[...] = 0
+            finally:
+                attached.close()
+        finally:
+            topo.close()
+
+    def test_handle_is_small_and_picklable(self, network):
+        topo = SharedTopology.publish(network)
+        try:
+            blob = pickle.dumps(topo.handle)
+            # The point of the handle: orders of magnitude below the
+            # pickled network itself.
+            assert len(blob) < 2048
+            clone = pickle.loads(blob)
+            assert isinstance(clone, TopologyHandle)
+            assert clone.name == topo.handle.name
+            assert clone.specs == topo.handle.specs
+        finally:
+            topo.close()
+
+    def test_owner_close_unlinks_segment(self, network):
+        topo = SharedTopology.publish(network)
+        name = topo.handle.name
+        assert _segment_exists(name)
+        topo.close()
+        assert not _segment_exists(name)
+
+    def test_attach_after_unlink_raises(self, network):
+        topo = SharedTopology.publish(network)
+        handle = topo.handle
+        topo.close()
+        with pytest.raises(FileNotFoundError):
+            SharedTopology.attach(handle)
+
+    def test_session_results_identical_over_shared_topology(self, network):
+        from repro.core.session import CCMConfig, run_session
+        from repro.protocols.transport import frame_picks
+
+        picks = frame_picks(network.tag_ids, 64, 1.0, 5)
+        config = CCMConfig(frame_size=64)
+        direct = run_session(network, picks, config=config)
+        topo = SharedTopology.publish(network)
+        try:
+            attached = SharedTopology.attach(topo.handle)
+            try:
+                shared = run_session(attached.network, picks, config=config)
+            finally:
+                attached.close()
+        finally:
+            topo.close()
+        assert shared.bitmap == direct.bitmap
+        assert shared.rounds == direct.rounds
+        assert shared.total_slots == direct.total_slots
+        np.testing.assert_array_equal(
+            shared.ledger.bits_sent, direct.ledger.bits_sent
+        )
+
+
+class TestRefcounting:
+    def test_acquire_defers_unlink_to_last_close(self, network):
+        topo = SharedTopology.publish(network)
+        name = topo.handle.name
+        topo.acquire()
+        topo.close()  # one reference still out
+        assert _segment_exists(name)
+        topo.close()
+        assert not _segment_exists(name)
+
+    def test_close_is_idempotent(self, network):
+        topo = SharedTopology.publish(network)
+        topo.close()
+        topo.close()  # no error, no tracker noise
+
+    def test_acquire_after_close_rejected(self, network):
+        topo = SharedTopology.publish(network)
+        topo.close()
+        with pytest.raises(ValueError, match="closed"):
+            topo.acquire()
+
+    def test_context_manager_closes(self, network):
+        with SharedTopology.publish(network) as topo:
+            name = topo.handle.name
+            assert _segment_exists(name)
+        assert not _segment_exists(name)
+
+
+class TestAttachCached:
+    def test_reuses_one_mapping_per_process(self, network):
+        topo = SharedTopology.publish(network)
+        try:
+            first = attach_cached(topo.handle)
+            second = attach_cached(topo.handle)
+            assert first is second
+        finally:
+            topo.close()
+
+    def test_gone_segment_raises_for_caller_fallback(self, network):
+        topo = SharedTopology.publish(network)
+        handle = topo.handle
+        topo.close()
+        with pytest.raises(FileNotFoundError):
+            attach_cached(handle)
+
+
+def _child_attach_ok(handle, checksum, code):
+    """Runs in a forked child: attach, verify bytes, exit cleanly."""
+    from repro.net.shm import SharedTopology
+
+    attached = SharedTopology.attach(handle)
+    ok = int(attached.network.indices.sum()) == checksum
+    attached.close()
+    os._exit(code if ok else 99)
+
+
+def _child_attach_and_crash(handle):
+    """Runs in a forked child: attach, then die without any cleanup."""
+    from repro.net.shm import SharedTopology
+
+    SharedTopology.attach(handle)
+    os._exit(1)  # skips atexit/close — a worker hard-crash
+
+
+class TestAcrossProcesses:
+    def test_pickled_handle_attaches_in_child(self, network):
+        topo = SharedTopology.publish(network)
+        try:
+            checksum = int(network.indices.sum())
+            proc = multiprocessing.Process(
+                target=_child_attach_ok, args=(topo.handle, checksum, 0)
+            )
+            proc.start()
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        finally:
+            topo.close()
+
+    def test_worker_crash_leaves_parent_usable(self, network):
+        topo = SharedTopology.publish(network)
+        try:
+            name = topo.handle.name
+            proc = multiprocessing.Process(
+                target=_child_attach_and_crash, args=(topo.handle,)
+            )
+            proc.start()
+            proc.join(timeout=60)
+            assert proc.exitcode == 1
+            # The crash must not have torn the segment down under the
+            # owner: the parent's mapping still reads, and new workers
+            # can still attach.
+            assert _segment_exists(name)
+            assert int(topo.network.indices.sum()) == int(
+                network.indices.sum()
+            )
+            again = SharedTopology.attach(topo.handle)
+            again.close()
+        finally:
+            topo.close()
+
+    def test_cleanup_janitor_removes_leaked_segment(self, network):
+        # Simulate an owner crash: publish, then drop the object without
+        # close() so the segment name leaks.
+        topo = SharedTopology.publish(network)
+        name = topo.handle.name
+        from repro.net import shm as shm_mod
+
+        shm_mod._OWNED.remove(topo)  # the "owner process" is gone
+        topo._closed = True  # neuter the local finalizer path
+        assert _segment_exists(name)
+        assert SharedTopology.cleanup(name) is True
+        assert not _segment_exists(name)
+        assert SharedTopology.cleanup(name) is False  # idempotent
+
+
+class TestSessionBatchTrialTopology:
+    def test_trial_prefers_shm_and_falls_back_to_rebuild(self):
+        from repro.experiments.common import SessionBatchTrial
+
+        base = SessionBatchTrial(
+            tag_range=6.0, n_tags=250, frame_size=64, topology_seed=77
+        )
+        rebuilt = base._resolve_network()
+        topo = SharedTopology.publish(rebuilt)
+        try:
+            shm_trial = SessionBatchTrial(
+                tag_range=6.0, n_tags=250, frame_size=64, topology_seed=77,
+                topology=topo.handle,
+            )
+            attached = shm_trial._resolve_network()
+            np.testing.assert_array_equal(
+                attached.indices, rebuilt.indices
+            )
+            # Same physics either way -> identical trial metrics.
+            assert shm_trial(0, 1234) == base(0, 1234)
+            handle = topo.handle
+        finally:
+            topo.close()
+        # Segment gone -> deterministic rebuild, same metrics again.
+        fallback_trial = SessionBatchTrial(
+            tag_range=6.0, n_tags=250, frame_size=64, topology_seed=77,
+            topology=handle,
+        )
+        assert fallback_trial(0, 1234) == base(0, 1234)
+
+    def test_cache_config_excludes_transport_handles(self, network):
+        from repro.experiments.common import SessionBatchTrial
+
+        topo = SharedTopology.publish(network)
+        try:
+            with_handle = SessionBatchTrial(
+                tag_range=6.0, n_tags=250, frame_size=64,
+                topology=topo.handle,
+            )
+            without = SessionBatchTrial(
+                tag_range=6.0, n_tags=250, frame_size=64
+            )
+            assert with_handle.cache_config() == without.cache_config()
+            config = with_handle.cache_config()
+            assert "topology" not in config
+            assert "network" not in config
+        finally:
+            topo.close()
