@@ -22,6 +22,7 @@ import time
 from repro.experiments.common import PaperTrial
 from repro.obs import RunManifest
 from repro.sim.parallel import Campaign
+from repro.sim.plan import RunPlan
 from repro.store import ResultStore
 
 N_TAGS = 800
@@ -36,12 +37,14 @@ def test_cached_rerun_speedup(tmp_path, emit):
     trial = PaperTrial(TAG_RANGE, N_TAGS)
     store = ResultStore(tmp_path / "cache")
 
+    plan = RunPlan(store=store)
+
     started = time.perf_counter()
-    cold = Campaign(trial, N_TRIALS, BASE_SEED, store=store).run()
+    cold = Campaign(trial, N_TRIALS, BASE_SEED, plan=plan).run()
     cold_s = time.perf_counter() - started
 
     started = time.perf_counter()
-    warm = Campaign(trial, N_TRIALS, BASE_SEED, store=store).run()
+    warm = Campaign(trial, N_TRIALS, BASE_SEED, plan=plan).run()
     warm_s = time.perf_counter() - started
 
     assert cold.ok and warm.ok

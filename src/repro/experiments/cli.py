@@ -442,16 +442,27 @@ def cmd_cache_ls(args: argparse.Namespace) -> None:
         )
     if rows == 0:
         print("(no entries)")
-    campaigns = sorted(store.campaigns_dir.glob("*.ndjson")) if store.campaigns_dir.is_dir() else []
+    # rglob, not glob: namespaced journals (e.g. repro serve's
+    # campaigns/jobs/<job-id>/) live in subdirectories.
+    campaigns = sorted(store.campaigns_dir.rglob("*.ndjson")) if store.campaigns_dir.is_dir() else []
     if campaigns:
+        import pathlib
+
         from repro.store import CampaignCheckpoint
 
         print(f"\ncampaigns ({len(campaigns)}):")
         for path in campaigns:
-            state = CampaignCheckpoint(store.root, path.stem).load()
+            rel = path.relative_to(store.campaigns_dir)
+            namespace = (
+                None if rel.parent == pathlib.Path(".") else str(rel.parent)
+            )
+            state = CampaignCheckpoint(
+                store.root, path.stem, namespace=namespace
+            ).load()
             status = "complete" if state.completed else "in progress"
             n = state.meta.get("n_trials", "?")
-            print(f"  {path.stem[:12]}  {state.n_done}/{n} trials  [{status}]")
+            label = (f"{namespace}/" if namespace else "") + path.stem[:12]
+            print(f"  {label}  {state.n_done}/{n} trials  [{status}]")
 
 
 def cmd_cache_stats(args: argparse.Namespace) -> None:
@@ -511,6 +522,158 @@ def cmd_cache_gc(args: argparse.Namespace) -> None:
         f"cache gc: removed {outcome['removed']} entries "
         f"({_human_bytes(outcome['freed_bytes'])}), kept {outcome['kept']}"
     )
+
+
+# -- the service family (repro serve / submit / jobs) --------------------------
+
+
+def cmd_serve(args: argparse.Namespace) -> None:
+    """Run the long-running campaign service until SIGTERM."""
+    import asyncio
+
+    from repro.serve import ServiceApp
+    from repro.store import ResultStore
+
+    app = ServiceApp(
+        ResultStore(args.cache_dir),
+        host=args.host,
+        port=args.port,
+        max_queue=args.queue_size,
+        job_workers=args.job_workers,
+    )
+    asyncio.run(app.serve_forever())
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.serve.client import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _sweep_job_spec(args: argparse.Namespace) -> dict:
+    """The paper's master sweep as a ``repro-job-v1`` document.
+
+    Built from the same scale/execution flags ``tables`` reads, with the
+    same trial construction (:class:`~repro.experiments.common.PaperTrial`
+    swept over ``tag_range``) — so a served job's aggregates are
+    byte-identical to the direct ``tables --json`` output.
+    """
+    from repro.serve.jobs import JOB_SCHEMA
+    from repro.experiments.common import PROTOCOLS
+
+    scale = _resolve_scale(args)
+    plan = _resolve_plan(args)
+    return {
+        "schema": JOB_SCHEMA,
+        "kind": "sweep",
+        "trial": {
+            "type": "repro.experiments.common.PaperTrial",
+            "params": {
+                "tag_range": 0.0,  # swept; overridden per axis point
+                "n_tags": scale.n_tags,
+                "protocols": list(PROTOCOLS),
+                "engine": plan.engine,
+            },
+        },
+        "n_trials": scale.n_trials,
+        "base_seed": scale.base_seed,
+        "plan": plan.to_json(),
+        "priority": args.priority,
+        "parameter": "tag_range",
+        # The axis label the saved sweep carries; the trial *field* being
+        # swept stays "tag_range".  Matching sweep_tag_range keeps the
+        # served document byte-identical to `tables --json`.
+        "parameter_label": "tag_range_m",
+        "values": list(scale.tag_ranges),
+    }
+
+
+def cmd_submit(args: argparse.Namespace) -> None:
+    """Submit the master sweep to a running service."""
+    from repro.serve.client import ServiceError
+
+    client = _service_client(args)
+    spec = _sweep_job_spec(args)
+    try:
+        job = client.submit(spec)
+    except ServiceError as exc:
+        if exc.status == 429:
+            raise SystemExit(f"repro-ccm: queue full, retry later ({exc.message})")
+        raise SystemExit(f"repro-ccm: submit failed: {exc}")
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"repro-ccm: cannot reach {args.url}: {exc}")
+    print(
+        f"job {job['id']} {job['state']} "
+        f"({job['trials_total']} trials, priority {spec['priority']})"
+    )
+    if args.follow:
+        for event in client.events(job["id"], timeout_s=None):
+            if event["kind"] == "trial":
+                data = event["data"]
+                hit = " (cache hit)" if data.get("from_cache") else ""
+                print(
+                    f"  trial {data['trial_index']}: "
+                    f"{data['done']}/{data['total']}{hit}",
+                    file=sys.stderr,
+                )
+            else:
+                print(f"  job -> {event['data']['state']}", file=sys.stderr)
+    if not (args.wait or args.follow or args.json):
+        return
+    final = client.wait(job["id"])
+    print(
+        f"job {final['id']} {final['state']}: "
+        f"{final['trials_done']}/{final['trials_total']} trials, "
+        f"{final['cache_hits']} cache hits"
+    )
+    if final["state"] != "done":
+        raise SystemExit(
+            f"repro-ccm: job ended {final['state']}"
+            + (f": {final['error']}" if final.get("error") else "")
+        )
+    if args.json:
+        from repro.sim.results import save_sweep, sweep_from_dict
+
+        save_sweep(sweep_from_dict(final["result"]), args.json)
+        print(f"[sweep saved to {args.json}]")
+
+
+def cmd_jobs(args: argparse.Namespace) -> None:
+    """Inspect and manage jobs on a running service."""
+    import json as _json
+
+    from repro.serve.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.jobs_command == "ls":
+            records = client.jobs()
+            if not records:
+                print("(no jobs)")
+                return
+            print(
+                f"{'id':<14}{'state':<13}{'trials':>12}{'hits':>7}  submitted"
+            )
+            for rec in records:
+                print(
+                    f"{rec['id']:<14}{rec['state']:<13}"
+                    f"{rec['trials_done']}/{rec['trials_total']:<6}".rjust(12)
+                    + f"{rec['cache_hits']:>7}  {rec['submitted_utc']}"
+                )
+        elif args.jobs_command == "show":
+            print(_json.dumps(client.job(args.id), indent=2, sort_keys=True))
+        elif args.jobs_command == "watch":
+            for event in client.events(args.id, since=args.since, timeout_s=None):
+                print(_json.dumps(event, sort_keys=True), flush=True)
+        elif args.jobs_command == "cancel":
+            record = client.cancel(args.id)
+            print(f"job {record['id']} -> {record['state']}")
+        elif args.jobs_command == "metrics":
+            sys.stdout.write(client.metrics())
+    except ServiceError as exc:
+        raise SystemExit(f"repro-ccm: {exc}")
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"repro-ccm: cannot reach {args.url}: {exc}")
 
 
 def cmd_all(args: argparse.Namespace) -> None:
@@ -690,6 +853,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop entries older than this age (e.g. 30d, 12h, 3600s)",
     )
     gc.set_defaults(func=cmd_cache_gc)
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-running campaign service (job-queue HTTP API)",
+    )
+    serve.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8737,
+        help="bind port; 0 picks an ephemeral port (default: 8737)",
+    )
+    serve.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="shared result-store root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=32,
+        help="waiting jobs before submissions get 429 (default: 32)",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=1,
+        help="jobs run concurrently (default: 1; campaigns parallelize "
+             "internally via their plan's executor)",
+    )
+    serve.set_defaults(func=cmd_serve)
+    url_common = argparse.ArgumentParser(add_help=False)
+    url_common.add_argument(
+        "--url", type=str, default="http://127.0.0.1:8737",
+        help="service base URL (default: http://127.0.0.1:8737)",
+    )
+    submit = sub.add_parser(
+        "submit", parents=[common, url_common],
+        help="submit the master sweep to a running service",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority; higher runs first (default: 0)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its summary",
+    )
+    submit.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's trial events to stderr (implies --wait)",
+    )
+    submit.set_defaults(func=cmd_submit)
+    jobs = sub.add_parser(
+        "jobs", help="inspect and manage jobs on a running service"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    jobs_ls = jobs_sub.add_parser(
+        "ls", parents=[url_common], help="list all jobs"
+    )
+    jobs_ls.set_defaults(func=cmd_jobs)
+    jobs_show = jobs_sub.add_parser(
+        "show", parents=[url_common],
+        help="one job's full record (status + aggregates)",
+    )
+    jobs_show.add_argument("id", type=str)
+    jobs_show.set_defaults(func=cmd_jobs)
+    jobs_watch = jobs_sub.add_parser(
+        "watch", parents=[url_common],
+        help="stream a job's NDJSON events until it finishes",
+    )
+    jobs_watch.add_argument("id", type=str)
+    jobs_watch.add_argument(
+        "--since", type=int, default=0,
+        help="replay from this event sequence number (default: 0)",
+    )
+    jobs_watch.set_defaults(func=cmd_jobs)
+    jobs_cancel = jobs_sub.add_parser(
+        "cancel", parents=[url_common], help="cancel a queued or running job"
+    )
+    jobs_cancel.add_argument("id", type=str)
+    jobs_cancel.set_defaults(func=cmd_jobs)
+    jobs_metrics = jobs_sub.add_parser(
+        "metrics", parents=[url_common],
+        help="print the service's Prometheus metrics",
+    )
+    jobs_metrics.set_defaults(func=cmd_jobs)
     return parser
 
 

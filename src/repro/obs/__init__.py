@@ -33,6 +33,7 @@ manifest schema and the NDJSON formats.
 
 from repro.obs.export import (
     EventBus,
+    EventLog,
     metrics_to_ndjson,
     render_prometheus,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "profile_rows",
     "render_profile",
     "EventBus",
+    "EventLog",
     "metrics_to_ndjson",
     "render_prometheus",
     "RunManifest",

@@ -1,6 +1,6 @@
 """Event bus and exporters: NDJSON streams and Prometheus text.
 
-Three output shapes, all zero-dependency:
+Four output shapes, all zero-dependency:
 
 * :class:`EventBus` — a tiny synchronous publish/subscribe fan-out for
   protocol events.  The session engines publish through
@@ -8,6 +8,10 @@ Three output shapes, all zero-dependency:
   ``publish``); any number of extra consumers — metric recorders, live
   NDJSON writers — can subscribe to the same stream without the engines
   knowing.
+* :class:`EventLog` — the bus→NDJSON bridge: a subscriber that
+  normalizes every published event into a sequence-numbered JSON-able
+  record and retains it for replay.  ``repro serve`` streams job
+  progress by replaying an EventLog and following its live tail.
 * :func:`metrics_to_ndjson` — one JSON object per line, one line per
   metric (``{"type": "counter", "name": ..., "value": ...}``; histograms
   carry buckets/counts/sum/count; spans carry path/count/seconds).
@@ -22,6 +26,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import threading
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
@@ -35,6 +40,7 @@ EventFn = Callable[[str, int, Dict[str, Any]], None]
 __all__ = [
     "EventBus",
     "EventFn",
+    "EventLog",
     "metrics_to_ndjson",
     "render_prometheus",
 ]
@@ -65,6 +71,90 @@ class EventBus:
 
     def __len__(self) -> int:
         return len(self._subscribers)
+
+
+class EventLog:
+    """A thread-safe, sequence-numbered record of bus events.
+
+    Subscribe the log's :meth:`record` to an :class:`EventBus` (or call
+    :meth:`append` directly) and every event becomes a JSON-able dict
+    ``{"seq": n, "kind": ..., "round": ..., "data": {...}}``.  Readers
+    replay from any sequence number with :meth:`since` and block on the
+    live tail with :meth:`wait`, which is how ``repro serve`` turns a
+    campaign's progress into a streamed NDJSON response: replay what
+    already happened, then follow until :meth:`close`.
+
+    ``maxlen`` bounds memory: when set, the oldest records are dropped
+    once the log exceeds it (sequence numbers keep counting, so readers
+    can detect the gap).
+    """
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        self._records: List[Dict[str, Any]] = []
+        self._next_seq = 0
+        self._dropped = 0
+        self._closed = False
+        self._maxlen = maxlen
+        self._cond = threading.Condition()
+
+    def record(self, kind: str, round_index: int, data: Dict[str, Any]) -> None:
+        """EventBus-compatible subscriber (``EventFn`` signature)."""
+        self.append(kind, round_index, **data)
+
+    def append(self, kind: str, round_index: int = 0, **data: Any) -> Dict[str, Any]:
+        record = {
+            "seq": 0,  # assigned under the lock below
+            "kind": str(kind),
+            "round": int(round_index),
+            "data": dict(data),
+        }
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("EventLog is closed")
+            record["seq"] = self._next_seq
+            self._next_seq += 1
+            self._records.append(record)
+            if self._maxlen is not None and len(self._records) > self._maxlen:
+                overflow = len(self._records) - self._maxlen
+                del self._records[:overflow]
+                self._dropped += overflow
+            self._cond.notify_all()
+        return record
+
+    def close(self) -> None:
+        """Mark the stream finished; wakes all :meth:`wait` callers."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def since(self, seq: int = 0) -> List[Dict[str, Any]]:
+        """All retained records with ``record["seq"] >= seq``."""
+        with self._cond:
+            return [r for r in self._records if r["seq"] >= seq]
+
+    def wait(
+        self, seq: int, timeout_s: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Block until a record at/after ``seq`` exists or the log closes.
+
+        Returns the new records (possibly empty when the log closed or
+        the timeout elapsed first).
+        """
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self._closed or self._next_seq > seq,
+                timeout=timeout_s,
+            )
+            return [r for r in self._records if r["seq"] >= seq]
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._records)
 
 
 # -- NDJSON --------------------------------------------------------------------

@@ -1,0 +1,56 @@
+"""``repro.serve`` — the long-running campaign service and its client.
+
+A zero-dependency (stdlib asyncio + hand-rolled HTTP/1.1) service that
+accepts campaign and sweep submissions as JSON — a ``repro-job-v1``
+document wrapping a trial description and a ``repro-run-plan-v1``
+execution plan — and runs them through the ordinary
+:class:`~repro.sim.parallel.Campaign` engine against one shared hot
+:class:`~repro.store.cache.ResultStore`.  Because the service reuses
+the exact CLI code path (same seed streams, same content addresses), a
+served sweep's aggregates are byte-identical to a direct run, and
+identical submissions from different clients dedupe through the cache.
+
+Modules:
+
+* :mod:`repro.serve.jobs` — job specs, the bounded priority queue,
+  trial-boundary cancellation, crash-safe job records.
+* :mod:`repro.serve.http` — the minimal asyncio HTTP/1.1 transport.
+* :mod:`repro.serve.app` — routes, graceful SIGTERM drain,
+  restart-resume.
+* :mod:`repro.serve.client` — the stdlib job-API client the ``repro
+  submit`` / ``repro jobs`` CLI family uses.
+
+Start a service and submit to it::
+
+    repro serve --port 8737 --cache-dir /var/cache/repro
+    repro submit --scale bench --url http://127.0.0.1:8737 --wait
+
+See ``docs/service.md`` for the full API reference.
+"""
+
+from repro.serve.app import ServiceApp
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.jobs import (
+    JOB_SCHEMA,
+    Job,
+    JobCancelled,
+    JobInterrupted,
+    JobManager,
+    JobSpec,
+    QueueFull,
+    UnknownJob,
+)
+
+__all__ = [
+    "JOB_SCHEMA",
+    "Job",
+    "JobCancelled",
+    "JobInterrupted",
+    "JobManager",
+    "JobSpec",
+    "QueueFull",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceError",
+    "UnknownJob",
+]

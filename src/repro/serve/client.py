@@ -1,0 +1,154 @@
+"""A stdlib client for the ``repro serve`` job API.
+
+Wraps :mod:`http.client` (no dependencies, matching the server) with
+typed helpers for each endpoint.  Every call opens one connection — the
+server speaks ``Connection: close`` — so a client object is cheap,
+stateless and safe to share across threads.
+
+Quick start::
+
+    from repro.serve.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8737")
+    job = client.submit(spec_doc)            # -> job record dict
+    for event in client.events(job["id"]):   # live NDJSON stream
+        print(event)
+    final = client.wait(job["id"])           # poll until terminal
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+#: Job states after which a job's record stops changing.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Typed access to one ``repro serve`` instance."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8737", timeout_s: float = 30.0):
+        split = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 8737
+        self.timeout_s = timeout_s
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _connect(self, timeout_s: Optional[float] = None) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout_s if timeout_s is None else timeout_s,
+        )
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Any:
+        conn = self._connect()
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServiceError(response.status, _error_message(raw))
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                return json.loads(raw.decode("utf-8")) if raw else None
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
+    # -- endpoints -------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def submit(self, spec_document: dict) -> Dict[str, Any]:
+        """POST a ``repro-job-v1`` document; returns the job record."""
+        return self._request("POST", "/v1/jobs", body=spec_document)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def events(
+        self, job_id: str, since: int = 0, timeout_s: Optional[float] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream a job's NDJSON events; ends when the job finishes.
+
+        ``timeout_s`` bounds each read (a quiet long campaign can
+        legitimately produce no events for a while — pass ``None`` for
+        no bound on a stream you intend to follow to the end).
+        """
+        conn = self._connect(timeout_s=timeout_s)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events?since={since}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, _error_message(response.read())
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def wait(
+        self,
+        job_id: str,
+        poll_s: float = 0.2,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its record."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']!r} after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+
+def _error_message(raw: bytes) -> str:
+    try:
+        return json.loads(raw.decode("utf-8")).get("error", raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError, AttributeError):
+        return raw.decode("utf-8", errors="replace")

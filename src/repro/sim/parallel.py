@@ -51,7 +51,7 @@ from typing import (
 )
 
 from repro.obs import metrics as obs_metrics
-from repro.sim.plan import RunPlan, coerce_run_plan
+from repro.sim.plan import RunPlan
 from repro.sim.runner import (
     MetricDict,
     TrialAggregate,
@@ -462,15 +462,15 @@ class Campaign:
 
     The forward-facing object API over ``run_trials``: construct with a
     trial function ``(trial_index, seed) -> metric dict``, a trial count,
-    a base seed, and optionally an :class:`ExecutorConfig`; ``run()``
-    executes and returns a :class:`CampaignResult`.
+    a base seed, and optionally a :class:`~repro.sim.plan.RunPlan`;
+    ``run()`` executes and returns a :class:`CampaignResult`.
 
-    ``executor=None`` (the default) runs serially in-process — the exact
-    behaviour, seed stream and aggregate values of the historical
-    ``run_trials`` loop.
+    The default plan runs serially in-process — the exact behaviour,
+    seed stream and aggregate values of the historical ``run_trials``
+    loop; ``plan.executor`` fans trials out over a worker pool.
 
-    ``store`` plugs in a :class:`~repro.store.cache.ResultStore` as a
-    read-through/write-through memoization layer: before any trial is
+    ``plan.store`` plugs in a :class:`~repro.store.cache.ResultStore` as
+    a read-through/write-through memoization layer: before any trial is
     dispatched its content address (trial config + index + seed + engine
     + code fingerprint) is checked against the store, hits are served
     from disk (in trial-index order, ``from_cache=True`` to four-argument
@@ -479,37 +479,38 @@ class Campaign:
     cache on, off, hot or cold — the cached floats round-trip exactly
     through canonical JSON.  The trial function must be *describable*
     (see :func:`repro.store.cache.trial_config_of`) or an explicit
-    ``trial_config`` must be given.  ``resume=True`` appends to the
+    ``trial_config`` must be given.  ``plan.resume`` appends to the
     campaign's checkpoint journal instead of truncating it — the flag a
-    restarted process sets after a crash or kill.
+    restarted process sets after a crash or kill — and
+    ``plan.checkpoint_namespace`` relocates the journal under a
+    namespaced subdirectory so concurrent identical campaigns (e.g. two
+    ``repro serve`` jobs) never share one journal file.
     """
 
     trial_fn: TrialFn
     n_trials: int
     base_seed: int = 0
-    executor: Optional[ExecutorConfig] = None
-    on_trial_done: Optional[ProgressFn] = None
-    store: Optional["ResultStore"] = None
-    trial_config: Optional[Dict[str, Any]] = None
-    resume: bool = False
     plan: Optional[RunPlan] = None
+    on_trial_done: Optional[ProgressFn] = None
+    trial_config: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
-        # The RunPlan consolidation: ``plan=`` is the one way to express
-        # execution options; the historical per-keyword fields remain as
-        # a deprecated shim that folds into an equivalent plan (one
-        # DeprecationWarning, attributed to the constructing caller).
-        plan = coerce_run_plan(
-            self.plan,
-            stacklevel=4,  # caller -> __init__ -> __post_init__ -> coerce
-            executor=self.executor,
-            store=self.store,
-            resume=self.resume,
-        )
-        self.plan = plan
-        self.executor = plan.executor
-        self.store = plan.store
-        self.resume = plan.resume
+        if self.plan is None:
+            self.plan = RunPlan()
+
+    # Convenience views of the plan's execution fields (read-only).
+
+    @property
+    def executor(self) -> Optional[ExecutorConfig]:
+        return self.plan.executor
+
+    @property
+    def store(self) -> Optional["ResultStore"]:
+        return self.plan.store
+
+    @property
+    def resume(self) -> bool:
+        return self.plan.resume
 
     def run(self) -> CampaignResult:
         if self.n_trials <= 0:
@@ -591,7 +592,7 @@ class Campaign:
                             obs.inc("campaign_cache_misses_total")
                             pending.append(k)
                 if pending:
-                    batch = self.plan.batch if self.plan is not None else 1
+                    batch = self.plan.batch
                     use_batch = batch > 1 and callable(
                         getattr(self.trial_fn, "run_batch", None)
                     )
@@ -701,6 +702,7 @@ class Campaign:
             campaign_key(
                 config, self.n_trials, self.base_seed, engine, fingerprint
             ),
+            namespace=self.plan.checkpoint_namespace,
         )
         prior = ckpt.begin(
             {
@@ -790,11 +792,8 @@ def run_trials_parallel(
     trial_fn: TrialFn,
     n_trials: int,
     base_seed: int = 0,
-    executor: Optional[ExecutorConfig] = None,
     on_trial_done: Optional[ProgressFn] = None,
     *,
-    store: Optional["ResultStore"] = None,
-    resume: bool = False,
     plan: Optional[RunPlan] = None,
 ) -> CampaignResult:
     """Run a campaign on the parallel engine and return the full result.
@@ -804,12 +803,9 @@ def run_trials_parallel(
     unset ``plan.executor``) and returns the :class:`CampaignResult` —
     aggregates *and* failures — rather than raising when trials fail.
     Execution options travel in ``plan=``
-    (:class:`~repro.sim.plan.RunPlan`); the ``executor``/``store``/
-    ``resume`` keywords are a deprecated shim for one release.
+    (:class:`~repro.sim.plan.RunPlan`), the only execution interface.
     """
-    plan = coerce_run_plan(
-        plan, stacklevel=3, executor=executor, store=store, resume=resume
-    )
+    plan = plan if plan is not None else RunPlan()
     if plan.executor is None:
         plan = plan.replace(executor=ExecutorConfig())
     return Campaign(

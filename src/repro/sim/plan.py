@@ -11,20 +11,24 @@ travelled as separate keyword arguments duplicated across ``run_trials``,
 consolidates them:
 
 * :class:`RunPlan` — a frozen value object accepted as the single
-  keyword-only ``plan=`` by all four campaign entry points.
+  keyword-only ``plan=`` by all four campaign entry points.  Since the
+  service release this is the *only* execution interface: the legacy
+  per-keyword shim (``executor=``, ``store=``, ...) served its promised
+  one release and is gone.
 * :class:`ObsPlan` — the observability sinks (metrics/trace output
   paths, progress ticker) grouped under :attr:`RunPlan.obs`.
-* :func:`RunPlan.from_args` — builds a plan from an ``argparse``
-  namespace produced by :func:`add_execution_arguments`, replacing the
-  hand-rolled flag plumbing in ``experiments/cli.py``.
+* :meth:`RunPlan.to_json` / :meth:`RunPlan.from_json` — the versioned
+  ``repro-run-plan-v1`` wire schema shared by the CLI, checkpoint
+  journals and the ``repro serve`` job API, built on the canonical-JSON
+  serializer so a plan digests and round-trips deterministically.
+* :func:`RunPlan.from_args` — a thin wrapper: it folds an ``argparse``
+  namespace produced by :func:`add_execution_arguments` into a wire
+  document and hands it to :meth:`RunPlan.from_json`, so CLI flags and
+  HTTP job submissions go through one schema.
 * :func:`add_execution_arguments` — the one shared parent-parser options
   group (``--workers/--backend/--batch/--cache/--resume/--engine/...``)
   every experiment subcommand mounts, so subcommands can no longer
   silently diverge in which execution flags they expose.
-* :func:`coerce_run_plan` — the deprecation shim: entry points call it
-  to fold legacy per-kwarg forms (``executor=``, ``store=``, ...) into a
-  RunPlan, emitting exactly one :class:`DeprecationWarning` attributed
-  to the caller.
 
 The plan describes execution only; it never changes *what* a trial
 computes, so no RunPlan field enters the result-store content address
@@ -35,20 +39,25 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import warnings
+import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - types only (import cycle guard)
     from repro.sim.parallel import ExecutorConfig
     from repro.store.cache import ResultStore
 
 __all__ = [
+    "PLAN_SCHEMA",
     "ObsPlan",
     "RunPlan",
     "add_execution_arguments",
-    "coerce_run_plan",
 ]
+
+#: Version tag of the RunPlan wire schema.  Bump when the document
+#: layout changes incompatibly; :meth:`RunPlan.from_json` rejects
+#: documents carrying any other tag.
+PLAN_SCHEMA = "repro-run-plan-v1"
 
 
 @dataclass(frozen=True)
@@ -90,6 +99,15 @@ class RunPlan:
         and hands them to the trial object's ``run_batch`` hook (trials
         without the hook fall back to per-trial dispatch — the flag is
         then inert, not an error).
+    checkpoint_namespace:
+        Optional subdirectory (``a/b`` path segments of
+        ``[A-Za-z0-9._-]``) under the store's ``campaigns/`` directory
+        for this run's checkpoint journal.  The ``repro serve`` job
+        runner namespaces every job's journal (``jobs/<job-id>``) so two
+        concurrent submissions of the identical campaign never append to
+        the same journal file; object-store entries are shared either
+        way — namespacing affects journals only, never content
+        addresses.
     obs:
         :class:`ObsPlan` sink selection.
     """
@@ -99,6 +117,7 @@ class RunPlan:
     store: "Optional[ResultStore]" = None
     resume: bool = False
     batch: int = 1
+    checkpoint_namespace: Optional[str] = None
     obs: ObsPlan = field(default_factory=ObsPlan)
 
     def __post_init__(self) -> None:
@@ -106,18 +125,154 @@ class RunPlan:
             raise ValueError(f"engine must be a non-empty string, got {self.engine!r}")
         if self.batch < 1:
             raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.checkpoint_namespace is not None:
+            from repro.store.checkpoint import validate_namespace
+
+            validate_namespace(self.checkpoint_namespace)
 
     def replace(self, **changes: Any) -> "RunPlan":
         """A copy with the given fields changed (frozen-dataclass sugar)."""
         return dataclasses.replace(self, **changes)
 
+    # -- the repro-run-plan-v1 wire schema ------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        """This plan as a ``repro-run-plan-v1`` document (a JSON-able dict).
+
+        The document is canonical-JSON serializable (sorted keys, exact
+        floats) so it can enter digests and travel over the ``repro
+        serve`` wire.  A live :class:`~repro.store.cache.ResultStore`
+        serializes as its root *path* (``{"root": "<dir>"}``);
+        :meth:`from_json` reopens it.  Note the path is host-local —
+        a service receiving a plan substitutes its own shared store.
+        """
+        executor = None
+        if self.executor is not None:
+            executor = {
+                "workers": self.executor.workers,
+                "backend": self.executor.backend,
+                "chunk_size": self.executor.chunk_size,
+                "timeout_s": self.executor.timeout_s,
+                "max_retries": self.executor.max_retries,
+                "fail_fast": self.executor.fail_fast,
+            }
+        store = None
+        if self.store is not None:
+            store = {"root": str(self.store.root)}
+        return {
+            "schema": PLAN_SCHEMA,
+            "engine": self.engine,
+            "executor": executor,
+            "store": store,
+            "resume": self.resume,
+            "batch": self.batch,
+            "checkpoint_namespace": self.checkpoint_namespace,
+            "obs": {
+                "metrics_out": self.obs.metrics_out,
+                "trace_out": self.obs.trace_out,
+                "progress": self.obs.progress,
+            },
+        }
+
+    @classmethod
+    def from_json(
+        cls,
+        document: Union[str, Mapping[str, Any]],
+        *,
+        store: "Optional[ResultStore]" = None,
+    ) -> "RunPlan":
+        """Build a plan from a ``repro-run-plan-v1`` document.
+
+        ``document`` is the dict :meth:`to_json` produced (or its JSON
+        text).  Missing keys take the plan defaults; unknown keys and a
+        wrong ``schema`` tag are errors — the schema is versioned
+        precisely so drift is loud.  A ``store`` of ``{"root": null}``
+        opens the default store location (``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro``).
+
+        ``store=`` overrides whatever the document says — the ``repro
+        serve`` job runner uses it to substitute the service's shared
+        store for the submitter's host-local path.
+        """
+        if isinstance(document, str):
+            document = json.loads(document)
+        if not isinstance(document, Mapping):
+            raise ValueError(
+                f"run-plan document must be a JSON object, got "
+                f"{type(document).__name__}"
+            )
+        data = dict(document)
+        schema = data.pop("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ValueError(
+                f"unsupported run-plan schema {schema!r} "
+                f"(expected {PLAN_SCHEMA!r})"
+            )
+        known = {
+            "engine", "executor", "store", "resume", "batch",
+            "checkpoint_namespace", "obs",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown run-plan field(s): {', '.join(sorted(unknown))}"
+            )
+        executor = None
+        executor_doc = data.get("executor")
+        if executor_doc is not None:
+            from repro.sim.parallel import ExecutorConfig
+
+            if not isinstance(executor_doc, Mapping):
+                raise ValueError("executor must be a JSON object or null")
+            timeout_s = executor_doc.get("timeout_s")
+            executor = ExecutorConfig(
+                workers=int(executor_doc.get("workers", 0)),
+                backend=str(executor_doc.get("backend", "process")),
+                chunk_size=int(executor_doc.get("chunk_size", 1)),
+                timeout_s=None if timeout_s is None else float(timeout_s),
+                max_retries=int(executor_doc.get("max_retries", 0)),
+                fail_fast=bool(executor_doc.get("fail_fast", False)),
+            )
+        resume = bool(data.get("resume", False))
+        store_doc = data.get("store")
+        if store is None and store_doc is not None:
+            from repro.store.cache import ResultStore
+
+            if not isinstance(store_doc, Mapping):
+                raise ValueError("store must be a JSON object or null")
+            store = ResultStore(store_doc.get("root"))
+        if store is None:
+            resume = False
+        obs_doc = data.get("obs") or {}
+        if not isinstance(obs_doc, Mapping):
+            raise ValueError("obs must be a JSON object")
+        namespace = data.get("checkpoint_namespace")
+        return cls(
+            engine=data.get("engine") or "auto",
+            executor=executor,
+            store=store,
+            resume=resume,
+            batch=int(data.get("batch") or 1),
+            checkpoint_namespace=(
+                None if namespace is None else str(namespace)
+            ),
+            obs=ObsPlan(
+                metrics_out=obs_doc.get("metrics_out"),
+                trace_out=obs_doc.get("trace_out"),
+                progress=bool(obs_doc.get("progress", False)),
+            ),
+        )
+
     @classmethod
     def from_args(cls, args: argparse.Namespace) -> "RunPlan":
         """Build a plan from an :func:`add_execution_arguments` namespace.
 
+        A thin wrapper over :meth:`from_json`: the namespace folds into
+        a ``repro-run-plan-v1`` document and the document constructs the
+        plan, so CLI flags and wire submissions share one interpreter.
         Missing attributes take their defaults, so namespaces from
-        parsers that mount only part of the group still work.  Semantics
-        mirror the historical CLI plumbing exactly:
+        parsers that mount only part of the group still work.  Flag
+        semantics mirror the historical CLI plumbing exactly:
 
         * ``--workers`` unset -> no executor (serial in-process);
           otherwise a process/thread pool per ``--backend``.
@@ -126,35 +281,33 @@ class RunPlan:
         * invalid combinations raise ``ValueError`` (CLI drivers convert
           it to a usage error).
         """
-        from repro.sim.parallel import ExecutorConfig
-
-        executor = None
         workers = getattr(args, "workers", None)
+        executor = None
         if workers is not None:
-            executor = ExecutorConfig(
-                workers=workers, backend=getattr(args, "backend", "process")
-            )
+            executor = {
+                "workers": workers,
+                "backend": getattr(args, "backend", "process"),
+            }
         resume = bool(getattr(args, "resume", False))
         cache_dir = getattr(args, "cache_dir", None)
         enabled = bool(getattr(args, "cache", False)) or cache_dir is not None or resume
         store = None
         if enabled and not getattr(args, "no_cache", False):
-            from repro.store.cache import ResultStore
-
-            store = ResultStore(cache_dir)
-        else:
-            resume = False
-        return cls(
-            engine=getattr(args, "engine", None) or "auto",
-            executor=executor,
-            store=store,
-            resume=resume,
-            batch=int(getattr(args, "batch", None) or 1),
-            obs=ObsPlan(
-                metrics_out=getattr(args, "metrics_out", None),
-                trace_out=getattr(args, "trace_out", None),
-                progress=bool(getattr(args, "progress", False)),
-            ),
+            store = {"root": cache_dir}
+        return cls.from_json(
+            {
+                "schema": PLAN_SCHEMA,
+                "engine": getattr(args, "engine", None) or "auto",
+                "executor": executor,
+                "store": store,
+                "resume": resume,
+                "batch": int(getattr(args, "batch", None) or 1),
+                "obs": {
+                    "metrics_out": getattr(args, "metrics_out", None),
+                    "trace_out": getattr(args, "trace_out", None),
+                    "progress": bool(getattr(args, "progress", False)),
+                },
+            }
         )
 
 
@@ -233,67 +386,3 @@ def add_execution_arguments(
         help="resume a killed campaign from its checkpoint (implies --cache)",
     )
     return group
-
-
-#: The legacy keyword defaults each entry point historically exposed.
-#: A keyword equal to its default is treated as "not supplied" — the
-#: shim cannot distinguish an explicit default from an omitted kwarg,
-#: which is exactly the right ambiguity: the behaviour is identical.
-_LEGACY_DEFAULTS: Mapping[str, Any] = {
-    "engine": "auto",
-    "executor": None,
-    "store": None,
-    "resume": False,
-    "batch": 1,
-}
-
-
-def coerce_run_plan(
-    plan: Optional[RunPlan],
-    *,
-    stacklevel: int = 3,
-    **legacy: Any,
-) -> RunPlan:
-    """Fold a ``plan=`` argument and legacy per-kwarg forms into a RunPlan.
-
-    The deprecation shim shared by all four campaign entry points:
-
-    * ``plan`` given, no legacy kwargs -> returned as-is.
-    * legacy kwargs only -> one :class:`DeprecationWarning` (attributed
-      ``stacklevel`` frames up, i.e. to the *caller* of the entry
-      point), and an equivalent RunPlan is built — byte-identical
-      behaviour by construction.
-    * both -> ``ValueError``: the caller must pick one spelling.
-    * neither -> the default plan.
-    """
-    supplied = {
-        name: value
-        for name, value in legacy.items()
-        if value is not _LEGACY_DEFAULTS.get(name)
-        and value != _LEGACY_DEFAULTS.get(name)
-    }
-    if plan is not None:
-        if supplied:
-            raise ValueError(
-                "pass execution options either as plan=RunPlan(...) or as "
-                f"the legacy keywords ({', '.join(sorted(supplied))}=), "
-                "not both"
-            )
-        return plan
-    if supplied:
-        warnings.warn(
-            "the per-keyword execution options ("
-            + ", ".join(f"{name}=" for name in sorted(supplied))
-            + ") are deprecated; pass plan=repro.sim.RunPlan(...) instead",
-            DeprecationWarning,
-            stacklevel=stacklevel,
-        )
-        merged = {**_LEGACY_DEFAULTS, **legacy}
-        return RunPlan(
-            engine=merged["engine"],
-            executor=merged["executor"],
-            store=merged["store"],
-            resume=merged["resume"],
-            batch=merged["batch"],
-        )
-    return RunPlan()

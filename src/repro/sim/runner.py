@@ -25,9 +25,8 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optio
 from repro.sim.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
-    from repro.sim.parallel import ExecutorConfig, ProgressFn
+    from repro.sim.parallel import ProgressFn
     from repro.sim.plan import RunPlan
-    from repro.store.cache import ResultStore
 
 MetricDict = Mapping[str, float]
 TrialFn = Callable[[int, int], MetricDict]
@@ -115,19 +114,15 @@ def run_trials(
     n_trials: int,
     base_seed: int = 0,
     *,
-    executor: "Optional[ExecutorConfig]" = None,
     on_trial_done: "Optional[ProgressFn]" = None,
-    store: "Optional[ResultStore]" = None,
-    resume: bool = False,
     plan: "Optional[RunPlan]" = None,
 ) -> Dict[str, TrialAggregate]:
     """Run ``trial_fn`` ``n_trials`` times with independent derived seeds.
 
     Execution options travel in ``plan=``
-    (:class:`~repro.sim.plan.RunPlan`); the per-keyword
-    ``executor``/``store``/``resume`` spellings are a deprecated shim
-    for one release, folded into an equivalent plan with a single
-    :class:`DeprecationWarning`.
+    (:class:`~repro.sim.plan.RunPlan`) — the only execution interface
+    since the one-release deprecation shim for the per-keyword
+    spellings was retired.
 
     With the default plan this is the historical inline serial loop:
     trial exceptions propagate raw, and no campaign machinery is
@@ -151,11 +146,9 @@ def run_trials(
     """
     if n_trials <= 0:
         raise ValueError("n_trials must be positive")
-    from repro.sim.plan import coerce_run_plan
+    from repro.sim.plan import RunPlan
 
-    plan = coerce_run_plan(
-        plan, stacklevel=3, executor=executor, store=store, resume=resume
-    )
+    plan = plan if plan is not None else RunPlan()
     if (
         plan.executor is None
         and plan.store is None
@@ -212,10 +205,7 @@ def sweep(
     n_trials: int,
     base_seed: int = 0,
     *,
-    executor: "Optional[ExecutorConfig]" = None,
     on_trial_done: "Optional[ProgressFn]" = None,
-    store: "Optional[ResultStore]" = None,
-    resume: bool = False,
     plan: "Optional[RunPlan]" = None,
 ) -> SweepResult:
     """Run ``n_trials`` trials at each parameter value.
@@ -226,16 +216,12 @@ def sweep(
     ``plan``/``on_trial_done`` are forwarded to :func:`run_trials` for
     each point (parallelism and memoization are at the trial level,
     within a point — every point's trial function has its own config, so
-    points never collide in the store).  The per-keyword
-    ``executor``/``store``/``resume`` spellings are a deprecated shim
-    for one release.
+    points never collide in the store).
     """
     from repro.obs import metrics as obs_metrics
-    from repro.sim.plan import coerce_run_plan
+    from repro.sim.plan import RunPlan
 
-    plan = coerce_run_plan(
-        plan, stacklevel=3, executor=executor, store=store, resume=resume
-    )
+    plan = plan if plan is not None else RunPlan()
     obs = obs_metrics.OBS
     result = SweepResult(parameter=parameter, values=[])
     for idx, value in enumerate(values):

@@ -38,6 +38,7 @@ from repro.store.cache import (
     RESULT_FORMAT,
     CacheEntry,
     ResultStore,
+    StoreLock,
     StoreStats,
     VerifyOutcome,
     default_cache_dir,
@@ -54,6 +55,7 @@ from repro.store.checkpoint import (
     CampaignCheckpoint,
     CheckpointState,
     campaign_key,
+    validate_namespace,
 )
 from repro.store.fingerprint import FINGERPRINT_PACKAGES, code_fingerprint
 
@@ -62,6 +64,7 @@ __all__ = [
     "RESULT_FORMAT",
     "CacheEntry",
     "ResultStore",
+    "StoreLock",
     "StoreStats",
     "VerifyOutcome",
     "default_cache_dir",
@@ -74,6 +77,7 @@ __all__ = [
     "CampaignCheckpoint",
     "CheckpointState",
     "campaign_key",
+    "validate_namespace",
     "FINGERPRINT_PACKAGES",
     "code_fingerprint",
 ]

@@ -27,10 +27,19 @@ Maintenance lives here too: :meth:`ResultStore.stats`,
 :meth:`ResultStore.verify` (re-run a sampled trial and compare the
 canonical metric bytes), and :meth:`ResultStore.gc` (drop entries by age,
 then by size, oldest first).
+
+Concurrency: trial reads/writes are lock-free (atomic rename + key
+re-check make torn or duplicate writes impossible), but *maintenance*
+operations coordinate through an advisory file lock
+(:class:`StoreLock`): ``gc`` takes it exclusively, ``verify`` takes it
+shared, so a gc in one process can never delete files out from under a
+verify or a second gc in another (which would mis-count or mis-report).
+Campaign writers never block — the lock is maintenance-only.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import datetime
 import importlib
@@ -45,6 +54,11 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from repro.store.canonical import canonical_bytes, canonical_json, digest
 
+try:  # POSIX advisory locks; degrade to O_EXCL spinning elsewhere
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _fcntl = None
+
 PathLike = Union[str, pathlib.Path]
 
 __all__ = [
@@ -52,6 +66,7 @@ __all__ = [
     "KEY_SCHEMA",
     "CacheEntry",
     "ResultStore",
+    "StoreLock",
     "StoreStats",
     "VerifyOutcome",
     "default_cache_dir",
@@ -163,6 +178,93 @@ class VerifyOutcome:
     reason: str = ""
 
 
+class StoreLock:
+    """Advisory maintenance lock of one store root.
+
+    A thin wrapper over POSIX ``flock`` on ``<root>/.maintenance.lock``:
+    ``shared()`` lets any number of readers (``verify``) proceed
+    together, ``exclusive()`` serializes mutators (``gc``) against both
+    readers and each other.  The lock is *advisory* — only maintenance
+    paths take it; campaign reads/writes stay lock-free because atomic
+    renames already make them safe.
+
+    Both context managers block until the lock is granted unless
+    ``timeout_s`` is given, in which case :class:`TimeoutError` is
+    raised after polling for that long.  On platforms without ``fcntl``
+    the exclusive mode falls back to ``O_EXCL`` lock-file spinning and
+    shared mode degrades to exclusive.
+    """
+
+    _POLL_S = 0.05
+
+    def __init__(self, root: pathlib.Path):
+        self.path = pathlib.Path(root) / ".maintenance.lock"
+
+    @contextlib.contextmanager
+    def shared(self, timeout_s: Optional[float] = None):
+        yield from self._acquire(exclusive=False, timeout_s=timeout_s)
+
+    @contextlib.contextmanager
+    def exclusive(self, timeout_s: Optional[float] = None):
+        yield from self._acquire(exclusive=True, timeout_s=timeout_s)
+
+    def _acquire(self, exclusive: bool, timeout_s: Optional[float]):
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if _fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield from self._acquire_excl_file(timeout_s)
+            return
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        flags = _fcntl.LOCK_EX if exclusive else _fcntl.LOCK_SH
+        try:
+            if timeout_s is None:
+                _fcntl.flock(fd, flags)
+            else:
+                deadline = time.monotonic() + timeout_s
+                while True:
+                    try:
+                        _fcntl.flock(fd, flags | _fcntl.LOCK_NB)
+                        break
+                    except OSError:
+                        if time.monotonic() >= deadline:
+                            raise TimeoutError(
+                                f"store lock {self.path} not acquired "
+                                f"within {timeout_s}s"
+                            )
+                        time.sleep(self._POLL_S)
+            yield self
+        finally:
+            try:
+                _fcntl.flock(fd, _fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    def _acquire_excl_file(
+        self, timeout_s: Optional[float]
+    ):  # pragma: no cover - non-POSIX fallback
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+                break
+            except FileExistsError:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"store lock {self.path} not acquired within "
+                        f"{timeout_s}s"
+                    )
+                time.sleep(self._POLL_S)
+        try:
+            yield self
+        finally:
+            os.close(fd)
+            with contextlib.suppress(OSError):
+                os.unlink(self.path)
+
+
 class ResultStore:
     """Content-addressed on-disk memoization of trial results.
 
@@ -191,6 +293,10 @@ class ResultStore:
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.objects_dir / key[:2] / f"{key}.json"
+
+    def lock(self) -> StoreLock:
+        """The store's advisory maintenance lock (see :class:`StoreLock`)."""
+        return StoreLock(self.root)
 
     # -- read/write ----------------------------------------------------------
 
@@ -333,8 +439,9 @@ class ResultStore:
         stats.oldest_utc = oldest
         stats.newest_utc = newest
         if self.campaigns_dir.is_dir():
+            # rglob: job-namespaced journals live in subdirectories.
             stats.n_campaigns = sum(
-                1 for _ in self.campaigns_dir.glob("*.ndjson")
+                1 for _ in self.campaigns_dir.rglob("*.ndjson")
             )
         return stats
 
@@ -350,7 +457,21 @@ class ResultStore:
         than that many seconds; ``max_size_bytes`` then evicts the
         oldest surviving records until the object payload fits.  Returns
         ``{"removed": n, "freed_bytes": b, "kept": m}``.
+
+        Holds the store's exclusive maintenance lock for the duration,
+        so two concurrent ``gc`` runs (or a ``gc`` racing a ``verify``)
+        serialize instead of double-counting removals or yanking files
+        out from under a reader.
         """
+        with self.lock().exclusive():
+            return self._gc_locked(max_size_bytes, older_than_s, now)
+
+    def _gc_locked(
+        self,
+        max_size_bytes: Optional[int],
+        older_than_s: Optional[float],
+        now: Optional[float],
+    ) -> Dict[str, int]:
         now = time.time() if now is None else now
         records: List = []  # (mtime, size, path)
         if self.objects_dir.is_dir():
@@ -401,8 +522,16 @@ class ResultStore:
         metrics serialize to byte-identical canonical JSON.  ``sample``
         limits the check to a deterministic random subset (seeded by
         ``seed``); ``None`` verifies everything.
+
+        Holds the store's *shared* maintenance lock while enumerating —
+        concurrent verifies proceed together, but a ``gc`` cannot
+        delete entries mid-enumeration (which would silently shrink the
+        sample).  Re-runs happen against the already-parsed in-memory
+        records, so the (possibly slow) recompute phase never holds the
+        lock.
         """
-        entries = list(self.entries())
+        with self.lock().shared():
+            entries = list(self.entries())
         if sample is not None and sample < len(entries):
             entries = random.Random(seed).sample(entries, sample)
             entries.sort(key=lambda e: e.key)

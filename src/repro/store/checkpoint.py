@@ -28,14 +28,43 @@ from __future__ import annotations
 import datetime
 import json
 import pathlib
+import re
 from dataclasses import dataclass, field
 from typing import IO, Any, Dict, Optional
 
 from repro.store.canonical import canonical_json, digest
 
-__all__ = ["CHECKPOINT_FORMAT", "CampaignCheckpoint", "CheckpointState", "campaign_key"]
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CampaignCheckpoint",
+    "CheckpointState",
+    "campaign_key",
+    "validate_namespace",
+]
 
 CHECKPOINT_FORMAT = "repro-campaign-checkpoint-v1"
+
+#: One namespace path segment: portable filename characters only.
+_NAMESPACE_SEGMENT = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+def validate_namespace(namespace: str) -> str:
+    """Check a checkpoint namespace is a safe relative path; return it.
+
+    Namespaces are ``/``-separated segments of ``[A-Za-z0-9._-]`` (no
+    empty segments, no ``.``/``..``), so a namespace can never escape
+    the store's ``campaigns/`` directory or collide with a journal
+    filename.
+    """
+    if not isinstance(namespace, str) or not namespace:
+        raise ValueError("checkpoint namespace must be a non-empty string")
+    for segment in namespace.split("/"):
+        if not _NAMESPACE_SEGMENT.match(segment) or segment in (".", ".."):
+            raise ValueError(
+                f"bad checkpoint namespace {namespace!r}: segments must "
+                "match [A-Za-z0-9._-]+ and cannot be '.' or '..'"
+            )
+    return namespace
 
 
 def campaign_key(
@@ -73,11 +102,29 @@ class CheckpointState:
 
 
 class CampaignCheckpoint:
-    """One campaign's append-only progress journal."""
+    """One campaign's append-only progress journal.
 
-    def __init__(self, store_root: pathlib.Path, key: str):
+    ``namespace`` relocates the journal under
+    ``campaigns/<namespace>/<key>.ndjson`` — the ``repro serve`` job
+    runner gives every job its own namespace so two concurrent
+    submissions of the *identical* campaign (same campaign key) append
+    to distinct journal files instead of interleaving in one.  The
+    object store is untouched: namespacing changes where progress is
+    journaled, never how results are addressed.
+    """
+
+    def __init__(
+        self,
+        store_root: pathlib.Path,
+        key: str,
+        *,
+        namespace: Optional[str] = None,
+    ):
         self.key = key
-        self.path = pathlib.Path(store_root) / "campaigns" / f"{key}.ndjson"
+        base = pathlib.Path(store_root) / "campaigns"
+        if namespace is not None:
+            base = base / validate_namespace(namespace)
+        self.path = base / f"{key}.ndjson"
         self._fh: Optional[IO[str]] = None
 
     # -- reading -------------------------------------------------------------

@@ -1,26 +1,25 @@
-"""RunPlan: the unified execution-options object and its deprecation shim.
+"""RunPlan: the unified execution-options object and its wire schema.
 
 Covers the plan value object itself (validation, ``replace``,
-``from_args`` round-trips through the shared CLI argument group) and the
-contract of the four campaign entry points: ``plan=`` is the one
-spelling, the legacy per-keyword forms emit exactly one
-DeprecationWarning with byte-identical results, and mixing the two is an
-error.
+``from_args`` round-trips through the shared CLI argument group), the
+``repro-run-plan-v1`` wire schema (``to_json``/``from_json`` round-trip,
+strict unknown-key/schema rejection, service-side store substitution)
+and the contract of the four campaign entry points: ``plan=`` is the
+*only* execution interface — the legacy per-keyword spellings are gone
+and now raise ``TypeError``.
 """
 
 from __future__ import annotations
-
-import warnings
 
 import pytest
 
 import repro.sim as sim
 from repro.sim.parallel import Campaign, ExecutorConfig, run_trials_parallel
 from repro.sim.plan import (
+    PLAN_SCHEMA,
     ObsPlan,
     RunPlan,
     add_execution_arguments,
-    coerce_run_plan,
 )
 from repro.sim.runner import run_trials, sweep
 
@@ -155,107 +154,148 @@ class TestFromArgs:
             assert RunPlan.from_args(args) == RunPlan()
 
 
-class TestCoerce:
-    def test_plain_call_builds_default_plan_without_warning(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            plan = coerce_run_plan(None)
-        assert plan == RunPlan()
+class TestWireSchema:
+    """``repro-run-plan-v1``: to_json/from_json round-trip and strictness."""
 
-    def test_plan_passes_through_identically(self):
-        plan = RunPlan(batch=4)
-        assert coerce_run_plan(plan) is plan
+    def test_default_plan_round_trips(self):
+        doc = RunPlan().to_json()
+        assert doc["schema"] == PLAN_SCHEMA
+        assert RunPlan.from_json(doc) == RunPlan()
 
-    def test_legacy_kwargs_warn_once(self):
-        with pytest.warns(DeprecationWarning, match="executor=") as record:
-            plan = coerce_run_plan(
-                None, executor=ExecutorConfig.serial(), resume=False
-            )
-        assert len(record) == 1
-        assert plan.executor == ExecutorConfig.serial()
+    def test_document_is_canonical_json_able(self):
+        from repro.store.canonical import canonical_json
 
-    def test_plan_plus_legacy_is_an_error(self):
-        with pytest.raises(ValueError, match="not both"):
-            coerce_run_plan(RunPlan(), executor=ExecutorConfig.serial())
+        text = canonical_json(RunPlan(batch=4, engine="packed").to_json())
+        assert RunPlan.from_json(text) == RunPlan(batch=4, engine="packed")
 
-    def test_explicit_defaults_count_as_unsupplied(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            plan = coerce_run_plan(
-                None, executor=None, store=None, resume=False, engine="auto"
-            )
-        assert plan == RunPlan()
+    def test_executor_round_trips(self):
+        cfg = ExecutorConfig(
+            workers=3, backend="thread", chunk_size=2,
+            timeout_s=1.5, max_retries=2, fail_fast=True,
+        )
+        plan = RunPlan.from_json(RunPlan(executor=cfg).to_json())
+        assert plan.executor == cfg
+
+    def test_store_round_trips_as_root_path(self, tmp_path):
+        from repro.store import ResultStore
+
+        plan = RunPlan(store=ResultStore(tmp_path), resume=True)
+        doc = plan.to_json()
+        assert doc["store"] == {"root": str(tmp_path)}
+        loaded = RunPlan.from_json(doc)
+        assert str(loaded.store.root) == str(tmp_path)
+        assert loaded.resume is True
+
+    def test_store_override_substitutes_service_store(self, tmp_path):
+        from repro.store import ResultStore
+
+        submitted = RunPlan(
+            store=ResultStore(tmp_path / "client"), resume=True
+        ).to_json()
+        service_store = ResultStore(tmp_path / "service")
+        plan = RunPlan.from_json(submitted, store=service_store)
+        assert plan.store is service_store
+
+    def test_resume_dropped_without_store(self):
+        doc = RunPlan().to_json()
+        doc["resume"] = True
+        assert RunPlan.from_json(doc).resume is False
+
+    def test_checkpoint_namespace_round_trips(self):
+        plan = RunPlan(checkpoint_namespace="jobs/abc-123")
+        assert RunPlan.from_json(plan.to_json()) == plan
+
+    def test_bad_namespace_rejected(self):
+        with pytest.raises(ValueError, match="namespace"):
+            RunPlan(checkpoint_namespace="../escape")
+
+    def test_wrong_schema_rejected(self):
+        doc = RunPlan().to_json()
+        doc["schema"] = "repro-run-plan-v0"
+        with pytest.raises(ValueError, match="schema"):
+            RunPlan.from_json(doc)
+
+    def test_unknown_keys_rejected(self):
+        doc = RunPlan().to_json()
+        doc["warp_factor"] = 9
+        with pytest.raises(ValueError, match="warp_factor"):
+            RunPlan.from_json(doc)
+
+    def test_missing_keys_take_defaults(self):
+        assert RunPlan.from_json({"schema": PLAN_SCHEMA}) == RunPlan()
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            RunPlan.from_json("[1, 2]")
+
+    def test_obs_round_trips(self):
+        plan = RunPlan(
+            obs=ObsPlan(metrics_out="m.json", trace_out="t.ndjson",
+                        progress=True)
+        )
+        assert RunPlan.from_json(plan.to_json()) == plan
 
 
-class TestEntryPointShims:
-    """Each entry point: one warning, byte-identical results, plan= clean."""
+class TestPlanOnlyAPI:
+    """``plan=`` is the only execution interface; legacy kwargs are gone."""
 
     N, SEED = 8, 77
 
-    def test_run_trials(self):
-        cfg = ExecutorConfig.serial()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            modern = run_trials(
-                counting_trial, self.N, self.SEED,
-                plan=RunPlan(executor=cfg),
-            )
-        with pytest.warns(DeprecationWarning) as record:
-            legacy = run_trials(
-                counting_trial, self.N, self.SEED, executor=cfg
-            )
-        assert len(record) == 1
-        assert_same_aggregates(modern, legacy)
+    def test_run_trials_plan(self):
+        result = run_trials(
+            counting_trial, self.N, self.SEED,
+            plan=RunPlan(executor=ExecutorConfig.serial()),
+        )
+        assert result["value"].count == self.N
 
-    def test_sweep(self):
-        cfg = ExecutorConfig.serial()
+    def test_run_trials_rejects_legacy_kwargs(self):
+        with pytest.raises(TypeError):
+            run_trials(
+                counting_trial, self.N, self.SEED,
+                executor=ExecutorConfig.serial(),
+            )
+
+    def test_sweep_plan_and_rejects_legacy(self):
         factory = lambda v: counting_trial  # noqa: E731
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            modern = sweep(
-                "v", [1.0, 2.0], factory, n_trials=3, base_seed=5,
-                plan=RunPlan(executor=cfg),
+        result = sweep(
+            "v", [1.0, 2.0], factory, n_trials=3, base_seed=5,
+            plan=RunPlan(executor=ExecutorConfig.serial()),
+        )
+        assert result.values == [1.0, 2.0]
+        with pytest.raises(TypeError):
+            sweep(
+                "v", [1.0], factory, n_trials=3, base_seed=5,
+                executor=ExecutorConfig.serial(),
             )
-        with pytest.warns(DeprecationWarning) as record:
-            legacy = sweep(
-                "v", [1.0, 2.0], factory, n_trials=3, base_seed=5,
-                executor=cfg,
-            )
-        assert len(record) == 1
-        assert modern.values == legacy.values
-        for a, b in zip(modern.aggregates, legacy.aggregates):
-            assert_same_aggregates(a, b)
 
-    def test_campaign(self):
-        cfg = ExecutorConfig.serial()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            modern = Campaign(
+    def test_campaign_rejects_legacy_kwargs(self):
+        with pytest.raises(TypeError):
+            Campaign(
                 counting_trial, self.N, self.SEED,
-                plan=RunPlan(executor=cfg),
-            ).run()
-        with pytest.warns(DeprecationWarning) as record:
-            legacy = Campaign(
-                counting_trial, self.N, self.SEED, executor=cfg
-            ).run()
-        assert len(record) == 1
-        assert modern.per_trial == legacy.per_trial
-        assert_same_aggregates(modern.aggregates, legacy.aggregates)
+                executor=ExecutorConfig.serial(),
+            )
 
-    def test_run_trials_parallel(self):
-        cfg = ExecutorConfig.serial()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            modern = run_trials_parallel(
+    def test_campaign_plan_matches_run_trials(self):
+        plan = RunPlan(executor=ExecutorConfig.serial())
+        direct = run_trials(counting_trial, self.N, self.SEED, plan=plan)
+        campaign = Campaign(
+            counting_trial, self.N, self.SEED, plan=plan
+        ).run()
+        assert_same_aggregates(direct, campaign.aggregates)
+
+    def test_run_trials_parallel_rejects_legacy_kwargs(self):
+        with pytest.raises(TypeError):
+            run_trials_parallel(
                 counting_trial, self.N, self.SEED,
-                plan=RunPlan(executor=cfg),
+                executor=ExecutorConfig.serial(),
             )
-        with pytest.warns(DeprecationWarning) as record:
-            legacy = run_trials_parallel(
-                counting_trial, self.N, self.SEED, executor=cfg
-            )
-        assert len(record) == 1
-        assert modern.per_trial == legacy.per_trial
+
+    def test_run_trials_parallel_plan(self):
+        result = run_trials_parallel(
+            counting_trial, self.N, self.SEED,
+            plan=RunPlan(executor=ExecutorConfig.serial()),
+        )
+        assert result.n_trials == self.N
 
     def test_campaign_normalizes_plan_fields(self):
         plan = RunPlan(executor=ExecutorConfig.serial())

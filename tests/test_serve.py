@@ -1,0 +1,549 @@
+"""The campaign service: job specs, queue semantics, HTTP lifecycle.
+
+Most tests run a real :class:`~repro.serve.ServiceApp` on an ephemeral
+port (the event loop in a background thread, the client over real
+sockets) — the full submit → run → stream → complete path, plus the
+queue-full 429, priority ordering, trial-boundary cancellation, drain
+and restart-resume, and shared-store dedupe the service promises.  The
+SIGTERM test exercises the actual ``repro serve`` process via
+``kill -TERM``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+import pytest
+
+from repro.serve import (
+    JobManager,
+    JobSpec,
+    QueueFull,
+    ServiceApp,
+    ServiceClient,
+    ServiceError,
+    UnknownJob,
+)
+from repro.serve.jobs import JOB_SCHEMA
+from repro.sim.plan import PLAN_SCHEMA
+from repro.store import ResultStore
+
+
+@dataclass(frozen=True)
+class TinyTrial:
+    """A fast deterministic trial, cacheable by dataclass config."""
+
+    offset: float = 0.0
+
+    def __call__(self, trial_index: int, seed: int):
+        return {"value": float(seed % 97) + self.offset, "k": float(trial_index)}
+
+
+@dataclass(frozen=True)
+class SlowTrial:
+    """A trial that takes real wall time, for cancellation/drain tests."""
+
+    sleep_s: float = 0.05
+    offset: float = 0.0
+
+    def __call__(self, trial_index: int, seed: int):
+        time.sleep(self.sleep_s)
+        return {"value": float(seed % 97) + self.offset}
+
+
+def tiny_spec(n_trials=5, base_seed=3, *, kind="campaign", offset=0.0, **extra):
+    doc = {
+        "schema": JOB_SCHEMA,
+        "kind": kind,
+        "trial": {
+            "type": f"{__name__}.TinyTrial",
+            "params": {"offset": offset},
+        },
+        "n_trials": n_trials,
+        "base_seed": base_seed,
+        "plan": {"schema": PLAN_SCHEMA},
+    }
+    doc.update(extra)
+    return doc
+
+
+def slow_spec(n_trials=40, sleep_s=0.05, **extra):
+    doc = tiny_spec(n_trials=n_trials, **extra)
+    doc["trial"] = {
+        "type": f"{__name__}.SlowTrial",
+        "params": {"sleep_s": sleep_s},
+    }
+    return doc
+
+
+def deterministic(result_doc):
+    """A campaign result minus its run-dependent fields (timing, hits)."""
+    return {
+        k: v for k, v in result_doc.items()
+        if k not in ("elapsed_s", "cache_hits")
+    }
+
+
+# -- JobSpec wire schema -------------------------------------------------------
+
+
+class TestJobSpec:
+    def test_round_trips(self):
+        spec = JobSpec.from_json(tiny_spec(priority=3))
+        assert spec.kind == "campaign"
+        assert spec.priority == 3
+        assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_sweep_round_trips(self):
+        doc = tiny_spec(
+            kind="sweep", parameter="offset",
+            parameter_label="offset_units", values=[1.0, 2.0],
+        )
+        spec = JobSpec.from_json(doc)
+        assert spec.values == (1.0, 2.0)
+        assert spec.total_trials == 10
+        assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_wrong_schema_rejected(self):
+        doc = tiny_spec()
+        doc["schema"] = "repro-job-v0"
+        with pytest.raises(ValueError, match="schema"):
+            JobSpec.from_json(doc)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="surprise"):
+            JobSpec.from_json({**tiny_spec(), "surprise": 1})
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            JobSpec.from_json(tiny_spec(kind="mystery"))
+
+    def test_sweep_needs_parameter_and_values(self):
+        with pytest.raises(ValueError, match="parameter"):
+            JobSpec.from_json(tiny_spec(kind="sweep", values=[1.0]))
+        with pytest.raises(ValueError, match="values"):
+            JobSpec.from_json(tiny_spec(kind="sweep", parameter="offset"))
+
+    def test_bad_plan_rejected_at_submission(self):
+        doc = tiny_spec()
+        doc["plan"] = {"schema": PLAN_SCHEMA, "warp": 9}
+        with pytest.raises(ValueError, match="warp"):
+            JobSpec.from_json(doc)
+
+    def test_build_trial(self):
+        spec = JobSpec.from_json(tiny_spec(offset=2.0))
+        trial = spec.build_trial()
+        assert isinstance(trial, TinyTrial)
+        assert trial.offset == 2.0
+
+    def test_build_trial_factory_overrides_parameter(self):
+        spec = JobSpec.from_json(
+            tiny_spec(kind="sweep", parameter="offset", values=[5.0])
+        )
+        assert spec.build_trial_factory()(5.0).offset == 5.0
+
+    def test_unimportable_trial_type(self):
+        spec = JobSpec.from_json(
+            {**tiny_spec(), "trial": {"type": "no.such.Thing", "params": {}}}
+        )
+        with pytest.raises(ValueError, match="cannot import"):
+            spec.build_trial()
+
+
+# -- JobManager (no HTTP) ------------------------------------------------------
+
+
+class TestJobManager:
+    def test_queue_full_raises(self, tmp_path):
+        manager = JobManager(ResultStore(tmp_path), max_queue=2)
+        # never started: everything stays queued
+        manager.submit(JobSpec.from_json(tiny_spec()))
+        manager.submit(JobSpec.from_json(tiny_spec(base_seed=4)))
+        with pytest.raises(QueueFull):
+            manager.submit(JobSpec.from_json(tiny_spec(base_seed=5)))
+
+    def test_priority_order(self, tmp_path):
+        manager = JobManager(ResultStore(tmp_path), max_queue=10)
+        low = manager.submit(JobSpec.from_json(tiny_spec(priority=0)))
+        high = manager.submit(
+            JobSpec.from_json(tiny_spec(base_seed=4, priority=9))
+        )
+        mid = manager.submit(
+            JobSpec.from_json(tiny_spec(base_seed=5, priority=5))
+        )
+        order = [manager._next_job().id for _ in range(3)]
+        assert order == [high.id, mid.id, low.id]
+
+    def test_fifo_within_priority(self, tmp_path):
+        manager = JobManager(ResultStore(tmp_path), max_queue=10)
+        first = manager.submit(JobSpec.from_json(tiny_spec()))
+        second = manager.submit(JobSpec.from_json(tiny_spec(base_seed=4)))
+        assert [manager._next_job().id for _ in range(2)] == [
+            first.id, second.id,
+        ]
+
+    def test_cancel_queued(self, tmp_path):
+        manager = JobManager(ResultStore(tmp_path))
+        job = manager.submit(JobSpec.from_json(tiny_spec()))
+        assert manager.cancel(job.id).state == "cancelled"
+        record = json.loads(
+            (manager.jobs_dir / f"{job.id}.json").read_text()
+        )
+        assert record["state"] == "cancelled"
+
+    def test_unknown_job(self, tmp_path):
+        with pytest.raises(UnknownJob):
+            JobManager(ResultStore(tmp_path)).get("nope")
+
+    def test_run_and_persist(self, tmp_path):
+        manager = JobManager(ResultStore(tmp_path))
+        manager.start()
+        job = manager.submit(JobSpec.from_json(tiny_spec()))
+        deadline = time.monotonic() + 30
+        while job.state not in ("done", "failed"):
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        assert job.state == "done"
+        assert job.trials_done == 5
+        assert job.result["format"] == "repro-campaign-v1"
+        assert job.result["aggregates"]["value"]["count"] == 5
+        record = json.loads(
+            (manager.jobs_dir / f"{job.id}.json").read_text()
+        )
+        assert record["state"] == "done"
+        assert record["result"] == job.result
+        manager.drain()
+
+    def test_identical_jobs_dedupe_through_store(self, tmp_path):
+        manager = JobManager(ResultStore(tmp_path))
+        manager.start()
+        first = manager.submit(JobSpec.from_json(tiny_spec(n_trials=20)))
+        second = manager.submit(JobSpec.from_json(tiny_spec(n_trials=20)))
+        deadline = time.monotonic() + 30
+        while not (first.state == "done" and second.state == "done"):
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        assert first.cache_hits == 0
+        # acceptance bar is >= 95%; in practice it is 100%
+        assert second.cache_hits >= 19
+        assert deterministic(second.result) == deterministic(first.result)
+        manager.drain()
+
+    def test_namespaced_journals_never_collide(self, tmp_path):
+        store = ResultStore(tmp_path)
+        manager = JobManager(store)
+        manager.start()
+        a = manager.submit(JobSpec.from_json(tiny_spec()))
+        b = manager.submit(JobSpec.from_json(tiny_spec()))
+        deadline = time.monotonic() + 30
+        while not (a.state == "done" and b.state == "done"):
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        journals = list((store.campaigns_dir / "jobs").rglob("*.ndjson"))
+        # identical campaigns (same campaign key), two distinct journals
+        assert len(journals) == 2
+        assert {p.parent.name for p in journals} == {a.id, b.id}
+        manager.drain()
+
+
+# -- the HTTP service ----------------------------------------------------------
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live ServiceApp on an ephemeral port, torn down by drain."""
+    store = ResultStore(tmp_path / "store")
+    app = ServiceApp(store, port=0, max_queue=3, job_workers=1)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    port = asyncio.run_coroutine_threadsafe(app.start(), loop).result(10)
+    yield SimpleNamespace(
+        app=app,
+        store=store,
+        port=port,
+        client=ServiceClient(f"http://127.0.0.1:{port}"),
+        loop=loop,
+    )
+    asyncio.run_coroutine_threadsafe(app.shutdown(), loop).result(60)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(5)
+    loop.close()
+
+
+class TestService:
+    def test_healthz(self, service):
+        health = service.client.healthz()
+        assert health["status"] == "ok"
+        assert health["draining"] is False
+
+    def test_submit_run_stream_complete(self, service):
+        job = service.client.submit(tiny_spec())
+        assert job["state"] in ("queued", "running")
+        assert job["trials_total"] == 5
+        events = list(service.client.events(job["id"], timeout_s=30))
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "job"
+        assert kinds.count("trial") == 5
+        assert events[-1]["kind"] == "job"
+        assert events[-1]["data"]["state"] == "done"
+        # events are sequence-numbered for resumable replay
+        assert [e["seq"] for e in events] == sorted(e["seq"] for e in events)
+        final = service.client.wait(job["id"], timeout_s=30)
+        assert final["state"] == "done"
+        assert final["result"]["aggregates"]["value"]["count"] == 5
+
+    def test_event_replay_from_seq(self, service):
+        job = service.client.submit(tiny_spec())
+        service.client.wait(job["id"], timeout_s=30)
+        all_events = list(service.client.events(job["id"], timeout_s=10))
+        tail = list(
+            service.client.events(
+                job["id"], since=all_events[2]["seq"], timeout_s=10
+            )
+        )
+        assert tail == all_events[2:]
+
+    def test_queue_full_gives_429(self, service):
+        # one slow job occupies the worker; fill the 3-deep queue behind it
+        running = service.client.submit(slow_spec(n_trials=200, sleep_s=0.05))
+        deadline = time.monotonic() + 10
+        while service.client.job(running["id"])["state"] != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        for seed in (11, 12, 13):
+            service.client.submit(slow_spec(base_seed=seed))
+        with pytest.raises(ServiceError) as err:
+            service.client.submit(slow_spec(base_seed=14))
+        assert err.value.status == 429
+        service.client.cancel(running["id"])
+        for record in service.client.jobs():
+            service.client.cancel(record["id"])
+
+    def test_priority_runs_first(self, service):
+        blocker = service.client.submit(slow_spec(n_trials=100, sleep_s=0.05))
+        deadline = time.monotonic() + 10
+        while service.client.job(blocker["id"])["state"] != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        low = service.client.submit(tiny_spec(base_seed=21, priority=0))
+        high = service.client.submit(tiny_spec(base_seed=22, priority=7))
+        service.client.cancel(blocker["id"])
+        high_final = service.client.wait(high["id"], timeout_s=30)
+        low_final = service.client.wait(low["id"], timeout_s=30)
+        assert high_final["started_utc"] < low_final["started_utc"]
+
+    def test_cancel_mid_campaign(self, service):
+        job = service.client.submit(slow_spec(n_trials=200, sleep_s=0.05))
+        deadline = time.monotonic() + 10
+        while service.client.job(job["id"])["trials_done"] < 2:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        service.client.cancel(job["id"])
+        final = service.client.wait(job["id"], timeout_s=30)
+        assert final["state"] == "cancelled"
+        assert 0 < final["trials_done"] < 200
+
+    def test_sweep_job_over_http(self, service):
+        job = service.client.submit(
+            tiny_spec(
+                kind="sweep", n_trials=3, parameter="offset",
+                parameter_label="offset_units", values=[1.0, 2.0],
+            )
+        )
+        final = service.client.wait(job["id"], timeout_s=30)
+        assert final["state"] == "done"
+        doc = final["result"]
+        assert doc["format"] == "repro-sweep-v1"
+        assert doc["parameter"] == "offset_units"
+        assert doc["values"] == [1.0, 2.0]
+        # each sweep point aggregated all three of its trials
+        assert [point["value"]["count"] for point in doc["aggregates"]] == [3, 3]
+        assert final["trials_done"] == 6
+
+    def test_second_identical_submission_hits_store(self, service):
+        first = service.client.submit(tiny_spec(n_trials=20))
+        service.client.wait(first["id"], timeout_s=30)
+        second = service.client.submit(tiny_spec(n_trials=20))
+        final = service.client.wait(second["id"], timeout_s=30)
+        assert final["cache_hits"] >= 19  # >= 95% of 20
+        assert deterministic(final["result"]) == deterministic(
+            service.client.job(first["id"])["result"]
+        )
+
+    def test_bad_spec_gives_400(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.client.submit({"schema": JOB_SCHEMA, "kind": "mystery"})
+        assert err.value.status == 400
+
+    def test_unknown_job_gives_404(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.client.job("doesnotexist")
+        assert err.value.status == 404
+
+    def test_unknown_route_gives_404(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.client._request("GET", "/v2/anything")
+        assert err.value.status == 404
+
+    def test_metrics_endpoint(self, service):
+        job = service.client.submit(tiny_spec())
+        service.client.wait(job["id"], timeout_s=30)
+        text = service.client.metrics()
+        assert isinstance(text, str)  # Prometheus text (possibly empty:
+        # the fixture drives app.start() directly, so no registry is
+        # installed; serve_forever() installs one — see the SIGTERM test)
+
+
+class TestDrainAndResume:
+    def test_drain_interrupts_and_restart_resumes_bit_identical(self, tmp_path):
+        store_root = tmp_path / "store"
+
+        def run_service(app):
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(target=loop.run_forever, daemon=True)
+            thread.start()
+            port = asyncio.run_coroutine_threadsafe(app.start(), loop).result(10)
+            return loop, thread, ServiceClient(f"http://127.0.0.1:{port}")
+
+        def stop_service(app, loop, thread):
+            asyncio.run_coroutine_threadsafe(app.shutdown(), loop).result(60)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(5)
+            loop.close()
+
+        # reference result: the same spec run to completion elsewhere
+        ref_manager = JobManager(ResultStore(tmp_path / "ref"))
+        ref_manager.start()
+        ref_job = ref_manager.submit(
+            JobSpec.from_json(slow_spec(n_trials=12, sleep_s=0.05))
+        )
+        deadline = time.monotonic() + 60
+        while ref_job.state != "done":
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        ref_manager.drain()
+
+        app1 = ServiceApp(ResultStore(store_root), port=0)
+        loop1, thread1, client1 = run_service(app1)
+        job = client1.submit(slow_spec(n_trials=12, sleep_s=0.05))
+        deadline = time.monotonic() + 30
+        while client1.job(job["id"])["trials_done"] < 3:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        stop_service(app1, loop1, thread1)  # graceful drain mid-campaign
+
+        record = json.loads(
+            (store_root / "serve" / "jobs" / f"{job['id']}.json").read_text()
+        )
+        assert record["state"] == "interrupted"
+        assert 0 < record["trials_done"] < 12
+        # the namespaced checkpoint journal survived the drain
+        journal_dir = store_root / "campaigns" / "jobs" / job["id"]
+        assert list(journal_dir.glob("*.ndjson"))
+
+        app2 = ServiceApp(ResultStore(store_root), port=0)
+        loop2, thread2, client2 = run_service(app2)
+        final = client2.wait(job["id"], timeout_s=60)
+        assert final["state"] == "done"
+        assert final["resumed"] is True
+        assert final["cache_hits"] > 0  # completed trials came from the store
+        # bit-identical aggregates vs an uninterrupted run of the same spec
+        assert deterministic(final["result"]) == deterministic(ref_job.result)
+        stop_service(app2, loop2, thread2)
+
+
+@pytest.mark.slow
+class TestSigterm:
+    def test_kill_term_mid_campaign_then_restart(self, tmp_path):
+        """The real `repro serve` process: SIGTERM drain + resume."""
+        trial_mod = tmp_path / "slowmod.py"
+        trial_mod.write_text(
+            "import time\n"
+            "from dataclasses import dataclass\n\n\n"
+            "@dataclass(frozen=True)\n"
+            "class SlowTrial:\n"
+            "    sleep_s: float = 0.2\n\n"
+            "    def __call__(self, trial_index, seed):\n"
+            "        time.sleep(self.sleep_s)\n"
+            "        return {'value': float(seed % 97)}\n"
+        )
+        store_root = tmp_path / "store"
+        env = dict(os.environ)
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(repo_src), str(tmp_path)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+
+        def start_server():
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.experiments.cli", "serve",
+                    "--port", "0", "--cache-dir", str(store_root),
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            while True:
+                line = proc.stdout.readline()
+                assert line, "server exited before listening"
+                if "listening on http://" in line:
+                    break
+            port = int(line.rsplit(":", 1)[1].split()[0])
+            return proc, ServiceClient(f"http://127.0.0.1:{port}")
+
+        proc, client = start_server()
+        try:
+            spec = {
+                "schema": JOB_SCHEMA,
+                "kind": "campaign",
+                "trial": {"type": "slowmod.SlowTrial",
+                          "params": {"sleep_s": 0.2}},
+                "n_trials": 50,
+                "base_seed": 9,
+                "plan": {"schema": PLAN_SCHEMA},
+            }
+            job = client.submit(spec)
+            deadline = time.monotonic() + 30
+            while client.job(job["id"])["trials_done"] < 2:
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+            assert proc.returncode == 0  # graceful drain, clean exit
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        record = json.loads(
+            (store_root / "serve" / "jobs" / f"{job['id']}.json").read_text()
+        )
+        assert record["state"] == "interrupted"
+        interrupted_done = record["trials_done"]
+        assert 0 < interrupted_done < 50
+
+        proc, client = start_server()
+        try:
+            final = client.wait(job["id"], timeout_s=120)
+            assert final["state"] == "done"
+            assert final["resumed"] is True
+            assert final["cache_hits"] >= interrupted_done - 1
+            assert final["result"]["aggregates"]["value"]["count"] == 50
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+            assert proc.returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()

@@ -514,3 +514,80 @@ def test_fingerprint_subprocess_agrees(tmp_path):
         check=True,
     )
     assert out.stdout.strip() == code_fingerprint()
+
+
+# -- the advisory maintenance lock --------------------------------------------
+
+
+class TestStoreLock:
+    """StoreLock guards maintenance (gc/verify) across processes.
+
+    flock conflicts are per open-file-description, so two lock objects
+    in one process genuinely contend — no subprocess needed.
+    """
+
+    def test_shared_locks_coexist(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with store.lock().shared(timeout_s=1):
+            with store.lock().shared(timeout_s=1):
+                pass  # two readers at once is fine
+
+    def test_exclusive_excludes_exclusive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with store.lock().exclusive(timeout_s=1):
+            with pytest.raises(TimeoutError):
+                with store.lock().exclusive(timeout_s=0.2):
+                    pass
+
+    def test_exclusive_excludes_shared(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with store.lock().exclusive(timeout_s=1):
+            with pytest.raises(TimeoutError):
+                with store.lock().shared(timeout_s=0.2):
+                    pass
+
+    def test_shared_excludes_exclusive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with store.lock().shared(timeout_s=1):
+            with pytest.raises(TimeoutError):
+                with store.lock().exclusive(timeout_s=0.2):
+                    pass
+
+    def test_lock_released_on_exit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with store.lock().exclusive(timeout_s=1):
+            pass
+        with store.lock().exclusive(timeout_s=0.2):
+            pass  # reacquire immediately after release
+
+    def test_gc_serializes_behind_held_lock(self, tmp_path):
+        """gc takes the exclusive lock, so a held reader delays it."""
+        import threading
+        import time as _time
+
+        store = ResultStore(tmp_path)
+        _put_one(store)
+        started = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def hold_shared():
+            with store.lock().shared(timeout_s=1):
+                started.set()
+                release.wait(5)
+
+        holder = threading.Thread(target=hold_shared)
+        holder.start()
+        assert started.wait(5)
+        t0 = _time.monotonic()
+        gc_thread = threading.Thread(
+            target=lambda: observed.update(store.gc(older_than_s=0.0))
+        )
+        gc_thread.start()
+        _time.sleep(0.2)
+        assert not observed  # gc is blocked behind the shared holder
+        release.set()
+        holder.join(5)
+        gc_thread.join(5)
+        assert observed["removed"] == 1
+        assert _time.monotonic() - t0 >= 0.2
