@@ -83,7 +83,7 @@ from repro.sim import (
     sweep,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CCMCostModel",

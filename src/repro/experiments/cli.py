@@ -281,8 +281,119 @@ def cmd_map(args: argparse.Namespace) -> None:
         _emit(render_topology(network), args.out)
 
 
+def _profile_campaign(args: argparse.Namespace) -> None:
+    """Profile a whole campaign: merged per-trial phase breakdowns.
+
+    Runs ``--trials`` trials of a fixed-topology session trial through
+    the ordinary :class:`~repro.sim.parallel.Campaign` machinery.  Under
+    ``--backend process`` the per-phase numbers come from worker
+    registry snapshots merged back into this process — the profile shows
+    where the *workers* spent their time, not just the harvest loop.
+    ``--engine batch`` routes through the batched session engine
+    (``campaign/session_batch`` spans) instead of per-trial dispatch.
+    """
+    from repro.experiments.common import SessionBatchTrial
+    from repro.obs import (
+        MetricsRegistry,
+        RunManifest,
+        TraceContext,
+        metrics_to_ndjson,
+        render_profile,
+        use_registry,
+        write_chrome_trace,
+    )
+    from repro.sim.parallel import Campaign, ExecutorConfig
+
+    n, f, r = args.n, args.frame, args.range
+    seed = args.seed if args.seed is not None else 7
+    batched = args.engine == "batch"
+    trial = SessionBatchTrial(
+        tag_range=r,
+        n_tags=n,
+        frame_size=f,
+        participation=args.participation,
+        loss=args.loss if args.loss is not None else 0.0,
+        topology_seed=seed,
+        engine="packed" if args.engine in ("auto", "batch") else args.engine,
+    )
+    plan = RunPlan(
+        executor=ExecutorConfig(workers=args.workers, backend=args.backend),
+        batch=args.batch if args.batch else (8 if batched else 1),
+        trace=TraceContext.new(),
+    )
+    registry = MetricsRegistry(trace=plan.trace)
+    if args.trace_json:
+        registry.enable_timeline()
+    with use_registry(registry):
+        started = time.perf_counter()
+        result = Campaign(trial, args.trials, seed, plan=plan).run()
+        wall_s = time.perf_counter() - started
+    loss_note = "" if args.loss is None else f" loss={args.loss:g}"
+    print(
+        f"profile: campaign n={n} f={f} r={r:g} trials={args.trials} "
+        f"backend={args.backend} workers={args.workers} "
+        f"batch={plan.batch} engine={args.engine}{loss_note} seed={seed} "
+        f"trace={plan.trace.trace_id}"
+    )
+    print(
+        f"campaign: {result.n_ok}/{result.n_trials} trials ok, "
+        f"{result.cache_hits} cache hits, wall {wall_s:.4f}s"
+    )
+    print()
+    print(render_profile(registry, wall_s=wall_s, sort=args.sort))
+    stats = registry.span_stats()
+    campaign_s = stats.get(("campaign",), (0, 0.0))[1]
+    merged_s = sum(
+        seconds
+        for path, (_count, seconds) in stats.items()
+        if len(path) == 2 and path[0] == "campaign"
+    )
+    if campaign_s > 0:
+        # > 1.0x means workers overlapped (summed worker time exceeds
+        # the campaign's wall time) — expected under --backend process.
+        print(
+            f"worker time: merged per-trial spans total {merged_s:.4f}s "
+            f"({merged_s / campaign_s:.2f}x the campaign's "
+            f"{campaign_s:.4f}s wall)"
+        )
+    metrics_path = args.metrics_out or "results/profile.metrics.ndjson"
+    metrics_to_ndjson(registry, metrics_path)
+    print(f"[metrics written to {metrics_path}]")
+    manifest_path = args.manifest_out or "results/profile.manifest.json"
+    RunManifest.capture(
+        seed=seed,
+        config={
+            "n_tags": n,
+            "frame_size": f,
+            "tag_range_m": r,
+            "participation": args.participation,
+            "n_trials": args.trials,
+            "backend": args.backend,
+            "workers": args.workers,
+            "batch": plan.batch,
+            **({"loss": args.loss} if args.loss is not None else {}),
+        },
+        engine=args.engine,
+        elapsed_s=wall_s,
+        trace_id=plan.trace.trace_id,
+        extra={"n_ok": result.n_ok, "cache_hits": result.cache_hits},
+    ).write(manifest_path)
+    print(f"[manifest written to {manifest_path}]")
+    if args.trace_json:
+        events = write_chrome_trace(registry, args.trace_json)
+        print(f"[chrome trace ({events} events) written to {args.trace_json}]")
+
+
 def cmd_profile(args: argparse.Namespace) -> None:
     """One instrumented CCM session -> per-phase time table + artifacts."""
+    if args.trials is not None:
+        _profile_campaign(args)
+        return
+    if args.engine == "batch":
+        raise SystemExit(
+            "repro-ccm: error: --engine batch profiles the batched "
+            "campaign path; it needs --trials N"
+        )
     from repro.core.session import CCMConfig, run_session
     from repro.net.topology import PaperDeployment, paper_network
     from repro.obs import (
@@ -292,6 +403,7 @@ def cmd_profile(args: argparse.Namespace) -> None:
         metrics_to_ndjson,
         render_profile,
         set_registry,
+        write_chrome_trace,
     )
     from repro.protocols.transport import frame_picks
     from repro.sim.trace import SessionTracer
@@ -313,6 +425,8 @@ def cmd_profile(args: argparse.Namespace) -> None:
     if owns_registry:
         registry = MetricsRegistry()
         previous = set_registry(registry)
+    if args.trace_json:
+        registry.enable_timeline()
     tracer = SessionTracer() if args.trace_out else None
     try:
         network = paper_network(
@@ -368,6 +482,9 @@ def cmd_profile(args: argparse.Namespace) -> None:
         pathlib.Path(args.trace_out).parent.mkdir(parents=True, exist_ok=True)
         tracer.to_ndjson(args.trace_out)
         print(f"[trace written to {args.trace_out}]")
+    if args.trace_json:
+        events = write_chrome_trace(registry, args.trace_json)
+        print(f"[chrome trace ({events} events) written to {args.trace_json}]")
 
 
 # -- the cache subcommand family ----------------------------------------------
@@ -534,12 +651,16 @@ def cmd_serve(args: argparse.Namespace) -> None:
     from repro.serve import ServiceApp
     from repro.store import ResultStore
 
+    kwargs = {}
+    if args.event_retention is not None:
+        kwargs["event_retention"] = args.event_retention
     app = ServiceApp(
         ResultStore(args.cache_dir),
         host=args.host,
         port=args.port,
         max_queue=args.queue_size,
         job_workers=args.job_workers,
+        **kwargs,
     )
     asyncio.run(app.serve_forever())
 
@@ -592,8 +713,16 @@ def cmd_submit(args: argparse.Namespace) -> None:
     """Submit the master sweep to a running service."""
     from repro.serve.client import ServiceError
 
+    from repro.obs import TraceContext
+
     client = _service_client(args)
     spec = _sweep_job_spec(args)
+    # Stamp a trace context onto the plan document: the service threads
+    # it through the campaign's spans, checkpoint journal and events, so
+    # everything this submission caused is findable by one id
+    # (`repro-ccm jobs show <id> --trace`).
+    trace = TraceContext.new()
+    spec["plan"]["trace"] = trace.to_dict()
     try:
         job = client.submit(spec)
     except ServiceError as exc:
@@ -604,7 +733,8 @@ def cmd_submit(args: argparse.Namespace) -> None:
         raise SystemExit(f"repro-ccm: cannot reach {args.url}: {exc}")
     print(
         f"job {job['id']} {job['state']} "
-        f"({job['trials_total']} trials, priority {spec['priority']})"
+        f"({job['trials_total']} trials, priority {spec['priority']}, "
+        f"trace {job.get('trace_id') or trace.trace_id})"
     )
     if args.follow:
         for event in client.events(job["id"], timeout_s=None):
@@ -661,10 +791,19 @@ def cmd_jobs(args: argparse.Namespace) -> None:
                     + f"{rec['cache_hits']:>7}  {rec['submitted_utc']}"
                 )
         elif args.jobs_command == "show":
-            print(_json.dumps(client.job(args.id), indent=2, sort_keys=True))
+            record = client.job(args.id)
+            if getattr(args, "trace", False):
+                _show_job_trace(record)
+            else:
+                print(_json.dumps(record, indent=2, sort_keys=True))
         elif args.jobs_command == "watch":
-            for event in client.events(args.id, since=args.since, timeout_s=None):
-                print(_json.dumps(event, sort_keys=True), flush=True)
+            if getattr(args, "dash", False):
+                _watch_job_dash(client, args)
+            else:
+                for event in client.events(
+                    args.id, since=args.since, timeout_s=None
+                ):
+                    print(_json.dumps(event, sort_keys=True), flush=True)
         elif args.jobs_command == "cancel":
             record = client.cancel(args.id)
             print(f"job {record['id']} -> {record['state']}")
@@ -674,6 +813,163 @@ def cmd_jobs(args: argparse.Namespace) -> None:
         raise SystemExit(f"repro-ccm: {exc}")
     except (ConnectionError, OSError) as exc:
         raise SystemExit(f"repro-ccm: cannot reach {args.url}: {exc}")
+
+
+def _show_job_trace(record: dict) -> None:
+    """Render one job's persisted telemetry as its span tree."""
+    from repro.obs.dash import render_span_tree
+
+    telemetry = record.get("telemetry") or {}
+    spans = telemetry.get("spans") or []
+    print(
+        f"job {record['id']} {record['state']}: "
+        f"{record['trials_done']}/{record['trials_total']} trials, "
+        f"{record['cache_hits']} cache hits"
+    )
+    print(render_span_tree(spans, trace_id=record.get("trace_id")))
+    if not spans:
+        print(
+            "(telemetry is captured when the job reaches a terminal "
+            "state; try again once it finishes)"
+        )
+
+
+def _watch_job_dash(client, args: argparse.Namespace) -> None:
+    """Live single-job dashboard over the NDJSON event stream."""
+    import collections
+
+    from repro.obs.dash import DashState, render_dashboard
+
+    record = client.job(args.id)
+    arrivals: "collections.deque[float]" = collections.deque(maxlen=32)
+    hits = int(record.get("cache_hits", 0))
+
+    def redraw() -> None:
+        state = DashState(url=args.url, status="ok", jobs=[record])
+        if len(arrivals) >= 2 and arrivals[-1] > arrivals[0]:
+            state.trials_per_s = (len(arrivals) - 1) / (
+                arrivals[-1] - arrivals[0]
+            )
+        sys.stdout.write(
+            "\x1b[H\x1b[2J" + render_dashboard(state) + "\n"
+        )
+        sys.stdout.flush()
+
+    redraw()
+    for event in client.events(args.id, since=args.since, timeout_s=None):
+        data = event.get("data", {})
+        if event.get("kind") == "trial":
+            record["trials_done"] = data.get(
+                "done", record.get("trials_done", 0)
+            )
+            if data.get("from_cache"):
+                hits += 1
+                record["cache_hits"] = hits
+            arrivals.append(time.monotonic())
+        elif event.get("kind") == "job":
+            record["state"] = data.get("state", record.get("state"))
+        redraw()
+
+
+def cmd_top(args: argparse.Namespace) -> None:
+    """Live service dashboard: queue, jobs, rates, per-phase bars."""
+    from repro.obs.dash import (
+        DashState,
+        parse_prometheus,
+        render_dashboard,
+        span_bars,
+    )
+
+    client = _service_client(args)
+    previous = None  # (monotonic time, total trials done)
+    while True:
+        try:
+            health = client.healthz()
+            jobs = client.jobs()
+            samples = parse_prometheus(client.metrics())
+        except (ConnectionError, OSError) as exc:
+            raise SystemExit(f"repro-ccm: cannot reach {args.url}: {exc}")
+        state = DashState(
+            url=args.url,
+            status=str(health.get("status", "?")),
+            jobs=jobs,
+            phase_seconds=span_bars(samples),
+        )
+        now = time.monotonic()
+        done = state.trials_done
+        if previous is not None and now > previous[0]:
+            state.trials_per_s = max(
+                0.0, (done - previous[1]) / (now - previous[0])
+            )
+        previous = (now, done)
+        frame = render_dashboard(state, color=not args.no_color)
+        if args.once:
+            print(frame)
+            return
+        sys.stdout.write("\x1b[H\x1b[2J" + frame + "\n")
+        sys.stdout.flush()
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print()
+            return
+
+
+def cmd_bench(args: argparse.Namespace) -> None:
+    """Benchmark trajectory history: record, compare, report."""
+    import glob as _glob
+
+    from repro.obs import bench_track
+
+    if args.bench_command == "record":
+        manifests = args.manifest or sorted(
+            _glob.glob("benchmarks/output/BENCH_*.json")
+        )
+        if not manifests:
+            raise SystemExit(
+                "repro-ccm: error: no BENCH_*.json manifests found "
+                "(run the benchmark suites first, or pass paths)"
+            )
+        if args.name is not None and len(manifests) > 1:
+            raise SystemExit(
+                "repro-ccm: error: --name only applies to a single manifest"
+            )
+        for manifest in manifests:
+            try:
+                record = bench_track.record_manifest(
+                    manifest, args.history, name=args.name
+                )
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"repro-ccm: error: {exc}")
+            print(
+                f"recorded {record.name}: {len(record.metrics)} metric(s) "
+                f"@ {record.created_utc or '?'}"
+            )
+        print(f"[history appended to {args.history}]")
+        return
+    try:
+        records = bench_track.load_history(args.history)
+    except ValueError as exc:
+        raise SystemExit(f"repro-ccm: error: {exc}")
+    if args.bench_command == "compare":
+        text, regressed = bench_track.render_compare(
+            records, noise=args.noise, bench=args.bench
+        )
+        print(text)
+        if regressed:
+            print(
+                "bench compare: regression(s) beyond the noise band"
+                + ("" if args.strict else " (soft gate; --strict to fail)"),
+                file=sys.stderr,
+            )
+            if args.strict:
+                raise SystemExit(1)
+    elif args.bench_command == "report":
+        print(
+            bench_track.render_report(
+                records, bench=args.bench, last=args.last
+            )
+        )
 
 
 def cmd_all(args: argparse.Namespace) -> None:
@@ -782,8 +1078,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prof.add_argument("--seed", type=int, default=None)
     prof.add_argument(
-        "--engine", choices=("auto", *sorted(available_engines())),
+        "--engine", choices=("auto", "batch", *sorted(available_engines())),
         default="auto",
+        help="session engine; 'batch' profiles the batched campaign "
+             "path (needs --trials)",
+    )
+    prof.add_argument(
+        "--trials", type=int, default=None,
+        help="campaign mode: profile N trials through the campaign "
+             "machinery (merged per-trial phase breakdowns)",
+    )
+    prof.add_argument(
+        "--workers", type=int, default=0,
+        help="campaign mode worker count; 0 = auto (default: 0)",
+    )
+    prof.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default="serial",
+        help="campaign mode executor backend (default: serial); "
+             "'process' merges worker registry snapshots back",
+    )
+    prof.add_argument(
+        "--batch", type=int, default=None,
+        help="trials stacked per batched session call (campaign mode; "
+             "default: 8 with --engine batch, else 1)",
     )
     prof.add_argument(
         "--sort", choices=("self", "cum", "tree"), default="self",
@@ -800,6 +1118,11 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument(
         "--trace-out", type=str, default=None,
         help="write the session's protocol event trace as NDJSON",
+    )
+    prof.add_argument(
+        "--trace-json", type=str, default=None,
+        help="write a Chrome trace_event JSON timeline (open in "
+             "chrome://tracing or Perfetto)",
     )
     prof.set_defaults(func=cmd_profile, handles_metrics=True)
     cache = sub.add_parser(
@@ -879,6 +1202,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="jobs run concurrently (default: 1; campaigns parallelize "
              "internally via their plan's executor)",
     )
+    serve.add_argument(
+        "--event-retention", type=int, default=None,
+        help="per-job in-memory event records kept for replay (default: "
+             "100000); clients further behind get a truncated marker",
+    )
     serve.set_defaults(func=cmd_serve)
     url_common = argparse.ArgumentParser(add_help=False)
     url_common.add_argument(
@@ -915,6 +1243,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="one job's full record (status + aggregates)",
     )
     jobs_show.add_argument("id", type=str)
+    jobs_show.add_argument(
+        "--trace", action="store_true",
+        help="render the job's telemetry as its job/campaign/trial/"
+             "round span tree instead of raw JSON",
+    )
     jobs_show.set_defaults(func=cmd_jobs)
     jobs_watch = jobs_sub.add_parser(
         "watch", parents=[url_common],
@@ -924,6 +1257,10 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_watch.add_argument(
         "--since", type=int, default=0,
         help="replay from this event sequence number (default: 0)",
+    )
+    jobs_watch.add_argument(
+        "--dash", action="store_true",
+        help="render a live single-job dashboard instead of raw NDJSON",
     )
     jobs_watch.set_defaults(func=cmd_jobs)
     jobs_cancel = jobs_sub.add_parser(
@@ -936,6 +1273,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the service's Prometheus metrics",
     )
     jobs_metrics.set_defaults(func=cmd_jobs)
+    top = sub.add_parser(
+        "top", parents=[url_common],
+        help="live ANSI dashboard of a running service (queue, jobs, "
+             "trials/sec, cache hit rate, per-phase bars)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period in seconds (default: 2.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (for scripts and CI)",
+    )
+    top.add_argument(
+        "--no-color", action="store_true",
+        help="plain text frames (no ANSI colours)",
+    )
+    top.set_defaults(func=cmd_top)
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark trajectory history: record manifests, compare "
+             "runs within a noise band, report trends",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_common = argparse.ArgumentParser(add_help=False)
+    bench_common.add_argument(
+        "--history", type=str,
+        default="benchmarks/output/BENCH_history.ndjson",
+        help="history NDJSON path (default: "
+             "benchmarks/output/BENCH_history.ndjson)",
+    )
+    bench_record = bench_sub.add_parser(
+        "record", parents=[bench_common],
+        help="append BENCH_*.json manifests as history lines",
+    )
+    bench_record.add_argument(
+        "manifest", nargs="*",
+        help="manifest paths (default: benchmarks/output/BENCH_*.json)",
+    )
+    bench_record.add_argument(
+        "--name", type=str, default=None,
+        help="override the bench name (single manifest only)",
+    )
+    bench_record.set_defaults(func=cmd_bench)
+    bench_compare = bench_sub.add_parser(
+        "compare", parents=[bench_common],
+        help="latest vs previous run per bench, beyond a noise band",
+    )
+    bench_compare.add_argument(
+        "--noise", type=float, default=0.25,
+        help="relative change treated as machine noise (default: 0.25)",
+    )
+    bench_compare.add_argument(
+        "--bench", type=str, default=None,
+        help="restrict to one bench name",
+    )
+    bench_compare.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on flagged regressions (default: warn only)",
+    )
+    bench_compare.set_defaults(func=cmd_bench)
+    bench_report = bench_sub.add_parser(
+        "report", parents=[bench_common],
+        help="metric trajectories across recorded runs",
+    )
+    bench_report.add_argument(
+        "--bench", type=str, default=None,
+        help="restrict to one bench name",
+    )
+    bench_report.add_argument(
+        "--last", type=int, default=6,
+        help="show at most the last N runs per bench (default: 6)",
+    )
+    bench_report.set_defaults(func=cmd_bench)
     return parser
 
 

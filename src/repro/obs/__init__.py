@@ -46,16 +46,32 @@ from repro.obs.manifest import (
 )
 from repro.obs.metrics import (
     NULL_REGISTRY,
+    SNAPSHOT_SCHEMA,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    TeeRegistry,
+    TimelineEvent,
     get_registry,
     set_registry,
     use_registry,
 )
-from repro.obs.spans import Span, SpanRow, profile_rows, render_profile
+from repro.obs.spans import (
+    Span,
+    SpanRow,
+    current_span_path,
+    profile_rows,
+    render_profile,
+)
+from repro.obs.trace import (
+    TraceContext,
+    chrome_trace,
+    new_span_id,
+    new_trace_id,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Counter",
@@ -64,13 +80,22 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
+    "SNAPSHOT_SCHEMA",
+    "TeeRegistry",
+    "TimelineEvent",
     "get_registry",
     "set_registry",
     "use_registry",
     "Span",
     "SpanRow",
+    "current_span_path",
     "profile_rows",
     "render_profile",
+    "TraceContext",
+    "chrome_trace",
+    "new_span_id",
+    "new_trace_id",
+    "write_chrome_trace",
     "EventBus",
     "EventLog",
     "metrics_to_ndjson",

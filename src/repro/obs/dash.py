@@ -1,0 +1,298 @@
+"""Stdlib terminal dashboard primitives: ``repro top`` and span trees.
+
+Three layers, all pure functions over plain data so they are testable
+without a terminal or a running service:
+
+* :func:`parse_prometheus` — the inverse of
+  :func:`~repro.obs.export.render_prometheus`: text exposition lines back
+  into :class:`PromSample` values, including label-value *unescaping*
+  (``\\\\``, ``\\"``, ``\\n``), so the dashboard can read span paths that
+  contain quotes or backslashes exactly as they were recorded.
+* :func:`render_span_tree` — a ``repro-metrics-snapshot-v1`` span list
+  (or any ``[{path, count, seconds}]`` rows) as an indented tree with
+  counts and cumulative seconds; ``repro jobs show <id> --trace`` renders
+  a job's persisted telemetry through this.
+* :func:`render_dashboard` — one ANSI frame of a :class:`DashState`:
+  service health, queue depth, per-job progress, trials/sec, cache hit
+  rate and per-phase time bars.  ``repro top`` redraws it in place;
+  ``--once`` prints a single frame for scripts and tests.
+
+Nothing here imports the serve client or touches sockets — the CLI
+gathers the numbers, these functions only format them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "DashState",
+    "PromSample",
+    "ansi_strip",
+    "parse_prometheus",
+    "render_dashboard",
+    "render_span_tree",
+    "span_bars",
+]
+
+#: ``name{labels} value`` — names per the Prometheus data model.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+
+#: One ``key="value"`` pair inside the label braces; the value body is
+#: any run of non-quote characters or escape pairs.
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+_ANSI_RE = re.compile(r"\x1b\[[0-9;]*m")
+
+
+def ansi_strip(text: str) -> str:
+    """Remove SGR escape sequences (for width math and tests)."""
+    return _ANSI_RE.sub("", text)
+
+
+def _unescape_label(value: str) -> str:
+    """Undo the text-exposition escaping of a label value."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:  # unknown escape: keep it verbatim
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class PromSample:
+    """One parsed exposition line: ``name{labels} value``."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+    def label(self, key: str, default: str = "") -> str:
+        for k, v in self.labels:
+            if k == key:
+                return v
+        return default
+
+
+def parse_prometheus(text: str) -> List[PromSample]:
+    """Parse Prometheus text exposition into samples.
+
+    Comment/``# TYPE`` lines are skipped; malformed lines are ignored
+    rather than raised (a dashboard should survive a torn scrape).
+    Label values are unescaped, so a span path recorded with quotes or
+    backslashes round-trips exactly.
+    """
+    samples: List[PromSample] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            continue
+        labels: List[Tuple[str, str]] = []
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for key, escaped in _LABEL_RE.findall(raw_labels):
+                labels.append((key, _unescape_label(escaped)))
+        samples.append(
+            PromSample(
+                name=match.group("name"),
+                labels=tuple(labels),
+                value=value,
+            )
+        )
+    return samples
+
+
+# -- span trees ----------------------------------------------------------------
+
+
+def render_span_tree(
+    spans: Iterable[Mapping[str, Any]],
+    *,
+    trace_id: Optional[str] = None,
+) -> str:
+    """Render snapshot span rows as an indented tree.
+
+    ``spans`` is the ``repro-metrics-snapshot-v1`` span list:
+    ``[{"path": [...], "count": n, "seconds": s}, ...]``.  Intermediate
+    paths that were never recorded directly still appear (count ``-``)
+    so the tree always connects to its roots.
+    """
+    rows = {
+        tuple(str(p) for p in row["path"]): (
+            int(row.get("count", 0)),
+            float(row.get("seconds", 0.0)),
+        )
+        for row in spans
+        if row.get("path")
+    }
+    if not rows:
+        return "(no spans recorded)"
+    # Materialise missing ancestors so every node hangs off a root.
+    for path in list(rows):
+        for depth in range(1, len(path)):
+            rows.setdefault(path[:depth], (0, 0.0))
+    paths = sorted(rows)
+    children: Dict[Tuple[str, ...], List[Tuple[str, ...]]] = {}
+    for path in paths:
+        if len(path) > 1:
+            children.setdefault(path[:-1], []).append(path)
+    lines: List[str] = []
+    if trace_id:
+        lines.append(f"trace {trace_id}")
+
+    def emit(path: Tuple[str, ...], prefix: str, is_last: bool) -> None:
+        count, seconds = rows[path]
+        if len(path) == 1:
+            branch, child_prefix = "", ""
+        else:
+            branch = prefix + ("└─ " if is_last else "├─ ")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        label = branch + path[-1]
+        count_text = f"{count}×" if count else "-"
+        lines.append(f"{label:<44} {count_text:>9} {seconds:>11.4f}s")
+        kids = children.get(path, [])
+        for i, kid in enumerate(kids):
+            emit(kid, child_prefix, i == len(kids) - 1)
+
+    roots = [p for p in paths if len(p) == 1]
+    for root in roots:
+        emit(root, "", True)
+    return "\n".join(lines)
+
+
+# -- the dashboard frame -------------------------------------------------------
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "█" * filled + "·" * (width - filled)
+
+
+def span_bars(
+    samples: Sequence[PromSample], *, top: int = 8
+) -> List[Tuple[str, float]]:
+    """The top-N ``span_seconds_total`` series as (path, seconds) rows."""
+    rows = [
+        (s.label("path"), s.value)
+        for s in samples
+        if s.name == "span_seconds_total"
+    ]
+    rows.sort(key=lambda r: r[1], reverse=True)
+    return rows[:top]
+
+
+@dataclass
+class DashState:
+    """Everything one dashboard frame shows, already gathered."""
+
+    url: str = ""
+    status: str = "ok"
+    jobs: List[Dict[str, Any]] = field(default_factory=list)
+    trials_per_s: Optional[float] = None
+    phase_seconds: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def queued(self) -> int:
+        return sum(1 for j in self.jobs if j.get("state") == "queued")
+
+    @property
+    def running(self) -> int:
+        return sum(1 for j in self.jobs if j.get("state") == "running")
+
+    @property
+    def trials_done(self) -> int:
+        return sum(int(j.get("trials_done", 0)) for j in self.jobs)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(int(j.get("cache_hits", 0)) for j in self.jobs)
+
+
+def render_dashboard(
+    state: DashState, *, width: int = 78, color: bool = True
+) -> str:
+    """One frame of the ``repro top`` dashboard."""
+    bold = "\x1b[1m" if color else ""
+    dim = "\x1b[2m" if color else ""
+    reset = "\x1b[0m" if color else ""
+    ok = state.status == "ok"
+    status_colour = ("\x1b[32m" if ok else "\x1b[33m") if color else ""
+    lines: List[str] = []
+    lines.append(
+        f"{bold}repro top{reset} — {state.url}  "
+        f"[{status_colour}{state.status}{reset}]"
+    )
+    done = state.trials_done
+    hits = state.cache_hits
+    hit_rate = (100.0 * hits / done) if done else 0.0
+    rate = (
+        f"{state.trials_per_s:.1f} trials/s"
+        if state.trials_per_s is not None
+        else "- trials/s"
+    )
+    lines.append(
+        f"jobs: {len(state.jobs)} total, {state.queued} queued, "
+        f"{state.running} running   {rate}   "
+        f"cache: {hits}/{done} hits ({hit_rate:.0f}%)"
+    )
+    lines.append("")
+    if state.jobs:
+        lines.append(
+            f"{dim}{'id':<14}{'state':<13}{'progress':<26}"
+            f"{'hits':>6}{reset}"
+        )
+        for job in state.jobs:
+            total = int(job.get("trials_total", 0)) or 1
+            job_done = int(job.get("trials_done", 0))
+            frac = job_done / total
+            bar = _bar(frac, 14)
+            lines.append(
+                f"{str(job.get('id', '?')):<14}"
+                f"{str(job.get('state', '?')):<13}"
+                f"{bar} {job_done}/{total}".ljust(26)
+                + f"{int(job.get('cache_hits', 0)):>6}"
+            )
+    else:
+        lines.append("(no jobs)")
+    if state.phase_seconds:
+        lines.append("")
+        lines.append(f"{dim}per-phase time (span_seconds_total){reset}")
+        peak = max(seconds for _, seconds in state.phase_seconds) or 1.0
+        label_w = max(28, width - 30)
+        for path, seconds in state.phase_seconds:
+            shown = path if len(path) <= label_w else "…" + path[-(label_w - 1):]
+            lines.append(
+                f"  {shown:<{label_w}} {_bar(seconds / peak, 16)} "
+                f"{seconds:>9.3f}s"
+            )
+    return "\n".join(lines)

@@ -137,6 +137,36 @@ class EventLog:
         with self._cond:
             return [r for r in self._records if r["seq"] >= seq]
 
+    @property
+    def first_seq(self) -> int:
+        """Sequence number of the oldest *retained* record.
+
+        Equals the next sequence number when the log is empty; greater
+        than zero once retention has dropped records.
+        """
+        with self._cond:
+            return self._next_seq - len(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """How many records retention has discarded so far."""
+        with self._cond:
+            return self._dropped
+
+    def window(self, seq: int = 0) -> "tuple[List[Dict[str, Any]], bool]":
+        """Like :meth:`since`, plus whether ``seq`` predates retention.
+
+        Returns ``(records, truncated)``; ``truncated`` is ``True`` when
+        records the caller asked for (at/after ``seq``) have already been
+        dropped, so a replay starting at ``seq`` would silently skip
+        them.  ``repro serve`` surfaces this as an explicit marker line
+        at the head of the ``/events`` stream.
+        """
+        with self._cond:
+            first = self._next_seq - len(self._records)
+            truncated = self._dropped > 0 and seq < first
+            return [r for r in self._records if r["seq"] >= seq], truncated
+
     def wait(
         self, seq: int, timeout_s: Optional[float] = None
     ) -> List[Dict[str, Any]]:
@@ -215,6 +245,17 @@ def _prom_value(value: float) -> str:
     return repr(float(value))
 
 
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double-quote, and newline are the three characters the
+    format requires escaping inside ``label="..."``.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def render_prometheus(registry: MetricsRegistry) -> str:
     """The registry in Prometheus text exposition format."""
     lines: List[str] = []
@@ -244,7 +285,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         lines.append("# TYPE span_seconds_total counter")
         lines.append("# TYPE span_calls_total counter")
         for path, (count, seconds) in sorted(span_stats.items()):
-            label = "/".join(path)
+            label = _prom_label_value("/".join(path))
             lines.append(
                 f'span_seconds_total{{path="{label}"}} {_prom_value(seconds)}'
             )

@@ -27,6 +27,8 @@ where unavailable)::
                                      # platforms without the module
       "artifact_sha256": "ab12...",  # hash of the artifact the manifest
                                      # describes; null when written bare
+      "trace_id": "4b6c...",         # correlating trace id; null when the
+                                     # run was not trace-annotated
       "extra": {...}                 # free-form caller additions
     }
 
@@ -115,6 +117,7 @@ class RunManifest:
     elapsed_s: Optional[float] = None
     peak_rss_bytes: Optional[int] = None
     artifact_sha256: Optional[str] = None
+    trace_id: Optional[str] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -125,6 +128,7 @@ class RunManifest:
         config: Optional[Dict[str, Any]] = None,
         engine: Optional[str] = None,
         elapsed_s: Optional[float] = None,
+        trace_id: Optional[str] = None,
         extra: Optional[Dict[str, Any]] = None,
     ) -> "RunManifest":
         """A manifest with the environment fields filled in now."""
@@ -150,6 +154,7 @@ class RunManifest:
             .replace("+00:00", "Z"),
             elapsed_s=elapsed_s,
             peak_rss_bytes=peak_rss_bytes(),
+            trace_id=trace_id,
             extra=dict(extra or {}),
         )
 

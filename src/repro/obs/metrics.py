@@ -37,10 +37,24 @@ retries — from the results it harvests).
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.trace import TraceContext
 
 __all__ = [
     "Counter",
@@ -51,10 +65,23 @@ __all__ = [
     "NULL_REGISTRY",
     "OBS",
     "DEFAULT_SECONDS_BUCKETS",
+    "SNAPSHOT_SCHEMA",
+    "TeeRegistry",
+    "TimelineEvent",
     "get_registry",
     "set_registry",
     "use_registry",
 ]
+
+#: Wire-format identifier for serialized registry snapshots.  Workers of a
+#: process-backend campaign ship one of these back per trial (or per batch)
+#: so the parent can :meth:`MetricsRegistry.merge` them; the schema string
+#: is checked on both ends so a future incompatible layout fails loudly.
+SNAPSHOT_SCHEMA = "repro-metrics-snapshot-v1"
+
+#: Default cap on buffered timeline events (see
+#: :meth:`MetricsRegistry.enable_timeline`).
+DEFAULT_TIMELINE_LIMIT = 200_000
 
 #: Default histogram upper bounds (seconds-flavoured; +inf is implicit).
 DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
@@ -130,6 +157,41 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
 
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One completed span occurrence, for Chrome ``trace_event`` export.
+
+    ``start_s`` is a ``time.perf_counter()`` reading, so it is only
+    comparable to other events from the same process — Chrome's viewer
+    separates tracks by ``pid``, which is why the pid rides along.
+    """
+
+    path: Tuple[str, ...]
+    start_s: float
+    duration_s: float
+    pid: int
+    tid: int
+
+    def to_dict(self) -> dict:
+        return {
+            "path": list(self.path),
+            "start": self.start_s,
+            "dur": self.duration_s,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "TimelineEvent":
+        return cls(
+            path=tuple(doc["path"]),
+            start_s=float(doc["start"]),
+            duration_s=float(doc["dur"]),
+            pid=int(doc["pid"]),
+            tid=int(doc["tid"]),
+        )
+
+
 class MetricsRegistry:
     """The recording registry: named metrics plus the span accumulator.
 
@@ -141,7 +203,7 @@ class MetricsRegistry:
 
     enabled: bool = True
 
-    def __init__(self) -> None:
+    def __init__(self, *, trace: Optional["TraceContext"] = None) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -149,6 +211,15 @@ class MetricsRegistry:
         # The per-thread active-span stack lives in spans.py's thread local.
         self._span_stats: Dict[Tuple[str, ...], List[float]] = {}
         self._lock = threading.Lock()
+        #: Trace context stamped onto snapshots (and exporters that care).
+        self.trace: Optional["TraceContext"] = trace
+        # Optional per-occurrence span timeline (for Chrome trace export).
+        # Off by default: the aggregate span stats are what profiles need,
+        # and a long campaign would otherwise buffer millions of events.
+        self._timeline: List[TimelineEvent] = []
+        self._timeline_enabled = False
+        self._timeline_limit = DEFAULT_TIMELINE_LIMIT
+        self._timeline_dropped = 0
 
     # -- metric access ------------------------------------------------------
 
@@ -199,7 +270,12 @@ class MetricsRegistry:
 
     # -- span accumulation (called by spans.Span on exit) --------------------
 
-    def record_span(self, path: Tuple[str, ...], elapsed_s: float) -> None:
+    def record_span(
+        self,
+        path: Tuple[str, ...],
+        elapsed_s: float,
+        started_s: Optional[float] = None,
+    ) -> None:
         with self._lock:
             stats = self._span_stats.get(path)
             if stats is None:
@@ -207,6 +283,40 @@ class MetricsRegistry:
             else:
                 stats[0] += 1
                 stats[1] += elapsed_s
+            if self._timeline_enabled and started_s is not None:
+                if len(self._timeline) < self._timeline_limit:
+                    self._timeline.append(
+                        TimelineEvent(
+                            path=path,
+                            start_s=started_s,
+                            duration_s=elapsed_s,
+                            pid=os.getpid(),
+                            tid=threading.get_ident() & 0xFFFFFFFF,
+                        )
+                    )
+                else:
+                    self._timeline_dropped += 1
+
+    # -- per-occurrence timeline --------------------------------------------
+
+    def enable_timeline(self, limit: int = DEFAULT_TIMELINE_LIMIT) -> None:
+        """Start buffering one event per completed span (bounded by
+        ``limit``; further events are counted in ``timeline_dropped``)."""
+        with self._lock:
+            self._timeline_enabled = True
+            self._timeline_limit = int(limit)
+
+    def timeline(self) -> List[TimelineEvent]:
+        with self._lock:
+            return list(self._timeline)
+
+    @property
+    def timeline_enabled(self) -> bool:
+        return self._timeline_enabled
+
+    @property
+    def timeline_dropped(self) -> int:
+        return self._timeline_dropped
 
     def span_stats(self) -> Dict[Tuple[str, ...], Tuple[int, float]]:
         """Accumulated span timings: path -> (count, cumulative seconds)."""
@@ -247,6 +357,211 @@ class MetricsRegistry:
                 for path, (count, seconds) in self.span_stats().items()
             },
         }
+
+    # -- serialization / cross-process merge ---------------------------------
+
+    def to_dict(self) -> dict:
+        """The versioned, mergeable snapshot (:data:`SNAPSHOT_SCHEMA`).
+
+        Unlike :meth:`snapshot` (a display-oriented dump), this document
+        round-trips through :meth:`from_dict` and feeds :meth:`merge` —
+        span paths stay as segment lists so merging can re-prefix them.
+        """
+        with self._lock:
+            doc = {
+                "schema": SNAPSHOT_SCHEMA,
+                "pid": os.getpid(),
+                "counters": {c.name: c.value for c in self._counters.values()},
+                "gauges": {g.name: g.value for g in self._gauges.values()},
+                "histograms": {
+                    h.name: {
+                        "buckets": list(h.uppers),
+                        "counts": list(h.counts),
+                        "sum": h.sum,
+                        "count": h.count,
+                        "min": h.minimum if h.count else None,
+                        "max": h.maximum if h.count else None,
+                    }
+                    for h in self._histograms.values()
+                },
+                "spans": [
+                    {"path": list(path), "count": int(c), "seconds": t}
+                    for path, (c, t) in sorted(self._span_stats.items())
+                ],
+            }
+            if self.trace is not None:
+                doc["trace"] = self.trace.to_dict()
+            if self._timeline:
+                doc["timeline"] = [e.to_dict() for e in self._timeline]
+                if self._timeline_dropped:
+                    doc["timeline_dropped"] = self._timeline_dropped
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_dict` document."""
+        schema = doc.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"unsupported metrics snapshot schema {schema!r} "
+                f"(expected {SNAPSHOT_SCHEMA!r})"
+            )
+        registry = cls()
+        for name, value in doc.get("counters", {}).items():
+            registry._counters[name] = Counter(name, float(value))
+        for name, value in doc.get("gauges", {}).items():
+            registry._gauges[name] = Gauge(name, float(value))
+        for name, h in doc.get("histograms", {}).items():
+            hist = Histogram(name, tuple(h["buckets"]))
+            hist.counts = [int(c) for c in h["counts"]]
+            hist.sum = float(h["sum"])
+            hist.count = int(h["count"])
+            if h.get("min") is not None:
+                hist.minimum = float(h["min"])
+            if h.get("max") is not None:
+                hist.maximum = float(h["max"])
+            registry._histograms[name] = hist
+        for entry in doc.get("spans", []):
+            registry._span_stats[tuple(entry["path"])] = [
+                int(entry["count"]), float(entry["seconds"]),
+            ]
+        if doc.get("trace") is not None:
+            from repro.obs.trace import TraceContext
+
+            registry.trace = TraceContext.from_dict(doc["trace"])
+        timeline = doc.get("timeline")
+        if timeline:
+            registry._timeline = [TimelineEvent.from_dict(e) for e in timeline]
+            registry._timeline_dropped = int(doc.get("timeline_dropped", 0))
+        return registry
+
+    def merge(
+        self,
+        other: Union["MetricsRegistry", Mapping],
+        *,
+        prefix: Tuple[str, ...] = (),
+    ) -> None:
+        """Fold another registry (or its :meth:`to_dict` document) into this.
+
+        Counters and histogram contents *add*; gauges take the incoming
+        value (last write wins, matching ``Gauge.set``); span aggregates
+        add under ``prefix + path`` so a worker's ``trial/session/round``
+        tree lands below the parent's active span (e.g. ``campaign``).
+        Histogram bucket layouts must match — a mismatch raises rather
+        than silently mis-binning.
+        """
+        doc = other.to_dict() if isinstance(other, MetricsRegistry) else other
+        schema = doc.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"unsupported metrics snapshot schema {schema!r} "
+                f"(expected {SNAPSHOT_SCHEMA!r})"
+            )
+        prefix = tuple(prefix)
+        for name, value in doc.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in doc.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, h in doc.get("histograms", {}).items():
+            hist = self.histogram(name, tuple(h["buckets"]))
+            if tuple(hist.uppers) != tuple(h["buckets"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket layout mismatch: "
+                    f"{tuple(hist.uppers)} vs {tuple(h['buckets'])}"
+                )
+            with self._lock:
+                for i, c in enumerate(h["counts"]):
+                    hist.counts[i] += int(c)
+                hist.sum += float(h["sum"])
+                hist.count += int(h["count"])
+                if h.get("min") is not None and float(h["min"]) < hist.minimum:
+                    hist.minimum = float(h["min"])
+                if h.get("max") is not None and float(h["max"]) > hist.maximum:
+                    hist.maximum = float(h["max"])
+        with self._lock:
+            for entry in doc.get("spans", []):
+                path = prefix + tuple(entry["path"])
+                stats = self._span_stats.get(path)
+                if stats is None:
+                    self._span_stats[path] = [
+                        int(entry["count"]), float(entry["seconds"]),
+                    ]
+                else:
+                    stats[0] += int(entry["count"])
+                    stats[1] += float(entry["seconds"])
+            if self._timeline_enabled:
+                for e in doc.get("timeline", []):
+                    if len(self._timeline) >= self._timeline_limit:
+                        self._timeline_dropped += 1
+                        continue
+                    event = TimelineEvent.from_dict(e)
+                    self._timeline.append(
+                        TimelineEvent(
+                            path=prefix + event.path,
+                            start_s=event.start_s,
+                            duration_s=event.duration_s,
+                            pid=event.pid,
+                            tid=event.tid,
+                        )
+                    )
+                self._timeline_dropped += int(doc.get("timeline_dropped", 0))
+
+
+class TeeRegistry(MetricsRegistry):
+    """Forward every *recording* call to several underlying registries.
+
+    Used by the job service to attribute telemetry both to the per-job
+    registry (persisted with the job record) and to the server-wide
+    registry behind ``/metrics``.  Reads (``snapshot`` etc.) reflect only
+    what was recorded through this tee, which is nothing — read from the
+    sinks instead.
+    """
+
+    def __init__(self, *registries: MetricsRegistry) -> None:
+        super().__init__()
+        self._sinks: Tuple[MetricsRegistry, ...] = tuple(registries)
+
+    @property
+    def sinks(self) -> Tuple[MetricsRegistry, ...]:
+        return self._sinks
+
+    @property
+    def timeline_enabled(self) -> bool:
+        return any(sink.timeline_enabled for sink in self._sinks)
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        for sink in self._sinks:
+            sink.inc(name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        for sink in self._sinks:
+            sink.set_gauge(name, value)
+
+    def observe(
+        self, name: str, value: float,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        for sink in self._sinks:
+            sink.observe(name, value, buckets)
+
+    def record_span(
+        self,
+        path: Tuple[str, ...],
+        elapsed_s: float,
+        started_s: Optional[float] = None,
+    ) -> None:
+        for sink in self._sinks:
+            sink.record_span(path, elapsed_s, started_s)
+
+    def merge(
+        self,
+        other: Union[MetricsRegistry, Mapping],
+        *,
+        prefix: Tuple[str, ...] = (),
+    ) -> None:
+        doc = other.to_dict() if isinstance(other, MetricsRegistry) else other
+        for sink in self._sinks:
+            sink.merge(doc, prefix=prefix)
 
 
 class _NullSpan:
@@ -289,7 +604,22 @@ class NullRegistry(MetricsRegistry):
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN
 
-    def record_span(self, path: Tuple[str, ...], elapsed_s: float) -> None:
+    def record_span(
+        self,
+        path: Tuple[str, ...],
+        elapsed_s: float,
+        started_s: Optional[float] = None,
+    ) -> None:
+        return None
+
+    def merge(
+        self,
+        other: Union[MetricsRegistry, Mapping],
+        *,
+        prefix: Tuple[str, ...] = (),
+    ) -> None:
+        # Stay inert: merging into the shared null registry must not
+        # accumulate state (it is a module-level singleton).
         return None
 
 

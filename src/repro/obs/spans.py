@@ -35,7 +35,13 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["Span", "SpanRow", "profile_rows", "render_profile"]
+__all__ = [
+    "Span",
+    "SpanRow",
+    "current_span_path",
+    "profile_rows",
+    "render_profile",
+]
 
 _STACKS = threading.local()
 
@@ -45,6 +51,28 @@ def _stack() -> List[str]:
     if stack is None:
         stack = _STACKS.stack = []
     return stack
+
+
+def current_span_path() -> Tuple[str, ...]:
+    """The calling thread's active span path (empty outside any span).
+
+    Campaign merge uses this as the prefix for worker snapshots: merging
+    while the ``campaign`` span is open grafts the worker's
+    ``trial/session/...`` tree exactly where a serial run would have
+    recorded it.
+    """
+    return tuple(_stack())
+
+
+def reset_span_stack() -> None:
+    """Clear the calling thread's span stack.
+
+    Worker-process hygiene: a *forked* pool worker inherits the parent's
+    thread-local stack (e.g. the open ``campaign`` span), so spans it
+    records would carry a stale prefix — and then get prefixed again at
+    merge time.  Capture-mode workers clear the stack before recording.
+    """
+    _stack().clear()
 
 
 class Span:
@@ -78,7 +106,7 @@ class Span:
         # swept off the stack here, so one failed section cannot corrupt
         # the nesting of everything recorded after it.
         del stack[len(self._path) - 1:]
-        self._registry.record_span(self._path, elapsed)
+        self._registry.record_span(self._path, elapsed, self._started)
 
 
 @dataclass

@@ -1,0 +1,144 @@
+"""End-to-end trace context and Chrome ``trace_event`` export.
+
+A :class:`TraceContext` is the correlation identity that follows one piece
+of work across process boundaries: the CLI (or a service client) mints one
+when it submits a campaign, the id rides inside the ``repro-run-plan-v1``
+document, the job service stamps it onto every job record and event line,
+the campaign stamps it onto checkpoint journal lines and the
+:class:`~repro.obs.manifest.RunManifest`, and merged metrics snapshots
+carry it back — so ``repro jobs show <id> --trace`` can reassemble the
+job → campaign → trial → round span tree from a single id.
+
+Identifiers follow the W3C trace-context shape (lowercase hex, 32 chars
+for the trace id, 16 for span ids) without importing anything beyond
+:mod:`uuid`.
+
+The second half of the module converts a registry's span *timeline*
+(enabled via :meth:`MetricsRegistry.enable_timeline`) into the Chrome
+``trace_event`` JSON format, viewable in ``chrome://tracing`` or Perfetto
+— ``repro profile --trace-json out.json`` wires it up.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import uuid
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "TraceContext",
+    "new_span_id",
+    "new_trace_id",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable trace identity: ``(trace_id, parent_span_id)``.
+
+    ``parent_span_id`` names the span that *caused* this work (the
+    submitting client's span, the enclosing job's span, ...); ``None``
+    marks a trace root.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.trace_id:
+            raise ValueError("trace_id must be non-empty")
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        return cls(trace_id=new_trace_id())
+
+    def child(self) -> "TraceContext":
+        """A context for work caused by this one (same trace, new parent)."""
+        return TraceContext(trace_id=self.trace_id, parent_span_id=new_span_id())
+
+    def to_dict(self) -> dict:
+        doc = {"trace_id": self.trace_id}
+        if self.parent_span_id is not None:
+            doc["parent_span_id"] = self.parent_span_id
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "TraceContext":
+        extra = set(doc) - {"trace_id", "parent_span_id"}
+        if extra:
+            raise ValueError(f"unknown trace context keys: {sorted(extra)}")
+        return cls(
+            trace_id=str(doc["trace_id"]),
+            parent_span_id=(
+                str(doc["parent_span_id"])
+                if doc.get("parent_span_id") is not None
+                else None
+            ),
+        )
+
+
+def chrome_trace(registry: "MetricsRegistry") -> dict:
+    """The registry's span timeline as a Chrome ``trace_event`` document.
+
+    Every buffered :class:`~repro.obs.metrics.TimelineEvent` becomes one
+    complete (``"ph": "X"``) event.  Timestamps are ``perf_counter``
+    readings rebased per pid so each process's track starts near zero —
+    cross-process clock alignment is not attempted (the viewer separates
+    tracks by pid anyway).
+    """
+    events = registry.timeline()
+    base_by_pid: dict = {}
+    for e in events:
+        base = base_by_pid.get(e.pid)
+        if base is None or e.start_s < base:
+            base_by_pid[e.pid] = e.start_s
+    trace_events = []
+    for e in sorted(events, key=lambda e: (e.pid, e.start_s)):
+        trace_events.append(
+            {
+                "name": e.path[-1] if e.path else "?",
+                "cat": "span",
+                "ph": "X",
+                "ts": round((e.start_s - base_by_pid[e.pid]) * 1e6, 3),
+                "dur": round(e.duration_s * 1e6, 3),
+                "pid": e.pid,
+                "tid": e.tid,
+                "args": {"path": "/".join(e.path)},
+            }
+        )
+    doc = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    meta: dict = {}
+    if registry.trace is not None:
+        meta["trace_id"] = registry.trace.trace_id
+    if registry.timeline_dropped:
+        meta["timeline_dropped"] = registry.timeline_dropped
+    if meta:
+        doc["otherData"] = meta
+    return doc
+
+
+def write_chrome_trace(registry: "MetricsRegistry", path: str) -> int:
+    """Write :func:`chrome_trace` JSON to ``path``; returns event count."""
+    doc = chrome_trace(registry)
+    pathlib.Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return len(doc["traceEvents"])

@@ -44,7 +44,13 @@ from repro.serve.http import (
     Response,
     StreamResponse,
 )
-from repro.serve.jobs import JobManager, JobSpec, QueueFull, UnknownJob
+from repro.serve.jobs import (
+    DEFAULT_EVENT_RETENTION,
+    JobManager,
+    JobSpec,
+    QueueFull,
+    UnknownJob,
+)
 from repro.store.cache import ResultStore
 
 __all__ = ["ServiceApp"]
@@ -66,12 +72,21 @@ class ServiceApp:
         port: int = 0,
         max_queue: int = 32,
         job_workers: int = 1,
+        event_retention: int = DEFAULT_EVENT_RETENTION,
     ):
         self.manager = JobManager(
-            store, max_queue=max_queue, workers=job_workers
+            store,
+            max_queue=max_queue,
+            workers=job_workers,
+            event_retention=event_retention,
         )
         self.server = HTTPServer(self.handle, host=host, port=port)
         self._shutdown = asyncio.Event()
+        #: The server-wide registry behind ``/metrics``.  Held explicitly
+        #: because the *installed* registry is a write-only tee while a
+        #: job runs (per-job attribution); rendering ``get_registry()``
+        #: would show an empty page mid-job.
+        self.registry = MetricsRegistry()
 
     @property
     def store(self) -> ResultStore:
@@ -121,10 +136,8 @@ class ServiceApp:
         )
 
     def _metrics(self, request: Request) -> Response:
-        from repro.obs import get_registry
-
         return Response(
-            body=render_prometheus(get_registry()),
+            body=render_prometheus(self.registry),
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
 
@@ -175,9 +188,27 @@ class ServiceApp:
 
     @staticmethod
     async def _event_chunks(job, since: int) -> AsyncIterator[bytes]:
-        """Replay retained events from ``since``, then follow the tail."""
+        """Replay retained events from ``since``, then follow the tail.
+
+        When ``since`` predates the job's bounded event retention, the
+        stream opens with one explicit ``{"kind": "truncated", ...}``
+        marker naming the first sequence number still retained — a
+        client that fell behind sees the gap instead of a silent skip.
+        """
         loop = asyncio.get_running_loop()
+        records, truncated = job.events.window(since)
+        if truncated:
+            marker = {
+                "kind": "truncated",
+                "requested_since": since,
+                "first_seq": job.events.first_seq,
+                "dropped": job.events.dropped,
+            }
+            yield (json.dumps(marker, sort_keys=True) + "\n").encode()
         seq = since
+        for record in records:
+            seq = record["seq"] + 1
+            yield (json.dumps(record, sort_keys=True) + "\n").encode()
         while True:
             records = await loop.run_in_executor(
                 None, job.events.wait, seq, _EVENT_POLL_S
@@ -215,8 +246,7 @@ class ServiceApp:
 
     async def serve_forever(self) -> None:
         """Run until SIGTERM/SIGINT, then drain and return."""
-        registry = MetricsRegistry()
-        previous = set_registry(registry)
+        previous = set_registry(self.registry)
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
             try:

@@ -49,7 +49,9 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro.obs import metrics as obs_metrics
 from repro.obs.export import EventLog
+from repro.obs.trace import TraceContext
 from repro.sim.parallel import Campaign, CampaignError
 from repro.sim.plan import PLAN_SCHEMA, RunPlan
 from repro.sim.results import sweep_to_dict
@@ -288,6 +290,10 @@ class _SchemaCheckStore:
 _SCHEMA_CHECK_STORE: Any = _SchemaCheckStore()
 
 
+#: Default :class:`~repro.obs.export.EventLog` retention per job.
+DEFAULT_EVENT_RETENTION = 100_000
+
+
 @dataclass
 class Job:
     """One submitted job's live state."""
@@ -303,8 +309,16 @@ class Job:
     resume: bool = False
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
-    events: EventLog = field(default_factory=lambda: EventLog(maxlen=100_000))
+    trace: Optional[TraceContext] = None
+    telemetry: Optional[Dict[str, Any]] = None
+    events: EventLog = field(
+        default_factory=lambda: EventLog(maxlen=DEFAULT_EVENT_RETENTION)
+    )
     cancel_requested: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.trace.trace_id if self.trace is not None else None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -321,6 +335,8 @@ class Job:
             "resumed": self.resume,
             "result": self.result,
             "error": self.error,
+            "trace_id": self.trace_id,
+            "telemetry": self.telemetry,
         }
 
 
@@ -333,6 +349,19 @@ class JobManager:
     cache.  ``workers`` campaigns run concurrently (default 1: campaigns
     parallelize internally via their plan's executor; more job workers
     trade per-job latency for cross-job interleaving).
+
+    Telemetry: each job runs under its own
+    :class:`~repro.obs.metrics.MetricsRegistry` (tee'd into whatever
+    registry the server installed, so ``/metrics`` totals keep
+    accumulating) and the job's snapshot is persisted as ``telemetry``
+    on its terminal record — that is what ``repro jobs show <id>
+    --trace`` renders.  The registry install is process-global, so
+    per-job attribution is exact at the default ``workers=1``; with
+    more job workers concurrent jobs may attribute each other's spans
+    (server-wide totals stay correct either way).  ``event_retention``
+    bounds each job's in-memory event log; clients that fall more than
+    that many events behind get an explicit ``truncated`` marker from
+    the events endpoint instead of a silent gap.
     """
 
     def __init__(
@@ -341,13 +370,19 @@ class JobManager:
         *,
         max_queue: int = 32,
         workers: int = 1,
+        event_retention: int = DEFAULT_EVENT_RETENTION,
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if event_retention < 1:
+            raise ValueError(
+                f"event_retention must be >= 1, got {event_retention}"
+            )
         self.store = store if store is not None else ResultStore()
         self.max_queue = max_queue
+        self.event_retention = event_retention
         self.jobs_dir = pathlib.Path(self.store.root) / "serve" / "jobs"
         self._jobs: Dict[str, Job] = {}
         self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, id)
@@ -401,11 +436,20 @@ class JobManager:
                 spec = JobSpec.from_json(record["spec"])
             except (KeyError, ValueError):
                 continue
+            recorded_trace = record.get("trace_id")
             job = Job(
                 id=str(record["id"]),
                 spec=spec,
                 submitted_utc=record.get("submitted_utc") or _utcnow(),
                 resume=True,
+                # The trace id survives drain → restart → resume: prefer
+                # the persisted id, then the spec's plan, then a new one.
+                trace=(
+                    TraceContext(trace_id=str(recorded_trace))
+                    if recorded_trace
+                    else self._spec_trace(spec)
+                ),
+                events=EventLog(maxlen=self.event_retention),
             )
             with self._cond:
                 self._jobs[job.id] = job
@@ -413,7 +457,8 @@ class JobManager:
                 self._cond.notify()
             self._persist(job)
             job.events.append(
-                "job", state="queued", job_id=job.id, recovered=True
+                "job", state="queued", job_id=job.id, recovered=True,
+                trace_id=job.trace_id,
             )
             recovered.append(job.id)
         return recovered
@@ -445,7 +490,11 @@ class JobManager:
 
     def submit(self, spec: JobSpec) -> Job:
         job = Job(
-            id=uuid.uuid4().hex[:12], spec=spec, submitted_utc=_utcnow()
+            id=uuid.uuid4().hex[:12],
+            spec=spec,
+            submitted_utc=_utcnow(),
+            trace=self._spec_trace(spec),
+            events=EventLog(maxlen=self.event_retention),
         )
         with self._cond:
             if self._draining:
@@ -462,9 +511,28 @@ class JobManager:
             self._cond.notify()
         self._persist(job)
         job.events.append(
-            "job", state="queued", job_id=job.id, priority=spec.priority
+            "job", state="queued", job_id=job.id, priority=spec.priority,
+            trace_id=job.trace_id,
         )
         return job
+
+    @staticmethod
+    def _spec_trace(spec: JobSpec) -> TraceContext:
+        """The job's trace context: the submitter's, else a fresh one.
+
+        ``repro submit`` stamps a trace onto the plan document; a job
+        submitted without one still gets an id so every journal line,
+        span and event it produces is correlatable.
+        """
+        plan = spec.plan
+        if plan is not None:
+            trace_doc = plan.get("trace")
+            if isinstance(trace_doc, Mapping):
+                try:
+                    return TraceContext.from_dict(trace_doc)
+                except (ValueError, TypeError):
+                    pass
+        return TraceContext.new()
 
     def get(self, job_id: str) -> Job:
         with self._cond:
@@ -492,7 +560,10 @@ class JobManager:
                 # the worker transitions the state at the trial boundary
         if transitioned:
             self._persist(job)
-            job.events.append("job", state="cancelled", job_id=job.id)
+            job.events.append(
+                "job", state="cancelled", job_id=job.id,
+                trace_id=job.trace_id,
+            )
             job.events.close()
         return job
 
@@ -524,68 +595,28 @@ class JobManager:
                 return
             self._persist(job)
             job.events.append(
-                "job", state="running", job_id=job.id, resumed=job.resume
+                "job", state="running", job_id=job.id, resumed=job.resume,
+                trace_id=job.trace_id,
             )
             self._execute(job)
 
     def _execute(self, job: Job) -> None:
-        spec = job.spec
-        try:
-            plan = RunPlan.from_json(
-                spec.plan if spec.plan is not None else {"schema": PLAN_SCHEMA},
-                store=self.store,
-            ).replace(
-                resume=job.resume,
-                checkpoint_namespace=f"jobs/{job.id}",
+        # Per-job registry, tee'd into whatever the server installed so
+        # server-wide /metrics keeps accumulating while the job's own
+        # snapshot stays attributable.  The snapshot carries the trace
+        # and lands on the terminal record as ``telemetry``.
+        base = obs_metrics.get_registry()
+        job_registry = obs_metrics.MetricsRegistry(trace=job.trace)
+        if base.enabled:
+            sink: obs_metrics.MetricsRegistry = obs_metrics.TeeRegistry(
+                job_registry, base
             )
-            total = spec.total_trials
-
-            def on_trial_done(k, elapsed_s, metrics, from_cache=False):
-                job.trials_done += 1
-                if from_cache:
-                    job.cache_hits += 1
-                job.events.append(
-                    "trial",
-                    trial_index=int(k),
-                    ok=metrics is not None,
-                    from_cache=bool(from_cache),
-                    done=job.trials_done,
-                    total=total,
-                    elapsed_s=round(float(elapsed_s), 6),
-                )
-                if job.cancel_requested.is_set():
-                    if self._draining:
-                        raise JobInterrupted(job.id)
-                    raise JobCancelled(job.id)
-
-            if spec.kind == "sweep":
-                result = sweep(
-                    spec.parameter_label or spec.parameter,
-                    spec.values,
-                    spec.build_trial_factory(),
-                    n_trials=spec.n_trials,
-                    base_seed=spec.base_seed,
-                    on_trial_done=on_trial_done,
-                    plan=plan,
-                )
-                job.result = sweep_to_dict(result)
-                job.state = "done"
-            else:
-                campaign = Campaign(
-                    spec.build_trial(),
-                    spec.n_trials,
-                    spec.base_seed,
-                    plan=plan,
-                    on_trial_done=on_trial_done,
-                )
-                outcome = campaign.run()
-                job.result = _campaign_to_dict(outcome)
-                job.state = "done" if outcome.ok else "failed"
-                if not outcome.ok:
-                    job.error = (
-                        f"{len(outcome.failures)} trial(s) failed: "
-                        f"{outcome.failures[0]}"
-                    )
+        else:
+            sink = job_registry
+        previous = obs_metrics.set_registry(sink)
+        try:
+            with sink.span("job"):
+                self._run_job(job)
         except JobInterrupted:
             job.state = "interrupted"
         except JobCancelled:
@@ -593,6 +624,9 @@ class JobManager:
         except Exception as exc:  # noqa: BLE001 - job isolation is the point
             job.state = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            obs_metrics.set_registry(previous)
+        job.telemetry = job_registry.to_dict()
         job.finished_utc = _utcnow()
         self._persist(job)
         job.events.append(
@@ -602,8 +636,70 @@ class JobManager:
             trials_done=job.trials_done,
             cache_hits=job.cache_hits,
             error=job.error,
+            trace_id=job.trace_id,
         )
         job.events.close()
+
+    def _run_job(self, job: Job) -> None:
+        """Run the job's campaign or sweep; raises propagate to _execute."""
+        spec = job.spec
+        plan = RunPlan.from_json(
+            spec.plan if spec.plan is not None else {"schema": PLAN_SCHEMA},
+            store=self.store,
+        ).replace(
+            resume=job.resume,
+            checkpoint_namespace=f"jobs/{job.id}",
+            trace=job.trace,
+        )
+        total = spec.total_trials
+
+        def on_trial_done(k, elapsed_s, metrics, from_cache=False):
+            job.trials_done += 1
+            if from_cache:
+                job.cache_hits += 1
+            job.events.append(
+                "trial",
+                trial_index=int(k),
+                ok=metrics is not None,
+                from_cache=bool(from_cache),
+                done=job.trials_done,
+                total=total,
+                elapsed_s=round(float(elapsed_s), 6),
+                trace_id=job.trace_id,
+            )
+            if job.cancel_requested.is_set():
+                if self._draining:
+                    raise JobInterrupted(job.id)
+                raise JobCancelled(job.id)
+
+        if spec.kind == "sweep":
+            result = sweep(
+                spec.parameter_label or spec.parameter,
+                spec.values,
+                spec.build_trial_factory(),
+                n_trials=spec.n_trials,
+                base_seed=spec.base_seed,
+                on_trial_done=on_trial_done,
+                plan=plan,
+            )
+            job.result = sweep_to_dict(result)
+            job.state = "done"
+        else:
+            campaign = Campaign(
+                spec.build_trial(),
+                spec.n_trials,
+                spec.base_seed,
+                plan=plan,
+                on_trial_done=on_trial_done,
+            )
+            outcome = campaign.run()
+            job.result = _campaign_to_dict(outcome)
+            job.state = "done" if outcome.ok else "failed"
+            if not outcome.ok:
+                job.error = (
+                    f"{len(outcome.failures)} trial(s) failed: "
+                    f"{outcome.failures[0]}"
+                )
 
     # -- persistence -----------------------------------------------------------
 

@@ -51,6 +51,7 @@ from typing import (
 )
 
 from repro.obs import metrics as obs_metrics
+from repro.obs.spans import current_span_path, reset_span_stack
 from repro.sim.plan import RunPlan
 from repro.sim.runner import (
     MetricDict,
@@ -317,7 +318,13 @@ def stderr_ticker(
             final or now - state["last_line"] >= min_interval_s
         ):
             state["last_line"] = now
-            hit_note = f", {state['hits']} hit" if state["hits"] else ""
+            # Keep the live line's split consistent with CampaignResult
+            # (and the final summary): hits vs actually computed trials.
+            if state["hits"]:
+                computed = state["done"] - state["failed"] - state["hits"]
+                hit_note = f", {state['hits']} hit, {computed} computed"
+            else:
+                hit_note = ""
             out.write(
                 f"\r[{label}] {state['done']}/{n_trials} trials "
                 f"({elapsed_s:.1f}s{hit_note})"
@@ -353,39 +360,101 @@ def stderr_ticker(
 # and TrialFailure records) — no live exception objects cross the boundary.
 
 
+#: A worker's captured registry snapshot (``MetricsRegistry.to_dict()``
+#: document) or ``None`` when capture was off for the task.
+ObsSnapshot = Optional[Dict[str, Any]]
+
+#: One harvested trial record: ``(trial_index, metrics, failure, wall_s,
+#: attempts, obs_snapshot)``.
+TrialRecord = Tuple[
+    int, Optional[Dict[str, float]], Optional[TrialFailure], float, int,
+    ObsSnapshot,
+]
+
+
+def _capture_registry(capture_obs) -> "obs_metrics.MetricsRegistry":
+    """A fresh worker-side registry honouring the requested capture mode.
+
+    ``capture_obs`` is falsy (no capture), ``True`` (aggregates only) or
+    ``"timeline"`` (aggregates plus per-occurrence events for Chrome
+    trace export — requested when the parent registry buffers a
+    timeline).
+    """
+    # A forked worker inherits the parent's thread-local span stack (the
+    # open ``campaign`` span); clear it so captured paths are rooted at
+    # the worker's own spans and prefixing happens exactly once — at merge.
+    reset_span_stack()
+    registry = obs_metrics.MetricsRegistry()
+    if capture_obs == "timeline":
+        registry.enable_timeline()
+    return registry
+
+
 def _execute_trial(
-    trial_fn: TrialFn, trial_index: int, base_seed: int, max_retries: int
-) -> Tuple[Optional[Dict[str, float]], Optional[TrialFailure], float, int]:
+    trial_fn: TrialFn,
+    trial_index: int,
+    base_seed: int,
+    max_retries: int,
+    capture_obs=False,
+) -> Tuple[
+    Optional[Dict[str, float]], Optional[TrialFailure], float, int,
+    ObsSnapshot,
+]:
     """Run one trial with bounded retries; never raises.
 
-    Returns ``(metrics, failure, wall_s, attempts)``: ``(metrics, None,
-    ...)`` on success or ``(None, TrialFailure, ...)`` after the last
-    attempt fails; ``wall_s`` is the wall time across *all* attempts,
-    measured where the trial ran (so it crosses process boundaries as
-    plain data).  Attempt ``a`` uses ``trial_seed(base_seed,
+    Returns ``(metrics, failure, wall_s, attempts, obs_snapshot)``:
+    ``(metrics, None, ...)`` on success or ``(None, TrialFailure, ...)``
+    after the last attempt fails; ``wall_s`` is the wall time across
+    *all* attempts, measured where the trial ran (so it crosses process
+    boundaries as plain data).  Attempt ``a`` uses ``trial_seed(base_seed,
     trial_index, a)`` so retries are themselves deterministic and
     independent of the failing seed.
+
+    With ``capture_obs`` set (process-backend workers), the trial runs
+    under a fresh registry whose ``to_dict()`` snapshot is shipped back
+    as the fifth element — the parent merges it so per-phase spans from
+    inside the worker survive the process boundary.  The whole execution
+    is wrapped in a ``trial`` span, so serial runs record
+    ``campaign/trial/session/...`` and merged worker snapshots land on
+    exactly the same paths.
     """
-    last: Optional[TrialFailure] = None
-    started = time.perf_counter()
-    for attempt in range(max_retries + 1):
-        seed = trial_seed(base_seed, trial_index, attempt)
-        try:
-            metrics = dict(trial_fn(trial_index, seed))
-        except Exception as exc:  # noqa: BLE001 - isolation is the point
-            last = TrialFailure(
-                trial_index=trial_index,
-                seed=seed,
-                attempts=attempt + 1,
-                error_type=type(exc).__name__,
-                message=str(exc),
-                traceback=_traceback.format_exc(),
-            )
-        else:
-            wall = time.perf_counter() - started
-            return metrics, None, wall, attempt + 1
-    wall = time.perf_counter() - started
-    return None, last, wall, max_retries + 1
+    local: Optional[obs_metrics.MetricsRegistry] = None
+    previous: Optional[obs_metrics.MetricsRegistry] = None
+    if capture_obs:
+        local = _capture_registry(capture_obs)
+        previous = obs_metrics.set_registry(local)
+    try:
+        obs = obs_metrics.OBS
+        last: Optional[TrialFailure] = None
+        metrics: Optional[Dict[str, float]] = None
+        attempts = max_retries + 1
+        started = time.perf_counter()
+        with obs.span("trial"):
+            for attempt in range(max_retries + 1):
+                seed = trial_seed(base_seed, trial_index, attempt)
+                try:
+                    metrics = dict(trial_fn(trial_index, seed))
+                except Exception as exc:  # noqa: BLE001 - isolation is the point
+                    last = TrialFailure(
+                        trial_index=trial_index,
+                        seed=seed,
+                        attempts=attempt + 1,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=_traceback.format_exc(),
+                    )
+                else:
+                    last = None
+                    attempts = attempt + 1
+                    break
+        wall = time.perf_counter() - started
+    finally:
+        if local is not None:
+            obs_metrics.set_registry(previous)
+    snapshot = local.to_dict() if local is not None else None
+    if last is not None:
+        return None, last, wall, max_retries + 1, snapshot
+    return metrics, None, wall, attempts, snapshot
 
 
 def _run_chunk(
@@ -393,12 +462,11 @@ def _run_chunk(
     indices: Sequence[int],
     base_seed: int,
     max_retries: int,
-) -> List[
-    Tuple[int, Optional[Dict[str, float]], Optional[TrialFailure], float, int]
-]:
+    capture_obs=False,
+) -> List[TrialRecord]:
     """Worker task: execute a chunk of trial indices."""
     return [
-        (k,) + _execute_trial(trial_fn, k, base_seed, max_retries)
+        (k,) + _execute_trial(trial_fn, k, base_seed, max_retries, capture_obs)
         for k in indices
     ]
 
@@ -408,9 +476,8 @@ def _run_batch_chunk(
     indices: Sequence[int],
     base_seed: int,
     max_retries: int,
-) -> List[
-    Tuple[int, Optional[Dict[str, float]], Optional[TrialFailure], float, int]
-]:
+    capture_obs=False,
+) -> List[TrialRecord]:
     """Worker task: run a group of trials through the trial's batched hook.
 
     ``trial_fn.run_batch(indices, seeds)`` advances all the trials in
@@ -421,24 +488,45 @@ def _run_batch_chunk(
     why any batch failure can simply fall back to the per-trial path
     (recovering trial isolation and bounded retries without changing a
     single result).  Wall time is attributed evenly across the group.
+
+    With ``capture_obs`` set, the batch runs under a fresh registry and
+    its snapshot rides on the *first* record of the group (telemetry is
+    batch-grained here — the kernel advances all trials together).
     """
     indices = list(indices)
-    started = time.perf_counter()
+    local: Optional[obs_metrics.MetricsRegistry] = None
+    previous: Optional[obs_metrics.MetricsRegistry] = None
+    if capture_obs:
+        local = _capture_registry(capture_obs)
+        previous = obs_metrics.set_registry(local)
     try:
-        seeds = [trial_seed(base_seed, k) for k in indices]
-        metrics_list = trial_fn.run_batch(indices, seeds)
-        if len(metrics_list) != len(indices):
-            raise ValueError(
-                f"run_batch returned {len(metrics_list)} results for "
-                f"{len(indices)} trials"
+        started = time.perf_counter()
+        try:
+            seeds = [trial_seed(base_seed, k) for k in indices]
+            metrics_list = trial_fn.run_batch(indices, seeds)
+            if len(metrics_list) != len(indices):
+                raise ValueError(
+                    f"run_batch returned {len(metrics_list)} results for "
+                    f"{len(indices)} trials"
+                )
+        except Exception:  # noqa: BLE001 - fall back to isolated trials
+            if local is not None:
+                obs_metrics.set_registry(previous)
+                local = None
+            return _run_chunk(
+                trial_fn, indices, base_seed, max_retries, capture_obs
             )
-    except Exception:  # noqa: BLE001 - fall back to isolated trials
-        return _run_chunk(trial_fn, indices, base_seed, max_retries)
-    share = (time.perf_counter() - started) / len(indices)
-    return [
-        (k, dict(metrics), None, share, 1)
+        share = (time.perf_counter() - started) / len(indices)
+    finally:
+        if local is not None:
+            obs_metrics.set_registry(previous)
+    records: List[TrialRecord] = [
+        (k, dict(metrics), None, share, 1, None)
         for k, metrics in zip(indices, metrics_list)
     ]
+    if local is not None and records:
+        records[0] = records[0][:5] + (local.to_dict(),)
+    return records
 
 
 # -- the campaign -------------------------------------------------------------
@@ -517,6 +605,17 @@ class Campaign:
             raise ValueError("n_trials must be positive")
         cfg = self.executor or ExecutorConfig.serial()
         obs = obs_metrics.OBS
+        # Worker processes have their own (null) module registry, so their
+        # spans/metrics would vanish with the worker; capture ships each
+        # trial's registry snapshot back for merging.  Serial and thread
+        # backends record into this process's live registry directly.
+        capture: Any = False
+        if obs.enabled and cfg.backend == "process":
+            capture = (
+                "timeline"
+                if getattr(obs, "timeline_enabled", False)
+                else True
+            )
         started = time.perf_counter()
         per_trial: List[Optional[Dict[str, float]]] = [None] * self.n_trials
         failures: List[TrialFailure] = []
@@ -536,9 +635,16 @@ class Campaign:
             wall_s: float,
             attempts: int,
             from_cache: bool = False,
+            snapshot: ObsSnapshot = None,
         ) -> None:
             per_trial[k] = metrics
             elapsed = time.perf_counter() - started
+            if snapshot is not None:
+                # Graft the worker's span tree under this thread's active
+                # span path (the open ``campaign`` span — plus whatever
+                # encloses it, e.g. a serve job's ``job`` span), exactly
+                # where a serial run would have recorded it.
+                obs.merge(snapshot, prefix=current_span_path())
             totals["wall"] += wall_s
             totals["retries"] += attempts - 1
             obs.inc(
@@ -612,7 +718,7 @@ class Campaign:
                                     self.base_seed,
                                     cfg.max_retries,
                                 ):
-                                    record(*rec)
+                                    record(*rec[:5], snapshot=rec[5])
                         else:
                             self._run_pooled(
                                 cfg,
@@ -620,11 +726,14 @@ class Campaign:
                                 pending,
                                 chunks=groups,
                                 worker=_run_batch_chunk,
+                                capture_obs=capture,
                             )
                     elif cfg.backend == "serial":
                         self._run_serial(cfg, record, pending)
                     else:
-                        self._run_pooled(cfg, record, pending)
+                        self._run_pooled(
+                            cfg, record, pending, capture_obs=capture
+                        )
         except BaseException:
             # The journal stays on disk with every completed trial —
             # that is exactly what --resume reads after a crash.
@@ -703,6 +812,11 @@ class Campaign:
                 config, self.n_trials, self.base_seed, engine, fingerprint
             ),
             namespace=self.plan.checkpoint_namespace,
+            trace_id=(
+                self.plan.trace.trace_id
+                if self.plan.trace is not None
+                else None
+            ),
         )
         prior = ckpt.begin(
             {
@@ -742,7 +856,7 @@ class Campaign:
         self, cfg: ExecutorConfig, record, indices: Sequence[int]
     ) -> None:
         for k in indices:
-            metrics, failure, wall_s, attempts = _execute_trial(
+            metrics, failure, wall_s, attempts, _ = _execute_trial(
                 self.trial_fn, k, self.base_seed, cfg.max_retries
             )
             record(k, metrics, failure, wall_s, attempts)
@@ -754,6 +868,7 @@ class Campaign:
         indices: Sequence[int],
         chunks: Optional[List[List[int]]] = None,
         worker: Callable = _run_chunk,
+        capture_obs=False,
     ) -> None:
         pool_cls = (
             futures.ProcessPoolExecutor
@@ -771,14 +886,19 @@ class Campaign:
             pending = [
                 pool.submit(
                     worker, self.trial_fn, chunk, self.base_seed,
-                    cfg.max_retries,
+                    cfg.max_retries, capture_obs,
                 )
                 for chunk in chunks
             ]
             try:
                 for fut in futures.as_completed(pending, timeout=cfg.timeout_s):
-                    for k, metrics, failure, wall_s, attempts in fut.result():
-                        record(k, metrics, failure, wall_s, attempts)
+                    for k, metrics, failure, wall_s, attempts, snap in (
+                        fut.result()
+                    ):
+                        record(
+                            k, metrics, failure, wall_s, attempts,
+                            snapshot=snap,
+                        )
                         done += 1
             except futures.TimeoutError:
                 pool.shutdown(wait=False, cancel_futures=True)

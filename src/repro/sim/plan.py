@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - types only (import cycle guard)
+    from repro.obs.trace import TraceContext
     from repro.sim.parallel import ExecutorConfig
     from repro.store.cache import ResultStore
 
@@ -110,6 +111,12 @@ class RunPlan:
         addresses.
     obs:
         :class:`ObsPlan` sink selection.
+    trace:
+        Optional :class:`~repro.obs.trace.TraceContext` correlating this
+        run with whatever caused it (a ``repro submit``, a serve job).
+        Stamped onto checkpoint journal lines, manifests and metrics
+        snapshots; never enters content addresses (it describes the
+        *run*, not the computation).
     """
 
     engine: str = "auto"
@@ -119,6 +126,7 @@ class RunPlan:
     batch: int = 1
     checkpoint_namespace: Optional[str] = None
     obs: ObsPlan = field(default_factory=ObsPlan)
+    trace: "Optional[TraceContext]" = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.engine, str) or not self.engine:
@@ -172,6 +180,7 @@ class RunPlan:
                 "trace_out": self.obs.trace_out,
                 "progress": self.obs.progress,
             },
+            "trace": None if self.trace is None else self.trace.to_dict(),
         }
 
     @classmethod
@@ -210,7 +219,7 @@ class RunPlan:
             )
         known = {
             "engine", "executor", "store", "resume", "batch",
-            "checkpoint_namespace", "obs",
+            "checkpoint_namespace", "obs", "trace",
         }
         unknown = set(data) - known
         if unknown:
@@ -246,6 +255,14 @@ class RunPlan:
         obs_doc = data.get("obs") or {}
         if not isinstance(obs_doc, Mapping):
             raise ValueError("obs must be a JSON object")
+        trace = None
+        trace_doc = data.get("trace")
+        if trace_doc is not None:
+            from repro.obs.trace import TraceContext
+
+            if not isinstance(trace_doc, Mapping):
+                raise ValueError("trace must be a JSON object or null")
+            trace = TraceContext.from_dict(trace_doc)
         namespace = data.get("checkpoint_namespace")
         return cls(
             engine=data.get("engine") or "auto",
@@ -261,6 +278,7 @@ class RunPlan:
                 trace_out=obs_doc.get("trace_out"),
                 progress=bool(obs_doc.get("progress", False)),
             ),
+            trace=trace,
         )
 
     @classmethod

@@ -119,12 +119,15 @@ class CampaignCheckpoint:
         key: str,
         *,
         namespace: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ):
         self.key = key
         base = pathlib.Path(store_root) / "campaigns"
         if namespace is not None:
             base = base / validate_namespace(namespace)
         self.path = base / f"{key}.ndjson"
+        #: Trace id stamped onto every journal line (``None`` = no trace).
+        self.trace_id = trace_id
         self._fh: Optional[IO[str]] = None
 
     # -- reading -------------------------------------------------------------
@@ -207,6 +210,8 @@ class CampaignCheckpoint:
     def _emit(self, event: Dict[str, Any]) -> None:
         if self._fh is None:
             raise RuntimeError("checkpoint journal not open; call begin()")
+        if self.trace_id is not None:
+            event = {**event, "trace_id": self.trace_id}
         self._fh.write(canonical_json(event) + "\n")
         self._fh.flush()
 

@@ -404,6 +404,73 @@ class TestService:
         # installed; serve_forever() installs one — see the SIGTERM test)
 
 
+class TestTelemetryOverHttp:
+    def test_trace_id_round_trips_submit_to_span_tree(self, service):
+        """One trace id: submitted in the plan, recoverable as a span tree."""
+        from repro.obs import TraceContext
+
+        trace = TraceContext.new()
+        spec = tiny_spec()
+        spec["plan"]["trace"] = trace.to_dict()
+        job = service.client.submit(spec)
+        assert job["trace_id"] == trace.trace_id
+        final = service.client.wait(job["id"], timeout_s=30)
+        assert final["trace_id"] == trace.trace_id
+        # every event record is stamped with the same trace id
+        events = list(service.client.events(job["id"], timeout_s=10))
+        assert events
+        assert all(e["data"]["trace_id"] == trace.trace_id for e in events)
+        # the persisted telemetry snapshot reconstructs the span tree
+        telemetry = final["telemetry"]
+        assert telemetry["schema"] == "repro-metrics-snapshot-v1"
+        assert telemetry["trace"]["trace_id"] == trace.trace_id
+        paths = {tuple(row["path"]) for row in telemetry["spans"]}
+        assert ("job",) in paths
+        assert ("job", "campaign", "trial") in paths
+
+    def test_server_mints_trace_when_client_sends_none(self, service):
+        job = service.client.submit(tiny_spec())
+        final = service.client.wait(job["id"], timeout_s=30)
+        assert len(final["trace_id"]) == 32
+
+    def test_event_stream_marks_truncation(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        app = ServiceApp(
+            store, port=0, max_queue=3, job_workers=1, event_retention=3
+        )
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        port = asyncio.run_coroutine_threadsafe(app.start(), loop).result(10)
+        client = ServiceClient(f"http://127.0.0.1:{port}")
+        try:
+            job = client.submit(tiny_spec(n_trials=8))
+            client.wait(job["id"], timeout_s=30)
+            events = list(client.events(job["id"], timeout_s=10))
+            # 8 trials + job transitions overflow a 3-deep log: the replay
+            # opens with an explicit truncation marker, then the survivors
+            assert events[0]["kind"] == "truncated"
+            assert events[0]["requested_since"] == 0
+            assert events[0]["dropped"] > 0
+            survivors = events[1:]
+            assert len(survivors) == 3
+            assert [e["seq"] for e in survivors] == sorted(
+                e["seq"] for e in survivors
+            )
+            # asking from the surviving window is not marked truncated
+            tail = list(
+                client.events(
+                    job["id"], since=survivors[0]["seq"], timeout_s=10
+                )
+            )
+            assert tail == survivors
+        finally:
+            asyncio.run_coroutine_threadsafe(app.shutdown(), loop).result(60)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(5)
+            loop.close()
+
+
 class TestDrainAndResume:
     def test_drain_interrupts_and_restart_resumes_bit_identical(self, tmp_path):
         store_root = tmp_path / "store"
@@ -447,9 +514,20 @@ class TestDrainAndResume:
         )
         assert record["state"] == "interrupted"
         assert 0 < record["trials_done"] < 12
-        # the namespaced checkpoint journal survived the drain
+        trace_id = record["trace_id"]
+        assert trace_id  # minted at submit, persisted with the interrupt
+        # the namespaced checkpoint journal survived the drain, and its
+        # lines carry the job's trace id
         journal_dir = store_root / "campaigns" / "jobs" / job["id"]
-        assert list(journal_dir.glob("*.ndjson"))
+        journals = list(journal_dir.glob("*.ndjson"))
+        assert journals
+        journal_lines = [
+            json.loads(line)
+            for line in journals[0].read_text().splitlines() if line
+        ]
+        trial_lines = [e for e in journal_lines if e.get("kind") == "trial"]
+        assert trial_lines
+        assert all(e["trace_id"] == trace_id for e in trial_lines)
 
         app2 = ServiceApp(ResultStore(store_root), port=0)
         loop2, thread2, client2 = run_service(app2)
@@ -457,6 +535,10 @@ class TestDrainAndResume:
         assert final["state"] == "done"
         assert final["resumed"] is True
         assert final["cache_hits"] > 0  # completed trials came from the store
+        # the trace identity survives the restart-recover-resume cycle
+        assert final["trace_id"] == trace_id
+        paths = {tuple(row["path"]) for row in final["telemetry"]["spans"]}
+        assert ("job",) in paths
         # bit-identical aggregates vs an uninterrupted run of the same spec
         assert deterministic(final["result"]) == deterministic(ref_job.result)
         stop_service(app2, loop2, thread2)

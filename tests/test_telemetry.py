@@ -1,0 +1,476 @@
+"""Cross-process telemetry: snapshots, merging, traces, dash, bench history.
+
+Covers the observability pipeline end to end below the service layer:
+``repro-metrics-snapshot-v1`` round-trips and merge semantics, the
+registry tee, trace contexts and Chrome trace export, serial/process
+bit-identity of merged campaign telemetry (including under the *spawn*
+start method, via a subprocess), Prometheus label escaping conformance,
+bounded event-log retention, the bench trajectory history, and the
+dashboard renderers.  Service-layer trace propagation lives in
+``test_serve.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs import (
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    TeeRegistry,
+    TraceContext,
+    chrome_trace,
+    render_prometheus,
+    use_registry,
+)
+from repro.obs.dash import (
+    DashState,
+    ansi_strip,
+    parse_prometheus,
+    render_dashboard,
+    render_span_tree,
+    span_bars,
+)
+from repro.obs.export import EventLog
+from repro.obs import bench_track
+from repro.sim.parallel import Campaign, ExecutorConfig, stderr_ticker
+from repro.sim.plan import RunPlan
+
+
+@dataclass(frozen=True)
+class SpanTrial:
+    """A deterministic trial that records spans and counters."""
+
+    def __call__(self, trial_index: int, seed: int):
+        from repro.obs import get_registry
+
+        obs = get_registry()
+        with obs.span("work"):
+            with obs.span("inner"):
+                obs.inc("trial_units", 3)
+        obs.observe("trial_value", float(seed % 7), buckets=(1.0, 5.0, 10.0))
+        return {"value": float(seed % 97)}
+
+
+# -- snapshot round-trip and merge ---------------------------------------------
+
+
+class TestSnapshot:
+    def test_round_trip_preserves_everything(self):
+        reg = MetricsRegistry(trace=TraceContext.new())
+        reg.inc("c", 2)
+        reg.set_gauge("g", 4.5)
+        reg.observe("h", 0.3, buckets=(0.1, 1.0))
+        with reg.span("a"):
+            with reg.span("b"):
+                pass
+        doc = reg.to_dict()
+        assert doc["schema"] == SNAPSHOT_SCHEMA
+        clone = MetricsRegistry.from_dict(doc)
+        assert clone.counters()["c"].value == 2
+        assert clone.gauges()["g"].value == 4.5
+        assert clone.histograms()["h"].count == 1
+        assert set(clone.span_stats()) == {("a",), ("a", "b")}
+        assert clone.trace.trace_id == reg.trace.trace_id
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_dict({"schema": "metrics-v999"})
+
+    def test_merge_semantics(self):
+        a = MetricsRegistry()
+        a.inc("c", 1)
+        a.set_gauge("g", 1.0)
+        a.observe("h", 0.05, buckets=(0.1, 1.0))
+        b = MetricsRegistry()
+        b.inc("c", 4)
+        b.set_gauge("g", 9.0)
+        b.observe("h", 0.5, buckets=(0.1, 1.0))
+        with b.span("work"):
+            pass
+        a.merge(b.to_dict(), prefix=("trial",))
+        assert a.counters()["c"].value == 5  # counters add
+        assert a.gauges()["g"].value == 9.0  # gauges last-write
+        assert a.histograms()["h"].count == 2  # histograms bucket-wise
+        assert ("trial", "work") in a.span_stats()  # spans re-prefixed
+
+    def test_merge_rejects_mismatched_histogram_layout(self):
+        a = MetricsRegistry()
+        a.observe("h", 0.5, buckets=(0.1, 1.0))
+        b = MetricsRegistry()
+        b.observe("h", 0.5, buckets=(0.25, 2.0))
+        with pytest.raises(ValueError):
+            a.merge(b.to_dict())
+
+    def test_tee_fans_out_writes(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        tee = TeeRegistry(left, right)
+        tee.inc("c")
+        with tee.span("s"):
+            pass
+        for sink in (left, right):
+            assert sink.counters()["c"].value == 1
+            assert ("s",) in sink.span_stats()
+
+
+# -- trace context and Chrome export -------------------------------------------
+
+
+class TestTraceContext:
+    def test_round_trip_and_child(self):
+        trace = TraceContext.new()
+        assert len(trace.trace_id) == 32
+        child = trace.child()
+        assert child.trace_id == trace.trace_id
+        clone = TraceContext.from_dict(trace.to_dict())
+        assert clone == trace
+
+    def test_empty_trace_id_rejected(self):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="")
+
+    def test_chrome_trace_exports_timeline(self):
+        reg = MetricsRegistry(trace=TraceContext.new())
+        reg.enable_timeline()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        doc = chrome_trace(reg)
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        assert {e["ph"] for e in events} == {"X"}
+        names = {e["name"] for e in events}
+        assert names == {"outer", "inner"}
+        assert all(e["ts"] >= 0 for e in events)  # rebased per pid
+        assert doc["otherData"]["trace_id"] == reg.trace.trace_id
+
+
+# -- campaign telemetry: serial vs process bit-identity ------------------------
+
+
+class TestCampaignMergeIdentity:
+    def _run(self, backend: str) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        plan = RunPlan(
+            executor=ExecutorConfig(workers=2, backend=backend)
+        )
+        with use_registry(reg):
+            result = Campaign(SpanTrial(), 6, 11, plan=plan).run()
+        assert result.n_ok == 6
+        return reg
+
+    def test_process_merge_matches_serial(self):
+        serial = self._run("serial")
+        process = self._run("process")
+        # identical span trees with identical counts
+        serial_counts = {
+            path: count for path, (count, _s) in serial.span_stats().items()
+        }
+        process_counts = {
+            path: count for path, (count, _s) in process.span_stats().items()
+        }
+        assert serial_counts == process_counts
+        assert ("campaign", "trial", "work", "inner") in process_counts
+        # identical counters and histogram shapes
+        assert (
+            serial.counters()["trial_units"].value
+            == process.counters()["trial_units"].value
+            == 18
+        )
+        serial_h = serial.histograms()["trial_value"]
+        process_h = process.histograms()["trial_value"]
+        assert serial_h.counts == process_h.counts
+        assert serial_h.sum == process_h.sum
+
+    def test_spawn_start_method_merges_identically(self, tmp_path):
+        """Worker snapshots survive the spawn pickle boundary.
+
+        Spawn re-imports ``__main__``, so the check must run from a real
+        script file in a subprocess, not from this test process.
+        """
+        script = tmp_path / "spawn_check.py"
+        script.write_text(textwrap.dedent(
+            """
+            import multiprocessing
+            import sys
+
+            from repro.obs import MetricsRegistry, use_registry
+            from repro.sim.parallel import Campaign, ExecutorConfig
+            from repro.sim.plan import RunPlan
+            from test_telemetry import SpanTrial
+
+
+            def run(backend):
+                reg = MetricsRegistry()
+                plan = RunPlan(
+                    executor=ExecutorConfig(workers=2, backend=backend)
+                )
+                with use_registry(reg):
+                    Campaign(SpanTrial(), 4, 5, plan=plan).run()
+                return reg
+
+
+            if __name__ == "__main__":
+                multiprocessing.set_start_method("spawn", force=True)
+                serial = run("serial")
+                process = run("process")
+                s = {p: c for p, (c, _) in serial.span_stats().items()}
+                w = {p: c for p, (c, _) in process.span_stats().items()}
+                assert s == w, (s, w)
+                assert (
+                    serial.counters()["trial_units"].value
+                    == process.counters()["trial_units"].value
+                )
+                print("SPAWN-OK")
+            """
+        ))
+        env = dict(os.environ)
+        here = os.path.dirname(os.path.abspath(__file__))
+        src = os.path.abspath(os.path.join(here, "..", "src"))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src, here]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "SPAWN-OK" in proc.stdout
+
+    def test_ticker_live_line_splits_hits_and_computed(self):
+        stream = io.StringIO()
+        tick = stderr_ticker(3, stream=stream)
+        tick(0, 0.1, {"v": 1.0}, from_cache=True)
+        tick(1, 0.2, {"v": 1.0})
+        tick(2, 0.3, {"v": 1.0}, from_cache=True)
+        out = stream.getvalue()
+        # the live \r line splits the same way the final summary does
+        live = [line for line in out.split("\r") if "3/3" in line][0]
+        assert "2 hit, 1 computed" in live
+        assert "2 hit, 1 computed" in out.splitlines()[-1]
+
+
+# -- Prometheus escaping conformance -------------------------------------------
+
+
+class TestPrometheusEscaping:
+    def test_label_values_escape_and_round_trip(self):
+        reg = MetricsRegistry()
+        nasty = 'pha"se\\one\nend'
+        with reg.span(nasty):
+            pass
+        text = render_prometheus(reg)
+        line = next(
+            ln for ln in text.splitlines()
+            if ln.startswith("span_seconds_total")
+        )
+        # conformance: the three escapes of the text exposition format
+        assert '\\"' in line
+        assert "\\\\" in line
+        assert "\\n" in line and "\n" not in line
+        # and the parser restores the original path exactly
+        samples = parse_prometheus(text)
+        paths = [
+            s.label("path") for s in samples if s.name == "span_calls_total"
+        ]
+        assert paths == [nasty]
+
+
+# -- bounded event retention ---------------------------------------------------
+
+
+class TestEventRetention:
+    def test_window_reports_truncation(self):
+        log = EventLog(maxlen=3)
+        for i in range(7):
+            log.append("trial", trial_index=i)
+        assert log.first_seq == 4
+        assert log.dropped == 4
+        records, truncated = log.window(0)
+        assert truncated is True
+        assert [r["seq"] for r in records] == [4, 5, 6]
+        records, truncated = log.window(4)
+        assert truncated is False
+
+    def test_window_without_overflow_is_not_truncated(self):
+        log = EventLog(maxlen=10)
+        log.append("trial")
+        records, truncated = log.window(0)
+        assert truncated is False
+        assert len(records) == 1
+
+
+# -- bench trajectory history --------------------------------------------------
+
+
+def manifest_doc(elapsed=1.0, per_s=10.0, created="2026-01-01T00:00:00Z"):
+    return {
+        "format": "repro-run-manifest-v1",
+        "created_utc": created,
+        "elapsed_s": elapsed,
+        "git_rev": "abc1234def",
+        "host": "testhost",
+        "python_version": "3.11.7",
+        "numpy_version": "2.4.6",
+        "engine": "packed",
+        "seed": 1,
+        "config": {"n_tags": 100},
+        "extra": {"trials_per_s": per_s, "nested": {"seconds": elapsed}},
+    }
+
+
+class TestBenchTrack:
+    def test_record_and_load_round_trip(self, tmp_path):
+        manifest = tmp_path / "BENCH_demo.json"
+        manifest.write_text(json.dumps(manifest_doc()))
+        history = tmp_path / "history.ndjson"
+        record = bench_track.record_manifest(manifest, history)
+        assert record.name == "demo"
+        loaded = bench_track.load_history(history)
+        assert loaded == [record]
+        assert loaded[0].metric_map["elapsed_s"] == 1.0
+        assert loaded[0].metric_map["nested.seconds"] == 1.0
+        assert dict(loaded[0].contracts) == {
+            "batch_rng": "repro-batch-rng-v1",
+            "channel_rng": "repro-channel-rng-v1",
+        }
+
+    def test_schema_validation_rejects_bad_lines(self, tmp_path):
+        history = tmp_path / "history.ndjson"
+        history.write_text('{"schema": "nope"}\n')
+        with pytest.raises(ValueError):
+            bench_track.load_history(history)
+        history.write_text(json.dumps({
+            "schema": bench_track.HISTORY_SCHEMA,
+            "name": "x",
+            "created_utc": "t",
+            "metrics": {"elapsed_s": 1.0},
+            "surprise": True,
+        }) + "\n")
+        with pytest.raises(ValueError):  # unknown keys rejected
+            bench_track.load_history(history)
+
+    def test_direction_heuristics(self):
+        assert bench_track.metric_direction("trials_per_s") == "higher"
+        assert bench_track.metric_direction("speedup_vs_dispatch") == "higher"
+        assert bench_track.metric_direction("elapsed_s") == "lower"
+        assert bench_track.metric_direction("peak_rss_bytes") == "lower"
+        assert bench_track.metric_direction("rounds") is None
+
+    def test_compare_flags_regressions_beyond_noise(self, tmp_path):
+        history = tmp_path / "history.ndjson"
+        for elapsed, per_s in ((1.0, 10.0), (2.0, 4.0)):
+            manifest = tmp_path / "BENCH_demo.json"
+            manifest.write_text(json.dumps(manifest_doc(elapsed, per_s)))
+            bench_track.record_manifest(manifest, history)
+        records = bench_track.load_history(history)
+        deltas = bench_track.compare_history(records, noise=0.25)
+        verdicts = {
+            (d.metric, d.verdict) for d in deltas
+        }
+        assert ("elapsed_s", "regression") in verdicts
+        assert ("trials_per_s", "regression") in verdicts
+        text, regressed = bench_track.render_compare(records, noise=0.25)
+        assert regressed is True
+        assert "REGRESSION" in text
+
+    def test_compare_within_noise_is_quiet(self, tmp_path):
+        history = tmp_path / "history.ndjson"
+        for elapsed in (1.0, 1.1):
+            manifest = tmp_path / "BENCH_demo.json"
+            manifest.write_text(json.dumps(manifest_doc(elapsed)))
+            bench_track.record_manifest(manifest, history)
+        records = bench_track.load_history(history)
+        text, regressed = bench_track.render_compare(records, noise=0.25)
+        assert regressed is False
+        assert "within the noise band" in text
+
+    def test_report_renders_trajectories(self, tmp_path):
+        history = tmp_path / "history.ndjson"
+        manifest = tmp_path / "BENCH_demo.json"
+        manifest.write_text(json.dumps(manifest_doc()))
+        bench_track.record_manifest(manifest, history)
+        text = bench_track.render_report(bench_track.load_history(history))
+        assert "bench demo" in text
+        assert "trials_per_s" in text
+
+    def test_committed_history_validates(self):
+        """The repo's seed history parses under the schema with >= 2 runs."""
+        here = os.path.dirname(os.path.abspath(__file__))
+        path = os.path.join(
+            here, "..", "benchmarks", "output", "BENCH_history.ndjson"
+        )
+        records = bench_track.load_history(path)
+        assert len(records) >= 2
+
+
+# -- dashboard renderers -------------------------------------------------------
+
+
+class TestDash:
+    def test_parse_prometheus_values_and_labels(self):
+        text = (
+            "# TYPE x counter\n"
+            "x 4.0\n"
+            'span_seconds_total{path="a/b"} 1.5\n'
+            'h_bucket{le="+Inf"} 7\n'
+            "y +Inf\n"
+        )
+        samples = parse_prometheus(text)
+        by_name = {s.name: s for s in samples}
+        assert by_name["x"].value == 4.0
+        assert by_name["span_seconds_total"].label("path") == "a/b"
+        assert by_name["h_bucket"].label("le") == "+Inf"
+        assert by_name["h_bucket"].value == 7.0
+        assert by_name["y"].value == float("inf")
+
+    def test_span_bars_orders_by_seconds(self):
+        samples = parse_prometheus(
+            'span_seconds_total{path="slow"} 2.0\n'
+            'span_seconds_total{path="fast"} 0.5\n'
+        )
+        assert [p for p, _ in span_bars(samples)] == ["slow", "fast"]
+
+    def test_render_span_tree_connects_roots(self):
+        spans = [
+            {"path": ["job", "campaign", "trial"], "count": 4, "seconds": 2.0},
+            {"path": ["job"], "count": 1, "seconds": 3.0},
+        ]
+        text = render_span_tree(spans, trace_id="abc123")
+        lines = text.splitlines()
+        assert lines[0] == "trace abc123"
+        assert "job" in lines[1]
+        assert "└─ campaign" in text  # synthesized intermediate node
+        assert "└─ trial" in text
+        assert "4×" in text
+
+    def test_render_dashboard_frame(self):
+        state = DashState(
+            url="http://x",
+            status="ok",
+            jobs=[{
+                "id": "j1", "state": "running", "trials_done": 3,
+                "trials_total": 10, "cache_hits": 1,
+            }],
+            trials_per_s=2.5,
+            phase_seconds=[("job/campaign", 1.25)],
+        )
+        frame = ansi_strip(render_dashboard(state))
+        assert "repro top" in frame
+        assert "j1" in frame and "3/10" in frame
+        assert "2.5 trials/s" in frame
+        assert "job/campaign" in frame
+        colourless = render_dashboard(state, color=False)
+        assert "\x1b[" not in colourless
