@@ -82,8 +82,17 @@ from repro.sim import (
     run_trials_parallel,
     sweep,
 )
+from repro.scenario import (
+    LinkBudget,
+    ReaderTrajectory,
+    ScenarioChannel,
+    ScenarioConfig,
+    ScenarioResult,
+    make_trajectory,
+    run_scenario,
+)
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "CCMCostModel",
@@ -139,5 +148,12 @@ __all__ = [
     "run_trials",
     "run_trials_parallel",
     "sweep",
+    "LinkBudget",
+    "ReaderTrajectory",
+    "ScenarioChannel",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "make_trajectory",
+    "run_scenario",
     "__version__",
 ]

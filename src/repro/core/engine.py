@@ -271,6 +271,8 @@ def run_checking_frame(
     has_pending: np.ndarray,
     l_c: int,
     ledger: EnergyLedger,
+    *,
+    active: Optional[np.ndarray] = None,
 ) -> Tuple[int, bool]:
     """Run the checking frame (Alg. 1 lines 14–24); shared by all engines.
 
@@ -279,12 +281,19 @@ def run_checking_frame(
     first slot in which it hears a tier-1 response.  Returns the number of
     slots actually executed and whether the reader heard anything.
 
+    ``active`` (scenario engines) restricts the wave to powered tags: an
+    unpowered tag neither responds nor relays the pulse, though its pending
+    flag still seeds the wave once it regains power in a later round.  With
+    ``active=None`` (all other engines) the code path is unchanged.
+
     Energy: each response is one sent bit; every tag that has not yet
     responded listens in each executed slot (one received bit per slot).
     Each tag responds at most once, so over the whole frame a tag's
     received bits are (slots executed) − (1 if it responded), posted as
     one bulk ledger update after the BFS wave instead of per slot —
     integer-valued float64 sums, so bit-identical to the per-slot tally.
+    (The ledger's own duty-cycle mask zeroes the listening term for
+    powered-down tags.)
     """
     n = network.n_tags
     tier1 = network.tier1_mask
@@ -292,10 +301,14 @@ def run_checking_frame(
 
     responded = np.zeros(n, dtype=bool)
     frontier = has_pending.copy()
+    if active is not None:
+        frontier = frontier & active
     executed = 0
     heard = False
     for _slot in range(1, l_c + 1):
         responders = frontier & ~responded
+        if active is not None:
+            responders = responders & active
         if not responders.any():
             # Nothing transmitted; the wave is dead, but per Alg. 1 the
             # reader keeps listening through the rest of the frame (it

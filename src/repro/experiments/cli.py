@@ -8,6 +8,8 @@ Examples::
     repro-ccm theorem1                  # CCM == traditional equivalence
     repro-ccm ablations                 # indicator/checking/load/density
     repro-ccm all --scale default       # everything, default scale
+    repro-ccm scenario run --trajectory uav --power-threshold -22
+    repro-ccm scenario sweep --trials 3 # motion vs the static paper setup
 
 ``--scale`` presets: bench (n=2,000 × 3 trials), default (n=10,000 × 10
 trials), full (the paper's n=10,000 × 100 trials).  ``--n-tags``,
@@ -59,6 +61,7 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.engine import available_engines
+from repro.scenario.trajectory import TRAJECTORY_NAMES
 from repro.sim.parallel import stderr_ticker
 from repro.sim.plan import RunPlan, add_execution_arguments
 
@@ -72,6 +75,7 @@ from repro.experiments import (
     master,
     paperconfig as cfg,
     robustness,
+    scenario_motion,
     statefree,
     theorem1_equivalence,
 )
@@ -237,6 +241,78 @@ def cmd_robustness(args: argparse.Namespace) -> None:
 
 def cmd_estimators(args: argparse.Namespace) -> None:
     _emit(estimators.report(estimators.run()), args.out)
+
+
+def cmd_scenario(args: argparse.Namespace) -> None:
+    """Scenario subsystem: one mobile-reader timeline, or a motion sweep."""
+    if args.scenario_command == "sweep":
+        ticker = (
+            stderr_ticker(len(args.trajectories) * args.trials)
+            if args.progress
+            else None
+        )
+        rows = scenario_motion.run(
+            trajectories=tuple(args.trajectories),
+            n_tags=args.n_tags,
+            tag_range=args.range,
+            frame_size=args.frame,
+            n_operations=args.operations,
+            op_gap_s=args.gap,
+            speed_mps=args.speed,
+            power_threshold_dbm=args.power_threshold,
+            max_step_m=args.step,
+            relocate_frac=args.relocate,
+            loss=args.loss,
+            n_trials=args.trials,
+            base_seed=args.seed,
+            plan=_resolve_plan(args),
+            on_trial_done=ticker,
+        )
+        _emit(scenario_motion.report(rows), args.out)
+        return
+
+    from repro.scenario import run_scenario
+
+    result = run_scenario(
+        n_tags=args.n_tags,
+        tag_range=args.range,
+        frame_size=args.frame,
+        participation=args.participation,
+        n_operations=args.operations,
+        op_gap_s=args.gap,
+        trajectory=args.trajectory,
+        speed_mps=args.speed,
+        power_threshold_dbm=args.power_threshold,
+        max_step_m=args.step,
+        relocate_frac=args.relocate,
+        loss=args.loss,
+        seed=args.seed,
+    )
+    lines = [
+        f"scenario: trajectory={args.trajectory} n={result.n_tags} "
+        f"f={result.frame_size} operations={len(result.operations)} "
+        f"duration={result.duration_s:.2f}s",
+        f"{'op':>3} {'t_start':>9} {'t_end':>9} {'rounds':>6} "
+        f"{'slots':>8} {'busy':>7} {'clean':>5} {'relinks':>7} "
+        f"{'powered':>8}",
+    ]
+    for op in result.operations:
+        lines.append(
+            f"{op.index:>3} {op.t_start_s:>9.2f} {op.t_end_s:>9.2f} "
+            f"{op.rounds:>6} {op.total_slots:>8} {op.busy_slots:>7} "
+            f"{'yes' if op.terminated_cleanly else 'NO':>5} "
+            f"{op.relinks:>7} {op.powered_fraction_mean:>8.3f}"
+        )
+    metrics = result.metrics()
+    lines.append(
+        "completion {completion_rate:.3f} | avg sent "
+        "{avg_sent_bits:.1f} b | avg received {avg_received_bits:.1f} b "
+        "| {energy_uj_per_tag:.1f} uJ/tag".format(**metrics)
+    )
+    _emit("\n".join(lines), args.out)
+    if args.journal:
+        result.journal.write(args.journal)
+        print(f"[journal written to {args.journal}]")
 
 
 def cmd_render(args: argparse.Namespace) -> None:
@@ -1347,6 +1423,118 @@ def build_parser() -> argparse.ArgumentParser:
         help="show at most the last N runs per bench (default: 6)",
     )
     bench_report.set_defaults(func=cmd_bench)
+    scen = sub.add_parser(
+        "scenario",
+        help="mobile-reader scenarios: run one timeline, or sweep "
+             "motion-vs-static (trajectories, power-cycling, mobility)",
+    )
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+    scen_common = argparse.ArgumentParser(add_help=False)
+    scen_common.add_argument(
+        "--n-tags", type=int, default=2000,
+        help="tags in the deployment disk (default: 2000)",
+    )
+    scen_common.add_argument(
+        "--range", type=float, default=6.0, dest="range",
+        help="inter-tag range r (m) (default: 6.0)",
+    )
+    scen_common.add_argument(
+        "--frame", type=int, default=1671,
+        help="frame size f (slots) (default: 1671)",
+    )
+    scen_common.add_argument(
+        "--operations", type=int, default=3,
+        help="CCM operations on the timeline (default: 3)",
+    )
+    scen_common.add_argument(
+        "--gap", type=float, default=30.0,
+        help="idle seconds between operations (default: 30)",
+    )
+    scen_common.add_argument(
+        "--speed", type=float, default=2.0,
+        help="reader speed in m/s (default: 2.0)",
+    )
+    scen_common.add_argument(
+        "--relocate", type=float, default=0.0,
+        help="fraction of tags relocated uniformly between operations",
+    )
+    scen_common.add_argument(
+        "--loss", type=float, default=0.0,
+        help="per-bit channel loss probability (default: 0)",
+    )
+    scen_common.add_argument(
+        "--out", type=str, default=None, help="append reports to this file"
+    )
+    scen_common.add_argument(
+        "--metrics-out", type=str, default=None,
+        help="record observability metrics for this command and write "
+             "them as NDJSON to this file",
+    )
+    scen_run = scen_sub.add_parser(
+        "run", parents=[scen_common],
+        help="one scenario timeline; prints the per-operation table",
+    )
+    scen_run.add_argument(
+        "--trajectory", choices=TRAJECTORY_NAMES, default="static",
+        help="reader trajectory (default: static = the paper's setup)",
+    )
+    # --power-threshold/--step live per-subparser, not in scen_common:
+    # run and sweep want different defaults, and argparse set_defaults()
+    # would mutate the parent's shared actions for both.
+    scen_run.add_argument(
+        "--power-threshold", type=float, default=None,
+        help="received-power threshold (dBm) below which a tag sleeps "
+             "for the round (default: always powered)",
+    )
+    scen_run.add_argument(
+        "--step", type=float, default=0.0,
+        help="max per-tag displacement (m) between operations "
+             "(default: 0 = stationary tags)",
+    )
+    scen_run.add_argument(
+        "--participation", type=float, default=1.0,
+        help="fraction of tags picking a slot each operation",
+    )
+    scen_run.add_argument(
+        "--seed", type=int, default=0,
+        help="scenario seed (repro-scenario-rng-v1; default: 0)",
+    )
+    scen_run.add_argument(
+        "--journal", type=str, default=None,
+        help="write the deterministic event journal as NDJSON here",
+    )
+    scen_run.set_defaults(func=cmd_scenario)
+    scen_sweep = scen_sub.add_parser(
+        "sweep", parents=[scen_common],
+        help="motion-vs-static comparison across a trajectory family",
+    )
+    scen_sweep.add_argument(
+        "--trajectory", dest="trajectories", nargs="+",
+        choices=TRAJECTORY_NAMES, default=["static", "aisle", "uav"],
+        help="trajectories to compare (default: static aisle uav)",
+    )
+    scen_sweep.add_argument(
+        "--power-threshold", type=float, default=-22.0,
+        help="received-power threshold (dBm) for the moving rows "
+             "(default: -22; static always runs fully powered)",
+    )
+    scen_sweep.add_argument(
+        "--step", type=float, default=1.0,
+        help="max per-tag displacement (m) between operations for the "
+             "moving rows (default: 1.0)",
+    )
+    scen_sweep.add_argument(
+        "--trials", type=int, default=3,
+        help="trials per trajectory (default: 3)",
+    )
+    scen_sweep.add_argument(
+        "--seed", type=int, default=90_210,
+        help="base seed for the trial family (default: 90210)",
+    )
+    add_execution_arguments(
+        scen_sweep, engines=("auto", *sorted(available_engines()))
+    )
+    scen_sweep.set_defaults(func=cmd_scenario)
     return parser
 
 

@@ -13,7 +13,12 @@ Counting rules (also documented in DESIGN.md §6):
   or not anything was heard — idle listening is the dominant RX cost;
 * a received indicator-vector broadcast adds f bits (the reader ships it in
   ⌈f/96⌉ 96-bit slots, Sec. III-D);
-* baselines add 96 bits per transmitted/overheard tag ID.
+* baselines add 96 bits per transmitted/overheard tag ID;
+* a powered-down tag accrues *zero* bits — scenario engines set a
+  duty-cycle mask via :meth:`EnergyLedger.set_active` and every recording
+  method drops contributions for inactive tags (a sleeping radio neither
+  transmits nor carrier-senses).  With no mask set (the default) all
+  recording paths are bit-identical to the unmasked ledger.
 """
 
 from __future__ import annotations
@@ -64,17 +69,48 @@ class EnergyLedger:
         self.n_tags = n_tags
         self.bits_sent = np.zeros(n_tags, dtype=np.float64)
         self.bits_received = np.zeros(n_tags, dtype=np.float64)
+        #: duty-cycle mask: None (all tags powered) or a boolean array —
+        #: recording methods drop contributions where it is False.
+        self._active: "np.ndarray | None" = None
+
+    # -- duty cycle ---------------------------------------------------------
+
+    def set_active(self, mask: "np.ndarray | None") -> None:
+        """Set (or clear, with ``None``) the powered-tag duty-cycle mask.
+
+        While a mask is set, every recording method ignores contributions
+        for tags whose entry is False: a powered-down tag accrues zero TX
+        *and* RX bits for the rounds it sleeps through.  Scenario engines
+        update this per round from the link budget and clear it when the
+        session ends (the ledger may be shared across sessions).
+        """
+        if mask is None:
+            self._active = None
+            return
+        arr = np.asarray(mask, dtype=bool)
+        if arr.shape != (self.n_tags,):
+            raise ValueError("active mask must have one entry per tag")
+        self._active = arr
+
+    @property
+    def active_mask(self) -> "np.ndarray | None":
+        """The current duty-cycle mask (None means all tags powered)."""
+        return self._active
 
     # -- recording ----------------------------------------------------------
 
     def add_sent(self, tag: int, bits: float) -> None:
         if bits < 0:
             raise ValueError("bits must be non-negative")
+        if self._active is not None and not self._active[tag]:
+            return
         self.bits_sent[tag] += bits
 
     def add_received(self, tag: int, bits: float) -> None:
         if bits < 0:
             raise ValueError("bits must be non-negative")
+        if self._active is not None and not self._active[tag]:
+            return
         self.bits_received[tag] += bits
 
     def add_sent_bulk(self, bits: ArrayLike) -> None:
@@ -84,6 +120,8 @@ class EnergyLedger:
             raise ValueError("bulk update must have one entry per tag")
         if np.any(arr < 0):
             raise ValueError("bits must be non-negative")
+        if self._active is not None:
+            arr = np.where(self._active, arr, 0.0)
         self.bits_sent += arr
 
     def add_received_bulk(self, bits: ArrayLike) -> None:
@@ -92,6 +130,8 @@ class EnergyLedger:
             raise ValueError("bulk update must have one entry per tag")
         if np.any(arr < 0):
             raise ValueError("bits must be non-negative")
+        if self._active is not None:
+            arr = np.where(self._active, arr, 0.0)
         self.bits_received += arr
 
     def add_received_to_all(self, bits: float, mask: np.ndarray = None) -> None:
@@ -100,9 +140,15 @@ class EnergyLedger:
         if bits < 0:
             raise ValueError("bits must be non-negative")
         if mask is None:
-            self.bits_received += bits
+            if self._active is None:
+                self.bits_received += bits
+            else:
+                self.bits_received[self._active] += bits
         else:
-            self.bits_received[np.asarray(mask, dtype=bool)] += bits
+            mask = np.asarray(mask, dtype=bool)
+            if self._active is not None:
+                mask = mask & self._active
+            self.bits_received[mask] += bits
 
     def merge(self, other: "EnergyLedger") -> None:
         """Accumulate another ledger (e.g. across sessions) in place."""

@@ -13,6 +13,11 @@ generators the state-freedom experiments use:
 
 Both clamp results to the deployment disk so the reader's coverage
 assumption is preserved.
+
+Each generator takes *either* an explicit ``rng=`` Generator (callers that
+thread one RNG through a scenario, e.g. the ``repro-scenario-rng-v1``
+draw-order contract) *or* a ``seed=``; passing both raises ``ValueError``
+rather than silently ignoring the seed.
 """
 
 from __future__ import annotations
@@ -22,6 +27,17 @@ from typing import Optional
 import numpy as np
 
 from repro.net.geometry import Point, uniform_disk
+
+
+def _resolve_rng(
+    rng: Optional[np.random.Generator], seed: Optional[int]
+) -> np.random.Generator:
+    if rng is not None and seed is not None:
+        raise ValueError(
+            "pass either rng= or seed=, not both (an explicit rng already "
+            "carries its own stream position; a seed would be ignored)"
+        )
+    return rng if rng is not None else np.random.default_rng(seed)
 
 
 def _clamp_to_disk(
@@ -53,7 +69,7 @@ def displace(
         raise ValueError("max_step must be non-negative")
     if field_radius <= 0:
         raise ValueError("field_radius must be positive")
-    gen = rng if rng is not None else np.random.default_rng(seed)
+    gen = _resolve_rng(rng, seed)
     n = positions.shape[0]
     step = max_step * np.sqrt(gen.random(n))
     theta = gen.random(n) * 2.0 * np.pi
@@ -77,7 +93,7 @@ def relocate_fraction(
         raise ValueError("fraction must be in [0, 1]")
     if field_radius <= 0:
         raise ValueError("field_radius must be positive")
-    gen = rng if rng is not None else np.random.default_rng(seed)
+    gen = _resolve_rng(rng, seed)
     n = positions.shape[0]
     k = int(round(fraction * n))
     if k == 0:

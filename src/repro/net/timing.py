@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
 
 #: Payload of one reader (ID-length) slot in bits.
 READER_SLOT_BITS = 96
@@ -26,9 +28,12 @@ READER_SLOT_BITS = 96
 class SlotTiming:
     """Durations of the two slot kinds (seconds).
 
-    Defaults follow common Gen2 timing ballpark figures (a one-bit slot of
-    0.4 ms and a 96-bit slot of 2.4 ms); they affect only the optional
-    seconds view, never the slot counts the tables report.
+    Explicit defaults follow common Gen2 timing ballpark figures (a one-bit
+    slot of 0.4 ms and a 96-bit slot of 2.4 ms); they affect only the
+    optional seconds view, never the slot counts the tables report.  The
+    seconds view itself defaults to :func:`default_slot_timing` — durations
+    *derived* from :class:`repro.net.gen2.Gen2Params` rather than these
+    ballparks — when no timing is passed.
     """
 
     short_slot_s: float = 0.4e-3
@@ -37,6 +42,20 @@ class SlotTiming:
     def __post_init__(self) -> None:
         if self.short_slot_s <= 0 or self.id_slot_s <= 0:
             raise ValueError("slot durations must be positive")
+
+
+@lru_cache(maxsize=1)
+def default_slot_timing() -> SlotTiming:
+    """The default :class:`SlotTiming` of the seconds view: durations
+    derived from the default EPC Gen2 link parameters
+    (``Gen2Params().slot_timing()`` — Tari 12.5 µs, DR 64/3, Miller-4)
+    instead of the hardcoded 0.4 ms / 2.4 ms ballpark figures.
+
+    Imported lazily because :mod:`repro.net.gen2` imports this module.
+    """
+    from repro.net.gen2 import Gen2Params
+
+    return Gen2Params().slot_timing()
 
 
 @dataclass
@@ -62,8 +81,11 @@ class SlotCount:
         """The paper's execution-time metric: total number of slots."""
         return self.short_slots + self.id_slots
 
-    def seconds(self, timing: SlotTiming = SlotTiming()) -> float:
-        """Wall-clock duration under a concrete :class:`SlotTiming`."""
+    def seconds(self, timing: Optional[SlotTiming] = None) -> float:
+        """Wall-clock duration under a concrete :class:`SlotTiming`
+        (default: the Gen2-derived :func:`default_slot_timing`)."""
+        if timing is None:
+            timing = default_slot_timing()
         return (
             self.short_slots * timing.short_slot_s
             + self.id_slots * timing.id_slot_s

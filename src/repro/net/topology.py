@@ -18,7 +18,7 @@ engine and by the metrics, exactly like the authors' simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -231,6 +231,42 @@ class Network:
             ).view(np.uint64)
         self._packed_adjacency = out
         return out
+
+    def with_readers(self, readers: Sequence[Reader]) -> "Network":
+        """A new network with the same tags and tag-to-tag links but a
+        different reader set: tier-1 membership, the tier BFS, and
+        ``reader_distance`` are recomputed, while the CSR adjacency and
+        the cached packed adjacency are *shared* (tag positions are
+        unchanged, so the tag graph is identical).
+
+        This is the per-round fast path for mobile-reader scenarios: a
+        reader move only re-runs the O(n + edges) BFS, not the O(n·density)
+        grid neighbour build.
+        """
+        if not readers:
+            raise ValueError("at least one reader is required")
+        n = self.n_tags
+        reader_distance = np.full(n, np.inf)
+        tier1 = np.zeros(n, dtype=bool)
+        for reader in readers:
+            d = pairwise_distance(self.positions, reader.position)
+            reader_distance = np.minimum(reader_distance, d)
+            tier1 |= d <= reader.tag_to_reader_range
+        tiers = _bfs_tiers(n, self.indptr, self.indices, tier1)
+        net = Network(
+            positions=self.positions,
+            tag_ids=self.tag_ids,
+            readers=list(readers),
+            tag_range=self.tag_range,
+            indptr=self.indptr,
+            indices=self.indices,
+            tiers=tiers,
+            reader_distance=reader_distance,
+        )
+        cached = getattr(self, "_packed_adjacency", None)
+        if cached is not None:
+            net._packed_adjacency = cached
+        return net
 
     def subset(self, keep_mask: np.ndarray) -> "Network":
         """A new network containing only the tags where ``keep_mask`` is

@@ -31,6 +31,7 @@ FINGERPRINT_PACKAGES: Tuple[str, ...] = (
     "repro.core",
     "repro.protocols",
     "repro.net",
+    "repro.scenario",
 )
 
 
@@ -55,20 +56,24 @@ def code_fingerprint(
     Each file contributes its package-relative path and contents, so
     renames, additions and deletions all change the fingerprint, not
     just edits.  The RNG-draw contract versions
-    (:data:`repro.net.channel.CHANNEL_RNG_CONTRACT` and
-    :data:`repro.core.batch.BATCH_RNG_CONTRACT`) are mixed in
+    (:data:`repro.net.channel.CHANNEL_RNG_CONTRACT`,
+    :data:`repro.core.batch.BATCH_RNG_CONTRACT` and
+    :data:`repro.scenario.SCENARIO_RNG_CONTRACT`) are mixed in
     explicitly: cached metrics are only replayable while the random
-    streams that produced them are pinned, so bumping either contract
+    streams that produced them are pinned, so bumping any contract
     invalidates every key by construction — not merely as a side effect
     of the source edit that carried the bump.
     """
     from repro.core.batch import BATCH_RNG_CONTRACT
     from repro.net.channel import CHANNEL_RNG_CONTRACT
+    from repro.scenario.events import SCENARIO_RNG_CONTRACT
 
     h = hashlib.sha256()
     h.update(CHANNEL_RNG_CONTRACT.encode("utf-8"))
     h.update(b"\0")
     h.update(BATCH_RNG_CONTRACT.encode("utf-8"))
+    h.update(b"\0")
+    h.update(SCENARIO_RNG_CONTRACT.encode("utf-8"))
     h.update(b"\0")
     for package in packages:
         mod = importlib.import_module(package)

@@ -185,3 +185,55 @@ class TestProfileCommand:
             assert code == 0
         out = capsys.readouterr().out
         assert out.count("coverage:") == 2
+
+
+class TestScenarioCommand:
+    def test_run_static(self, tmp_path, capsys):
+        journal = tmp_path / "journal.ndjson"
+        code = main([
+            "scenario", "run", "--n-tags", "250", "--frame", "83",
+            "--operations", "2", "--seed", "3",
+            "--journal", str(journal),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trajectory=static" in out
+        assert "completion 1.000" in out
+        lines = journal.read_text().splitlines()
+        assert '"kind":"scenario_start"' in lines[0].replace(" ", "")
+
+    def test_run_uav_with_power(self, capsys):
+        code = main([
+            "scenario", "run", "--n-tags", "250", "--frame", "83",
+            "--operations", "2", "--trajectory", "uav", "--speed", "6",
+            "--power-threshold", "-22", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trajectory=uav" in out
+        assert "NO" in out  # some operation left sleeping data behind
+
+    def test_sweep_compares_trajectories(self, capsys):
+        code = main([
+            "scenario", "sweep", "--n-tags", "250", "--frame", "83",
+            "--operations", "2", "--trials", "1",
+            "--trajectory", "static", "uav", "--speed", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "static" in out and "uav" in out
+
+    def test_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "scenario.metrics.ndjson"
+        code = main([
+            "scenario", "run", "--n-tags", "200", "--frame", "65",
+            "--operations", "1", "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        text = metrics.read_text()
+        assert "scenario" in text
+
+    def test_rejects_unknown_trajectory(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "run", "--trajectory", "orbit"])

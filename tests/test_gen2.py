@@ -83,3 +83,80 @@ class TestSlotDurations:
         timing = Gen2Params().slot_timing()
         session = SlotCount(short_slots=5075 - 54, id_slots=54)
         assert 0.5 < session.seconds(timing) < 10.0
+
+
+#: The standard's Tari values (6.25/12.5/25 µs), both divide ratios, and
+#: every Miller mode — the conformance grid.
+CONFORMANCE_GRID = [
+    Gen2Params(tari_us=tari, divide_ratio=dr, miller=m)
+    for tari in (6.25, 12.5, 25.0)
+    for dr in (8.0, 64.0 / 3.0)
+    for m in (1, 2, 4, 8)
+]
+
+
+class TestConformanceGrid:
+    """Link-timing invariants across the full Tari × DR × Miller grid."""
+
+    @pytest.mark.parametrize("p", CONFORMANCE_GRID)
+    def test_t2_is_ten_link_periods(self, p):
+        assert p.t2_us == pytest.approx(10.0 * 1000.0 / p.blf_khz)
+
+    @pytest.mark.parametrize("p", CONFORMANCE_GRID)
+    def test_t1_dominated_by_max_rule(self, p):
+        assert p.t1_us == pytest.approx(
+            max(p.rtcal_us, 10.0 * 1000.0 / p.blf_khz)
+        )
+
+    @pytest.mark.parametrize("p", CONFORMANCE_GRID)
+    def test_slots_ordered_and_positive(self, p):
+        timing = p.slot_timing()
+        assert 0 < timing.short_slot_s < timing.id_slot_s
+
+    @pytest.mark.parametrize("p", CONFORMANCE_GRID)
+    def test_id_slot_decomposition(self, p):
+        """id_slot - short_slot is exactly the extra payload bits when the
+        ID reply (not the reader broadcast) dominates t_id."""
+        extra = (p.id_reply_bits - 1) * p.tag_bit_time_us
+        assert p.id_slot_us() - p.short_slot_us() == pytest.approx(extra)
+
+    @pytest.mark.parametrize("tari", (6.25, 12.5, 25.0))
+    def test_dr8_slower_uplink_than_dr64_3(self, tari):
+        """At equal TRcal, DR=8 means a lower BLF, hence longer tag bits."""
+        dr8 = Gen2Params(tari_us=tari, divide_ratio=8.0)
+        dr64 = Gen2Params(tari_us=tari, divide_ratio=64.0 / 3.0)
+        assert dr8.blf_khz < dr64.blf_khz
+        assert dr8.tag_bit_time_us > dr64.tag_bit_time_us
+
+    def test_grid_stays_in_gen2_blf_window(self):
+        """Every grid point's BLF lands in the standard's 40–640 kHz."""
+        for p in CONFORMANCE_GRID:
+            assert 40.0 <= p.blf_khz <= 640.0
+
+
+class TestLibraryDefaultTiming:
+    """Gen2Params().slot_timing() is the library's seconds-view default."""
+
+    def test_default_slot_timing_is_gen2_derived(self):
+        from repro.net.timing import default_slot_timing
+
+        assert default_slot_timing() == Gen2Params().slot_timing()
+
+    def test_default_slot_timing_cached(self):
+        from repro.net.timing import default_slot_timing
+
+        assert default_slot_timing() is default_slot_timing()
+
+    def test_seconds_defaults_to_gen2(self):
+        from repro.net.timing import SlotCount
+
+        sc = SlotCount(short_slots=100, id_slots=4)
+        assert sc.seconds() == pytest.approx(
+            sc.seconds(Gen2Params().slot_timing())
+        )
+
+    def test_explicit_timing_still_wins(self):
+        from repro.net.timing import SlotCount, SlotTiming
+
+        timing = SlotTiming(short_slot_s=1.0, id_slot_s=2.0)
+        assert SlotCount(3, 1).seconds(timing) == pytest.approx(5.0)

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.net.geometry import Point, uniform_disk
 from repro.net.mobility import displace, relocate_fraction
@@ -68,6 +69,113 @@ class TestRelocate:
             relocate_fraction(pos, 1.5, 5.0)
         with pytest.raises(ValueError):
             relocate_fraction(pos, 0.5, 0.0)
+
+
+class TestRngSeedExclusive:
+    """``rng=`` and ``seed=`` are mutually exclusive, never merged."""
+
+    def test_displace_rejects_both(self):
+        pos = uniform_disk(10, 5.0, seed=1)
+        with pytest.raises(ValueError, match="not both"):
+            displace(pos, 1.0, 5.0, rng=np.random.default_rng(0), seed=1)
+
+    def test_relocate_rejects_both(self):
+        pos = uniform_disk(10, 5.0, seed=1)
+        with pytest.raises(ValueError, match="not both"):
+            relocate_fraction(
+                pos, 0.5, 5.0, rng=np.random.default_rng(0), seed=1
+            )
+
+    def test_explicit_rng_advances_stream(self):
+        """An explicit Generator is consumed in place — two calls on the
+        same Generator continue the stream (the scenario contract)."""
+        pos = uniform_disk(50, 5.0, seed=1)
+        gen = np.random.default_rng(7)
+        first = displace(pos, 1.0, 5.0, rng=gen)
+        second = displace(pos, 1.0, 5.0, rng=gen)
+        assert not np.array_equal(first, second)
+        # Re-seeding reproduces the exact same pair of movements.
+        gen2 = np.random.default_rng(7)
+        assert np.array_equal(displace(pos, 1.0, 5.0, rng=gen2), first)
+        assert np.array_equal(displace(pos, 1.0, 5.0, rng=gen2), second)
+
+
+mobility_params = {
+    "n": st.integers(min_value=1, max_value=120),
+    "radius": st.floats(min_value=0.5, max_value=50.0),
+    "seed": st.integers(min_value=0, max_value=2**32 - 1),
+}
+
+
+class TestMobilityProperties:
+    """Hypothesis invariants: never leave the disk, bit-deterministic."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=mobility_params["n"],
+        radius=mobility_params["radius"],
+        step=st.floats(min_value=0.0, max_value=100.0),
+        seed=mobility_params["seed"],
+    )
+    def test_displace_never_leaves_disk(self, n, radius, step, seed):
+        pos = uniform_disk(n, radius, seed=seed)
+        moved = displace(pos, step, radius, seed=seed + 1)
+        assert np.all(
+            np.hypot(moved[:, 0], moved[:, 1]) <= radius * (1 + 1e-12) + 1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=mobility_params["n"],
+        radius=mobility_params["radius"],
+        step=st.floats(min_value=0.0, max_value=100.0),
+        seed=mobility_params["seed"],
+    )
+    def test_displace_step_bounded(self, n, radius, step, seed):
+        pos = uniform_disk(n, radius, seed=seed)
+        moved = displace(pos, step, radius, seed=seed + 1)
+        d = np.hypot(*(moved - pos).T)
+        # Clamping can only shorten a step, never lengthen it.
+        assert np.all(d <= step + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=mobility_params["n"],
+        radius=mobility_params["radius"],
+        frac=st.floats(min_value=0.0, max_value=1.0),
+        seed=mobility_params["seed"],
+    )
+    def test_relocate_never_leaves_disk(self, n, radius, frac, seed):
+        pos = uniform_disk(n, radius, seed=seed)
+        moved = relocate_fraction(pos, frac, radius, seed=seed + 1)
+        assert np.all(
+            np.hypot(moved[:, 0], moved[:, 1]) <= radius * (1 + 1e-12) + 1e-9
+        )
+        assert (np.any(moved != pos, axis=1)).sum() == int(round(frac * n))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=mobility_params["n"],
+        radius=mobility_params["radius"],
+        seed=mobility_params["seed"],
+    )
+    def test_bit_determinism_per_seed(self, n, radius, seed):
+        pos = uniform_disk(n, radius, seed=seed)
+        a = displace(pos, 1.5, radius, seed=seed)
+        b = displace(pos, 1.5, radius, seed=seed)
+        assert a.tobytes() == b.tobytes()
+        c = relocate_fraction(pos, 0.5, radius, seed=seed)
+        d = relocate_fraction(pos, 0.5, radius, seed=seed)
+        assert c.tobytes() == d.tobytes()
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=mobility_params["seed"])
+    def test_input_positions_never_mutated(self, seed):
+        pos = uniform_disk(60, 8.0, seed=seed)
+        before = pos.copy()
+        displace(pos, 3.0, 8.0, seed=seed)
+        relocate_fraction(pos, 0.5, 8.0, seed=seed)
+        assert np.array_equal(pos, before)
 
 
 class TestStateFreeExperiment:

@@ -110,6 +110,7 @@ class TestCodeFingerprint:
             "repro.core",
             "repro.protocols",
             "repro.net",
+            "repro.scenario",
         )
 
     def test_changes_when_source_changes(self, tmp_path, monkeypatch):
