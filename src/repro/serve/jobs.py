@@ -29,7 +29,9 @@ Mechanics:
   ``campaigns/jobs/<job-id>/``, so two concurrent submissions of the
   *identical* campaign never interleave in one journal file.
 * **Crash-safe records.**  Every state transition rewrites
-  ``<store>/serve/jobs/<id>.json`` atomically (``repro-job-record-v1``);
+  ``<store>/serve/jobs/<id>.bin`` atomically — a ``repro-job-record-v1``
+  document inside a ``repro-record-bin-v1`` container (legacy ``.json``
+  records from older servers recover transparently);
   :meth:`JobManager.recover` re-enqueues every job a previous process
   left queued, running or interrupted, with ``resume=True`` — re-run
   trials hit the store, so a drained-and-restarted job reproduces its
@@ -56,6 +58,12 @@ from repro.sim.parallel import Campaign, CampaignError
 from repro.sim.plan import PLAN_SCHEMA, RunPlan
 from repro.sim.results import sweep_to_dict
 from repro.sim.runner import TrialFn, sweep
+from repro.store.binary import (
+    RECORD_TYPE_JOB,
+    BinaryFormatError,
+    read_record_path,
+    write_record,
+)
 from repro.store.cache import ResultStore
 
 __all__ = [
@@ -419,12 +427,28 @@ class JobManager:
         recovered: List[str] = []
         if not self.jobs_dir.is_dir():
             return recovered
-        records = []
+        # Binary records shadow legacy JSON ones for the same job id
+        # (a server recovered from a pre-binary store persists .bin and
+        # drops the stale .json on its next transition).
+        paths: Dict[str, pathlib.Path] = {}
         for path in sorted(self.jobs_dir.glob("*.json")):
-            try:
-                record = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
-                continue  # torn write at the kill point: drop the record
+            paths[path.stem] = path
+        for path in sorted(self.jobs_dir.glob("*.bin")):
+            paths[path.stem] = path
+        records = []
+        for path in paths.values():
+            if path.suffix == ".bin":
+                try:
+                    record, _ = read_record_path(path)
+                except (OSError, BinaryFormatError):
+                    continue  # torn write at the kill point: drop it
+            else:
+                try:
+                    record = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, ValueError):
+                    continue
+            if not isinstance(record, dict):
+                continue
             if record.get("schema") != RECORD_SCHEMA:
                 continue
             if record.get("state") not in ("queued", "running", "interrupted"):
@@ -706,13 +730,22 @@ class JobManager:
     def _persist(self, job: Job) -> None:
         """Atomically rewrite the job's on-disk record."""
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
-        path = self.jobs_dir / f"{job.id}.json"
-        payload = json.dumps(job.to_dict(), indent=2, sort_keys=True) + "\n"
+        path = self.jobs_dir / f"{job.id}.bin"
         # pid+tid: submit (server thread) and the worker may persist the
         # same job concurrently; each write needs its own scratch file.
         tmp = path.with_suffix(f".tmp-{os.getpid()}-{threading.get_ident()}")
-        tmp.write_text(payload, encoding="utf-8")
+        with open(tmp, "wb") as fh:
+            # allow_nan: job telemetry aggregates may legitimately carry
+            # non-finite floats; this record is never content-addressed.
+            write_record(fh, job.to_dict(), RECORD_TYPE_JOB, allow_nan=True)
         os.replace(tmp, path)
+        # Drop the legacy record a pre-binary server may have left for
+        # this id, so recover() never resurrects a stale state.
+        legacy = self.jobs_dir / f"{job.id}.json"
+        try:
+            legacy.unlink()
+        except OSError:
+            pass
 
 
 def _campaign_to_dict(result) -> Dict[str, Any]:

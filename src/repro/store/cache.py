@@ -12,8 +12,10 @@ that function on disk:
   ``repro.core``/``repro.protocols``/``repro.net``.  Change any of them
   and the key moves — stale hits are structurally impossible.
 * **Value** — the trial's metric dict plus a RunManifest-style
-  provenance record (when/where/what revision computed it), one canonical
-  JSON file per trial under ``<root>/objects/<k[:2]>/<k>.json``, written
+  provenance record (when/where/what revision computed it), one
+  ``repro-record-bin-v1`` container per trial under
+  ``<root>/objects/<k[:2]>/<k>.bin`` (legacy ``.json`` objects remain a
+  readable fallback tier; see :meth:`ResultStore.migrate`), written
   atomically (temp file + rename) so a SIGKILL never leaves a torn entry.
 * **Root** — ``~/.cache/repro`` by default; override with the
   ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``.
@@ -52,6 +54,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
+from repro.store.binary import (
+    RECORD_TYPE_TRIAL,
+    BinaryFormatError,
+    decode_record,
+    encode_record,
+    write_record,
+)
 from repro.store.canonical import canonical_bytes, canonical_json, digest
 
 try:  # POSIX advisory locks; degrade to O_EXCL spinning elsewhere
@@ -64,6 +73,7 @@ PathLike = Union[str, pathlib.Path]
 __all__ = [
     "RESULT_FORMAT",
     "KEY_SCHEMA",
+    "OBJECT_SUFFIX",
     "CacheEntry",
     "ResultStore",
     "StoreLock",
@@ -80,6 +90,10 @@ RESULT_FORMAT = "repro-trial-result-v1"
 #: Schema tag mixed into every key so future key layout changes never
 #: collide with old entries.
 KEY_SCHEMA = "repro-trial-key-v1"
+
+#: Object file suffix per storage format.  ``bin`` is what new writes
+#: use; ``json`` is the legacy tier that stays readable forever.
+OBJECT_SUFFIX = {"bin": ".bin", "json": ".json"}
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -146,6 +160,7 @@ class CacheEntry:
     metrics: Dict[str, float]
     provenance: Dict[str, Any]
     size_bytes: int = 0
+    fmt: str = "json"
 
     @property
     def trial_type(self) -> str:
@@ -161,6 +176,7 @@ class StoreStats:
     n_entries: int = 0
     total_bytes: int = 0
     by_trial_type: Dict[str, int] = field(default_factory=dict)
+    by_format: Dict[str, Dict[str, int]] = field(default_factory=dict)
     n_campaigns: int = 0
     oldest_utc: Optional[str] = None
     newest_utc: Optional[str] = None
@@ -270,8 +286,18 @@ class ResultStore:
 
     Layout under ``root``::
 
-        objects/<key[:2]>/<key>.json   one canonical-JSON trial record
-        campaigns/<key>.ndjson         campaign checkpoint journals
+        objects/<key[:2]>/<key>.bin    one repro-record-bin-v1 trial record
+        objects/<key[:2]>/<key>.json   legacy canonical-JSON record
+                                       (readable fallback tier; new
+                                       writes are always binary)
+        campaigns/<key>.binj           campaign checkpoint journals
+        campaigns/<key>.ndjson         legacy NDJSON journals
+
+    Keys are unchanged by the binary format: they are still the SHA-256
+    of canonical JSON, so a record's address — and cross-host dedupe —
+    is identical whichever format it happens to be stored in.  Reads
+    prefer ``.bin`` and fall back to ``.json``; ``migrate()`` rewrites
+    the legacy tier in place.
 
     All writes are atomic; a key's record, once written, never changes
     (same key ⇒ same content), so concurrent campaigns can share a store
@@ -291,8 +317,9 @@ class ResultStore:
     def campaigns_dir(self) -> pathlib.Path:
         return self.root / "campaigns"
 
-    def path_for(self, key: str) -> pathlib.Path:
-        return self.objects_dir / key[:2] / f"{key}.json"
+    def path_for(self, key: str, fmt: str = "bin") -> pathlib.Path:
+        """Where ``key``'s record lives in storage format ``fmt``."""
+        return self.objects_dir / key[:2] / f"{key}{OBJECT_SUFFIX[fmt]}"
 
     def lock(self) -> StoreLock:
         """The store's advisory maintenance lock (see :class:`StoreLock`)."""
@@ -312,7 +339,18 @@ class ResultStore:
         return None if record is None else record.metrics
 
     def get_record(self, key: str) -> Optional[CacheEntry]:
-        path = self.path_for(key)
+        # Binary tier first (the fast path), legacy JSON as fallback.
+        path = self.path_for(key, "bin")
+        try:
+            data = path.read_bytes()
+        except OSError:
+            data = None
+        if data is not None:
+            entry = self._parse_binary(key, path, data)
+            if entry is not None and entry.key == key:
+                return entry
+            return None  # a corrupt .bin shadows nothing: miss
+        path = self.path_for(key, "json")
         try:
             raw = path.read_text(encoding="utf-8")
         except OSError:
@@ -328,10 +366,21 @@ class ResultStore:
         key_fields: Dict[str, Any],
         metrics: Dict[str, float],
         provenance: Optional[Dict[str, Any]] = None,
+        *,
+        fmt: str = "bin",
     ) -> pathlib.Path:
-        """Write one trial record atomically; a no-op if already present."""
-        path = self.path_for(key)
-        if path.exists():
+        """Write one trial record atomically; a no-op if already present.
+
+        New records are ``repro-record-bin-v1`` containers by default;
+        ``fmt="json"`` writes the legacy canonical-JSON form (used by
+        format-comparison benchmarks and for building fixture stores).
+        A key already present in *either* format is left alone — same
+        key means same content, whatever the encoding.
+        """
+        path = self.path_for(key, fmt)
+        if path.exists() or self.path_for(
+            key, "json" if fmt == "bin" else "bin"
+        ).exists():
             return path
         record = {
             "format": RESULT_FORMAT,
@@ -340,14 +389,17 @@ class ResultStore:
             "metrics": dict(metrics),
             "provenance": dict(provenance or {}),
         }
-        payload = canonical_json(record) + "\n"
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            dir=str(path.parent), prefix=".tmp-", suffix=OBJECT_SUFFIX[fmt]
         )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(payload)
+            if fmt == "bin":
+                with os.fdopen(fd, "wb") as fh:
+                    write_record(fh, record, RECORD_TYPE_TRIAL)
+            else:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(canonical_json(record) + "\n")
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -386,18 +438,63 @@ class ResultStore:
     # -- enumeration ---------------------------------------------------------
 
     def entries(self) -> Iterator[CacheEntry]:
-        """All parseable records, in key order."""
+        """All parseable records, in key order.
+
+        Traverses both storage tiers; a key present in both (e.g. a
+        store snapshotted mid-migration) yields its binary record only.
+        """
         if not self.objects_dir.is_dir():
             return
-        for path in sorted(self.objects_dir.glob("*/*.json")):
-            key = path.stem
-            try:
-                raw = path.read_text(encoding="utf-8")
-            except OSError:
-                continue
-            entry = self._parse(key, path, raw)
+        paths: Dict[str, pathlib.Path] = {}
+        for path in self.objects_dir.glob("*/*.json"):
+            paths[path.stem] = path
+        for path in self.objects_dir.glob("*/*.bin"):
+            paths[path.stem] = path  # binary shadows legacy JSON
+        for key in sorted(paths):
+            entry = self._load_path(key, paths[key])
             if entry is not None:
                 yield entry
+
+    def _load_path(
+        self, key: str, path: pathlib.Path
+    ) -> Optional[CacheEntry]:
+        """Parse whichever format ``path``'s suffix says it holds."""
+        if path.suffix == ".bin":
+            try:
+                data = path.read_bytes()
+            except OSError:
+                return None
+            return self._parse_binary(key, path, data)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        return self._parse(key, path, raw)
+
+    def _parse_binary(
+        self, key: str, path: pathlib.Path, data: bytes
+    ) -> Optional[CacheEntry]:
+        """A ``.bin`` object decoded, or ``None`` if corrupt (a miss)."""
+        try:
+            record, record_type = decode_record(data)
+        except BinaryFormatError:
+            return None
+        if (
+            record_type != RECORD_TYPE_TRIAL
+            or not isinstance(record, dict)
+            or record.get("format") != RESULT_FORMAT
+            or record.get("key") != digest(record.get("key_fields"))
+        ):
+            return None
+        return CacheEntry(
+            key=record["key"],
+            path=path,
+            key_fields=record["key_fields"],
+            metrics=record.get("metrics") or {},
+            provenance=record.get("provenance") or {},
+            size_bytes=len(data),
+            fmt="bin",
+        )
 
     def _parse(
         self, key: str, path: pathlib.Path, raw: str
@@ -419,6 +516,7 @@ class ResultStore:
             metrics=record.get("metrics") or {},
             provenance=record.get("provenance") or {},
             size_bytes=len(raw.encode("utf-8")),
+            fmt="json",
         )
 
     # -- maintenance ---------------------------------------------------------
@@ -432,6 +530,11 @@ class ResultStore:
             stats.total_bytes += entry.size_bytes
             t = entry.trial_type
             stats.by_trial_type[t] = stats.by_trial_type.get(t, 0) + 1
+            per_fmt = stats.by_format.setdefault(
+                entry.fmt, {"entries": 0, "bytes": 0}
+            )
+            per_fmt["entries"] += 1
+            per_fmt["bytes"] += entry.size_bytes
             created = entry.provenance.get("created_utc")
             if isinstance(created, str) and created:
                 oldest = created if oldest is None else min(oldest, created)
@@ -441,7 +544,9 @@ class ResultStore:
         if self.campaigns_dir.is_dir():
             # rglob: job-namespaced journals live in subdirectories.
             stats.n_campaigns = sum(
-                1 for _ in self.campaigns_dir.rglob("*.ndjson")
+                1
+                for pattern in ("*.ndjson", "*.binj")
+                for _ in self.campaigns_dir.rglob(pattern)
             )
         return stats
 
@@ -475,12 +580,15 @@ class ResultStore:
         now = time.time() if now is None else now
         records: List = []  # (mtime, size, path)
         if self.objects_dir.is_dir():
-            for path in self.objects_dir.glob("*/*.json"):
-                try:
-                    st = path.stat()
-                except OSError:
-                    continue
-                records.append((st.st_mtime, st.st_size, path))
+            # Both tiers: a half-migrated store must never be
+            # under-collected.
+            for pattern in ("*/*.bin", "*/*.json"):
+                for path in self.objects_dir.glob(pattern):
+                    try:
+                        st = path.stat()
+                    except OSError:
+                        continue
+                    records.append((st.st_mtime, st.st_size, path))
         records.sort()
         removed = 0
         freed = 0
@@ -510,6 +618,82 @@ class ResultStore:
                 i += 1
             survivors = survivors[i:]
         return {"removed": removed, "freed_bytes": freed, "kept": len(survivors)}
+
+    def migrate(self, dry_run: bool = False) -> Dict[str, int]:
+        """Rewrite legacy ``.json`` objects as ``.bin`` in place.
+
+        Each record is parsed, re-encoded as a ``repro-record-bin-v1``
+        container, decoded back, and only swapped in once the round-trip
+        reproduces byte-identical canonical metrics — then the binary
+        file is renamed into place atomically and the JSON file removed.
+        ``dry_run=True`` reports what would happen without touching the
+        store.  Returns ``{"migrated", "skipped", "bytes_before",
+        "bytes_after"}``.
+
+        Holds the exclusive maintenance lock: a migrate racing a ``gc``
+        (or another migrate) would otherwise double-delete or mis-count.
+        Campaign readers are unaffected — every key stays readable in
+        one format or the other at all times.
+        """
+        with self.lock().exclusive():
+            return self._migrate_locked(dry_run)
+
+    def _migrate_locked(self, dry_run: bool) -> Dict[str, int]:
+        result = {
+            "migrated": 0,
+            "skipped": 0,
+            "bytes_before": 0,
+            "bytes_after": 0,
+        }
+        if not self.objects_dir.is_dir():
+            return result
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            key = path.stem
+            try:
+                raw = path.read_text(encoding="utf-8")
+            except OSError:
+                result["skipped"] += 1
+                continue
+            entry = self._parse(key, path, raw)
+            if entry is None or entry.key != key:
+                result["skipped"] += 1  # corrupt legacy record: leave it
+                continue
+            record = {
+                "format": RESULT_FORMAT,
+                "key": entry.key,
+                "key_fields": entry.key_fields,
+                "metrics": entry.metrics,
+                "provenance": entry.provenance,
+            }
+            payload = encode_record(record, RECORD_TYPE_TRIAL)
+            decoded, _ = decode_record(payload)
+            if canonical_bytes(decoded["metrics"]) != canonical_bytes(
+                entry.metrics
+            ):  # pragma: no cover - round-trip is lossless by design
+                result["skipped"] += 1
+                continue
+            result["migrated"] += 1
+            result["bytes_before"] += len(raw.encode("utf-8"))
+            result["bytes_after"] += len(payload)
+            if dry_run:
+                continue
+            bin_path = self.path_for(key, "bin")
+            if not bin_path.exists():
+                fd, tmp = tempfile.mkstemp(
+                    dir=str(path.parent), prefix=".tmp-", suffix=".bin"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        fh.write(payload)
+                    os.replace(tmp, bin_path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            path.unlink()
+        return result
 
     def verify(
         self, sample: Optional[int] = None, seed: int = 0

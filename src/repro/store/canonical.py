@@ -12,7 +12,10 @@ silently split the cache.  This module is the single definition both
 * ``NaN``/``Infinity`` are rejected — they are not JSON and they are
   never equal to themselves, which makes them poison in a digest;
 * tuples serialize as arrays, dataclasses as objects, ``pathlib`` paths
-  as strings; anything else raises ``TypeError`` instead of guessing.
+  as strings; objects exposing ``__canonical_json__()`` serialize as
+  whatever that hook returns (how binary-native payloads such as
+  :class:`repro.store.binary.WordBitmap` keep one addressing form);
+  anything else raises ``TypeError`` instead of guessing.
 
 This module deliberately imports nothing else from :mod:`repro`, so it
 can sit below both the observability and store layers.
@@ -31,6 +34,12 @@ __all__ = ["canonical_json", "canonical_bytes", "digest", "sha256_file"]
 
 def _default(obj: Any) -> Any:
     """Coercions for the non-JSON types canonicalization accepts."""
+    hook = getattr(obj, "__canonical_json__", None)
+    if callable(hook):
+        # Duck-typed protocol: types with a native non-JSON payload
+        # (e.g. repro.store.binary.WordBitmap) declare their one
+        # canonical JSON form here, keeping this module import-free.
+        return hook()
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return dataclasses.asdict(obj)
     if isinstance(obj, pathlib.PurePath):

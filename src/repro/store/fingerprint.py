@@ -62,11 +62,16 @@ def code_fingerprint(
     explicitly: cached metrics are only replayable while the random
     streams that produced them are pinned, so bumping any contract
     invalidates every key by construction — not merely as a side effect
-    of the source edit that carried the bump.
+    of the source edit that carried the bump.  The binary record format
+    version (:data:`repro.store.binary.BINARY_FORMAT`) is mixed in the
+    same way: a future format bump moves every key, so an old decoder
+    can never be pointed at records it only half-understands — they are
+    simply recomputed under the new keys.
     """
     from repro.core.batch import BATCH_RNG_CONTRACT
     from repro.net.channel import CHANNEL_RNG_CONTRACT
     from repro.scenario.events import SCENARIO_RNG_CONTRACT
+    from repro.store.binary import BINARY_FORMAT
 
     h = hashlib.sha256()
     h.update(CHANNEL_RNG_CONTRACT.encode("utf-8"))
@@ -74,6 +79,8 @@ def code_fingerprint(
     h.update(BATCH_RNG_CONTRACT.encode("utf-8"))
     h.update(b"\0")
     h.update(SCENARIO_RNG_CONTRACT.encode("utf-8"))
+    h.update(b"\0")
+    h.update(BINARY_FORMAT.encode("utf-8"))
     h.update(b"\0")
     for package in packages:
         mod = importlib.import_module(package)

@@ -35,7 +35,13 @@ from repro.serve import (
 )
 from repro.serve.jobs import JOB_SCHEMA
 from repro.sim.plan import PLAN_SCHEMA
-from repro.store import ResultStore
+from repro.store import ResultStore, read_record_path
+
+
+def job_record(jobs_dir, job_id):
+    """The persisted job record (a repro-record-bin-v1 container)."""
+    record, _ = read_record_path(jobs_dir / f"{job_id}.bin")
+    return record
 
 
 @dataclass(frozen=True)
@@ -195,9 +201,7 @@ class TestJobManager:
         manager = JobManager(ResultStore(tmp_path))
         job = manager.submit(JobSpec.from_json(tiny_spec()))
         assert manager.cancel(job.id).state == "cancelled"
-        record = json.loads(
-            (manager.jobs_dir / f"{job.id}.json").read_text()
-        )
+        record = job_record(manager.jobs_dir, job.id)
         assert record["state"] == "cancelled"
 
     def test_unknown_job(self, tmp_path):
@@ -216,9 +220,7 @@ class TestJobManager:
         assert job.trials_done == 5
         assert job.result["format"] == "repro-campaign-v1"
         assert job.result["aggregates"]["value"]["count"] == 5
-        record = json.loads(
-            (manager.jobs_dir / f"{job.id}.json").read_text()
-        )
+        record = job_record(manager.jobs_dir, job.id)
         assert record["state"] == "done"
         assert record["result"] == job.result
         manager.drain()
@@ -248,7 +250,7 @@ class TestJobManager:
         while not (a.state == "done" and b.state == "done"):
             assert time.monotonic() < deadline
             time.sleep(0.01)
-        journals = list((store.campaigns_dir / "jobs").rglob("*.ndjson"))
+        journals = list((store.campaigns_dir / "jobs").rglob("*.binj"))
         # identical campaigns (same campaign key), two distinct journals
         assert len(journals) == 2
         assert {p.parent.name for p in journals} == {a.id, b.id}
@@ -509,25 +511,22 @@ class TestDrainAndResume:
             time.sleep(0.01)
         stop_service(app1, loop1, thread1)  # graceful drain mid-campaign
 
-        record = json.loads(
-            (store_root / "serve" / "jobs" / f"{job['id']}.json").read_text()
-        )
+        record = job_record(store_root / "serve" / "jobs", job["id"])
         assert record["state"] == "interrupted"
         assert 0 < record["trials_done"] < 12
         trace_id = record["trace_id"]
         assert trace_id  # minted at submit, persisted with the interrupt
         # the namespaced checkpoint journal survived the drain, and its
-        # lines carry the job's trace id
+        # events carry the job's trace id
+        from repro.store.binary import load_journal
+
         journal_dir = store_root / "campaigns" / "jobs" / job["id"]
-        journals = list(journal_dir.glob("*.ndjson"))
+        journals = list(journal_dir.glob("*.binj"))
         assert journals
-        journal_lines = [
-            json.loads(line)
-            for line in journals[0].read_text().splitlines() if line
-        ]
-        trial_lines = [e for e in journal_lines if e.get("kind") == "trial"]
-        assert trial_lines
-        assert all(e["trace_id"] == trace_id for e in trial_lines)
+        journal_events = load_journal(journals[0])[0]
+        trial_events = [e for e in journal_events if e.get("kind") == "trial"]
+        assert trial_events
+        assert all(e["trace_id"] == trace_id for e in trial_events)
 
         app2 = ServiceApp(ResultStore(store_root), port=0)
         loop2, thread2, client2 = run_service(app2)
@@ -609,9 +608,7 @@ class TestSigterm:
             if proc.poll() is None:
                 proc.kill()
 
-        record = json.loads(
-            (store_root / "serve" / "jobs" / f"{job['id']}.json").read_text()
-        )
+        record = job_record(store_root / "serve" / "jobs", job["id"])
         assert record["state"] == "interrupted"
         interrupted_done = record["trials_done"]
         assert 0 < interrupted_done < 50

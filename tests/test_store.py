@@ -208,7 +208,7 @@ class TestTrialKeys:
 # -- the store ----------------------------------------------------------------
 
 
-def _put_one(store, seed=11, metrics=None, trial=None, index=0):
+def _put_one(store, seed=11, metrics=None, trial=None, index=0, fmt="bin"):
     trial = trial or PaperTrial(4.0, 60)
     config = trial_config_of(trial)
     key = trial_key(config, index, seed, "auto", code_fingerprint())
@@ -220,7 +220,10 @@ def _put_one(store, seed=11, metrics=None, trial=None, index=0):
         "engine": "auto",
         "code_fingerprint": code_fingerprint(),
     }
-    store.put(key, fields, metrics or {"x": 0.1, "y": 2.0}, {"created_utc": "2026-01-01T00:00:00Z"})
+    store.put(
+        key, fields, metrics or {"x": 0.1, "y": 2.0},
+        {"created_utc": "2026-01-01T00:00:00Z"}, fmt=fmt,
+    )
     return key
 
 
@@ -254,11 +257,26 @@ class TestResultStore:
         assert store.get(key) is None
 
     def test_tampered_key_fields_read_as_miss(self, tmp_path):
+        from repro.store.binary import (
+            RECORD_TYPE_TRIAL,
+            encode_record,
+            read_record_path,
+        )
+
         store = ResultStore(tmp_path)
         key = _put_one(store)
         path = store.path_for(key)
-        record = json.loads(path.read_text(encoding="utf-8"))
+        record, _ = read_record_path(path)
         record["key_fields"]["seed"] = 999  # key no longer matches fields
+        path.write_bytes(encode_record(record, RECORD_TYPE_TRIAL))
+        assert store.get(key) is None
+
+    def test_tampered_legacy_json_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = _put_one(store, fmt="json")
+        path = store.path_for(key, "json")
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["key_fields"]["seed"] = 999
         path.write_text(json.dumps(record), encoding="utf-8")
         assert store.get(key) is None
 
@@ -398,14 +416,49 @@ class TestCampaignCheckpoint:
 
     def test_torn_final_line_is_tolerated(self, tmp_path):
         key = "d" * 64
-        ckpt = CampaignCheckpoint(tmp_path, key)
+        ckpt = CampaignCheckpoint(tmp_path, key, codec="json")
         ckpt.begin({})
         ckpt.record_trial(0, "k0", ok=True, cached=False)
         ckpt.close()
         with open(ckpt.path, "a", encoding="utf-8") as fh:
             fh.write('{"kind":"trial","trial_index":1,"key":"k1","o')  # SIGKILL
+        state = CampaignCheckpoint(tmp_path, key, codec="json").load()
+        assert state.done == {0: "k0"}
+
+    def test_torn_binary_frame_is_tolerated(self, tmp_path):
+        key = "d" * 64
+        ckpt = CampaignCheckpoint(tmp_path, key)
+        ckpt.begin({})
+        ckpt.record_trial(0, "k0", ok=True, cached=False)
+        ckpt.close()
+        assert ckpt.path.suffix == ".binj"  # binary is the default codec
+        with open(ckpt.path, "ab") as fh:
+            fh.write(b"\xff\x00\x00\x00partial-frame")  # SIGKILL mid-write
         state = CampaignCheckpoint(tmp_path, key).load()
         assert state.done == {0: "k0"}
+        # resuming truncates the torn tail, then appends readable frames
+        resumed = CampaignCheckpoint(tmp_path, key)
+        prior = resumed.begin({}, resume=True)
+        assert prior.n_done == 1
+        resumed.record_trial(1, "k1", ok=True, cached=False)
+        resumed.close()
+        assert CampaignCheckpoint(tmp_path, key).load().done == {
+            0: "k0", 1: "k1",
+        }
+
+    def test_legacy_ndjson_journal_resumes_under_binary_codec(self, tmp_path):
+        key = "f" * 64
+        legacy = CampaignCheckpoint(tmp_path, key, codec="json")
+        legacy.begin({"n_trials": 3})
+        legacy.record_trial(0, "k0", ok=True, cached=False)
+        legacy.close()
+        ckpt = CampaignCheckpoint(tmp_path, key)  # binary default
+        prior = ckpt.begin({"n_trials": 3}, resume=True)
+        assert prior.done == {0: "k0"}  # read straight from the .ndjson
+        ckpt.record_trial(1, "k1", ok=True, cached=False)
+        ckpt.close()
+        merged = CampaignCheckpoint(tmp_path, key).load()
+        assert merged.done == {0: "k0", 1: "k1"}
 
     def test_record_before_begin_raises(self, tmp_path):
         ckpt = CampaignCheckpoint(tmp_path, "e" * 64)
